@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper as
+printed rows (run pytest with ``-s`` to see them), wraps its harness in
+``benchmark.pedantic(..., rounds=1)`` so ``pytest --benchmark-only``
+drives it, and attaches the headline numbers to
+``benchmark.extra_info`` so they land in pytest-benchmark's JSON.
+
+Environment:
+
+``REPRO_BENCH_FULL=1``
+    Extend message-size sweeps to the paper's full 256K-32M range
+    (default stops at 8M to keep the suite fast).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.utils.units import KiB, MiB
+from repro.utils.tables import format_table
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: Fig 5/9/10 message sweep (paper: 256K..32M)
+SIZES = [256 * KiB, 512 * KiB, 1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB]
+if FULL:
+    SIZES += [16 * MiB, 32 * MiB]
+
+
+def emit(benchmark, title: str, headers, rows, floatfmt=".1f", **extra):
+    """Print the regenerated table and stash headline numbers."""
+    text = format_table(headers, rows, floatfmt=floatfmt, title=title)
+    print("\n" + text + "\n")
+    benchmark.extra_info.update(extra)
+    return text
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run the harness exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

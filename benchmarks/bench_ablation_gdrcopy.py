@@ -1,0 +1,37 @@
+"""Ablation 2: GDRCopy vs cudaMemcpy for the compressed-size read
+(MPC-OPT optimization 3).
+
+Everything else held at OPT settings.  The saving is a near-constant
+~19us x (send + recv paths) per message — decisive for small messages,
+noise at 32M (paper: 'reduce the cost from 20us to 1-5us').
+"""
+
+from _common import SIZES, emit, once
+
+from repro.core import CompressionConfig
+from repro.omb import osu_latency
+from repro.utils.units import fmt_bytes
+
+
+def build():
+    gdr = CompressionConfig.mpc_opt()
+    memcpy = gdr.with_(use_gdrcopy=False)
+    rows_g = osu_latency("longhorn", sizes=SIZES, config=gdr, payload="wave")
+    rows_m = osu_latency("longhorn", sizes=SIZES, config=memcpy, payload="wave")
+    return [
+        [fmt_bytes(g.nbytes), m.latency_us, g.latency_us,
+         (m.latency - g.latency) * 1e6]
+        for g, m in zip(rows_g, rows_m)
+    ]
+
+
+def test_ablation_gdrcopy(benchmark):
+    rows = once(benchmark, build)
+    emit(benchmark,
+         "Ablation - size retrieval via cudaMemcpy vs GDRCopy (us)",
+         ["size", "cudaMemcpy", "GDRCopy", "delta_us"],
+         rows)
+    for row in rows:
+        assert row[2] < row[1]
+        # per-message saving ~ (20 - ~1.5)us on the sender path
+        assert 5.0 < row[3] < 60.0

@@ -1,0 +1,46 @@
+"""Ablation 4: the compression-engagement threshold.
+
+The framework compresses only messages above a size threshold (step 1
+of the paper's data flow).  Too low a threshold drags small messages
+through kernels that cost more than the wire saving; too high a
+threshold forfeits large-message wins.
+"""
+
+from _common import emit, once
+
+from repro.core import CompressionConfig
+from repro.omb import osu_latency
+from repro.utils.units import KiB, MiB, fmt_bytes
+
+THRESHOLDS = [16 * KiB, 128 * KiB, 1 * MiB, 8 * MiB]
+SIZES = [64 * KiB, 512 * KiB, 4 * MiB]
+
+
+def build():
+    out = []
+    for size in SIZES:
+        row = [fmt_bytes(size)]
+        base = osu_latency("frontera-liquid", sizes=[size]) [0].latency_us
+        row.append(base)
+        for thr in THRESHOLDS:
+            cfg = CompressionConfig.zfp_opt(8, threshold=thr)
+            r = osu_latency("frontera-liquid", sizes=[size], config=cfg,
+                            payload="wave")[0]
+            row.append(r.latency_us)
+        out.append(row)
+    return out
+
+
+def test_ablation_threshold(benchmark):
+    rows = once(benchmark, build)
+    emit(benchmark,
+         "Ablation - ZFP-OPT(8) latency vs compression threshold (us)",
+         ["msg size", "baseline"] + [fmt_bytes(t) for t in THRESHOLDS],
+         rows)
+    # 4M messages: a threshold above them forfeits the win.
+    big = rows[-1]
+    assert big[2] < big[5], "engaging compression must beat the 8M threshold at 4M"
+    # 64K messages: compressing them (16K threshold) must hurt vs not
+    # (1M threshold), because kernels + handshake exceed the wire time.
+    small = rows[0]
+    assert small[2] > small[4]

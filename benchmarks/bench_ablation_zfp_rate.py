@@ -1,0 +1,39 @@
+"""Ablation 5: ZFP rate vs AWP accuracy (the paper's rate-selection
+caveat).
+
+"More speedup can be achieved for ZFP-OPT with a lower rate due to a
+higher compression ratio.  However, it would generate incorrect output
+as it exceeds the lowest precision AWP-ODC can tolerate."
+"""
+
+from _common import emit, once
+
+from repro.apps.awp import run_awp
+from repro.core import CompressionConfig
+
+KW = dict(machine="frontera-liquid", gpus=4, gpus_per_node=2,
+          local_shape=(32, 32, 128), steps=6)
+RATES = [16, 8, 6, 4]
+
+
+def build():
+    base = run_awp(**KW, config=CompressionConfig.disabled())
+    rows = []
+    for rate in RATES:
+        r = run_awp(**KW, config=CompressionConfig.zfp_opt(rate, threshold=20 * 1024))
+        rel_err = abs(r.energy - base.energy) / (abs(base.energy) + 1e-30)
+        rows.append([rate, 32.0 / rate, r.time_per_step * 1e6,
+                     base.time_per_step * 1e6, rel_err])
+    return rows
+
+
+def test_ablation_zfp_rate_accuracy(benchmark):
+    rows = once(benchmark, build)
+    emit(benchmark,
+         "Ablation - ZFP rate vs AWP step time and solution error",
+         ["rate", "ratio", "step_us", "baseline_step_us", "energy_rel_err"],
+         rows, floatfmt=".4f")
+    errs = {r[0]: r[4] for r in rows}
+    assert errs[16] < 1e-3, "rate 16 must be physically tolerable"
+    assert errs[4] > 100 * errs[16], "rate 4 must break the solution"
+    assert errs[4] > errs[8] > errs[16], "error monotone in compression"

@@ -1,0 +1,69 @@
+"""Extension: the full Table I codec field on one dataset.
+
+The paper implements MPC and ZFP; we additionally provide working GFC,
+SZ-style and FPC-style codecs so every GPU row of Table I is runnable.
+This bench compares them all on msg_sweep3d under the same pt2pt
+transfer (Section IX: "we plan to study various GPU-based compression
+algorithms").
+"""
+
+import numpy as np
+from _common import emit, once
+
+from repro.compression import get_compressor
+from repro.core import CompressionConfig
+from repro.datasets import generate
+from repro.omb import osu_latency
+from repro.utils.units import MiB
+
+
+def build():
+    data = generate("msg_sweep3d", scale=0.05, seed=1)
+    rows = []
+    for name, params, lossless in [
+        ("mpc", {"dimensionality": 1}, True),
+        ("zfp", {"rate": 16}, False),
+        ("zfp", {"rate": 8}, False),
+        ("sz", {"error_bound": 1e-3}, False),
+        ("gfc", {}, True),
+        ("fpc", {}, True),
+    ]:
+        codec = get_compressor(name, **params)
+        payload = data.astype(np.float64) if name == "gfc" else data
+        comp = codec.compress(payload)
+        restored = codec.decompress(comp)
+        err = float(np.abs(restored.astype(np.float64)
+                           - payload.astype(np.float64)).max())
+        label = name + ("" if not params else str(sorted(params.values())))
+        rows.append([label, comp.ratio, err, "yes" if lossless else "no"])
+    return rows
+
+
+def test_ext_codec_field(benchmark):
+    rows = once(benchmark, build)
+    emit(benchmark,
+         "Extension - all Table I codecs on msg_sweep3d (ratio / max error)",
+         ["codec", "ratio", "max_abs_err", "lossless"],
+         rows, floatfmt=".4g")
+    by = {r[0]: r for r in rows}
+    assert by["mpc[1]"][2] == 0.0
+    assert by["gfc"][2] == 0.0
+    assert by["fpc"][2] == 0.0
+    assert by["sz[0.001]"][2] <= 1e-3
+    assert by["zfp[8]"][1] > by["zfp[16]"][1]
+
+
+def test_ext_sz_in_transport(benchmark):
+    """SZ plugged into the MPI framework end to end (the registry makes
+    codecs interchangeable)."""
+    def run():
+        base = osu_latency("frontera-liquid", sizes=[4 * MiB], payload="wave")[0]
+        sz = osu_latency(
+            "frontera-liquid", sizes=[4 * MiB], payload="wave",
+            config=CompressionConfig(enabled=True, algorithm="sz"),
+        )[0]
+        return [[r.latency_us for r in (base, sz)]]
+
+    rows = once(benchmark, run)
+    emit(benchmark, "Extension - SZ as the transport codec (4M wave, us)",
+         ["baseline_us", "sz_us"], rows)

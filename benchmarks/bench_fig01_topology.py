@@ -1,0 +1,41 @@
+"""Figure 1: intra- vs inter-node GPU link disparity (Sierra node).
+
+Regenerates the bandwidth table behind the paper's motivating figure:
+3-lane NVLink 75 GB/s vs IB EDR 12.5 GB/s (6x disparity).
+"""
+
+from _common import emit, once
+
+from repro.network.presets import IB_EDR, IB_FDR, IB_HDR, NVLINK3, PCIE4_X8, XBUS, machine_preset
+from repro.network.topology import Topology
+from repro.sim import Simulator
+
+
+def build():
+    sim = Simulator()
+    topo = Topology(sim, machine_preset("sierra"), nodes=2, gpus_per_node=4)
+    rows = []
+    for spec, where in [
+        (NVLINK3, "GPU<->GPU intra-node"),
+        (XBUS, "CPU<->CPU (X-Bus)"),
+        (PCIE4_X8, "CPU<->HCA (PCIe Gen4 x8)"),
+        (IB_EDR, "node<->node (IB EDR)"),
+        (IB_FDR, "node<->node (IB FDR, Frontera)"),
+        (IB_HDR, "node<->node (IB HDR)"),
+    ]:
+        rows.append([spec.name, where, spec.bandwidth / 1e9, spec.latency * 1e6])
+    disparity = topo.path_bandwidth(0, 1) / topo.path_bandwidth(0, 4)
+    return rows, disparity
+
+
+def test_fig01_topology(benchmark):
+    rows, disparity = once(benchmark, build)
+    rows.append(["disparity", "NVLink / IB-EDR", disparity, 0.0])
+    emit(
+        benchmark,
+        "Fig 1 - Sierra-class node link bandwidths (paper: 75 vs 12.5 GB/s, 6x)",
+        ["link", "where", "GB/s", "latency_us"],
+        rows,
+        nvlink_over_ib=disparity,
+    )
+    assert disparity == 6.0

@@ -1,0 +1,65 @@
+"""Figure 2: the motivation.
+
+(a) inter-node D-D bandwidth saturates the IB network for large
+messages (we show achieved vs peak);
+(b) AWP-ODC computation vs communication time remains comm-heavy as
+GPU count grows.
+"""
+
+from _common import emit, once
+
+from repro.apps.awp import run_awp
+from repro.core import CompressionConfig
+from repro.omb import osu_bw
+from repro.utils.units import KiB, MiB, fmt_bytes
+
+
+def build_bw():
+    sizes = [64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB, 8 * MiB]
+    rows = osu_bw("longhorn", sizes=sizes, window=8)
+    peak = 12.5
+    return [
+        [fmt_bytes(r.nbytes), r.breakdown["bandwidth"] / 1e9, peak]
+        for r in rows
+    ]
+
+
+def test_fig02a_internode_bandwidth(benchmark):
+    rows = once(benchmark, build_bw)
+    emit(
+        benchmark,
+        "Fig 2a - inter-node D-D bandwidth vs message size (Longhorn, IB EDR)",
+        ["size", "achieved GB/s", "peak GB/s"],
+        rows,
+        floatfmt=".2f",
+        saturation=rows[-1][1] / rows[-1][2],
+    )
+    # Large messages saturate the link (paper: "well optimized to
+    # saturate the bandwidth").
+    assert rows[-1][1] > 0.9 * rows[-1][2]
+
+
+def build_awp():
+    rows = []
+    for gpus in (4, 8, 16):
+        r = run_awp("frontera-liquid", gpus=gpus, gpus_per_node=4,
+                    local_shape=(64, 64, 256), steps=3,
+                    config=CompressionConfig.disabled(), surrogate=True)
+        rows.append([gpus, r.compute_time_per_step * 1e3,
+                     r.comm_time_per_step * 1e3, 100 * r.comm_fraction])
+    return rows
+
+
+def test_fig02b_awp_breakdown(benchmark):
+    rows = once(benchmark, build_awp)
+    emit(
+        benchmark,
+        "Fig 2b - AWP-ODC computation vs communication per step (ms)",
+        ["GPUs", "compute ms", "comm ms", "comm %"],
+        rows,
+        floatfmt=".2f",
+        comm_pct_16gpu=rows[-1][3],
+    )
+    # Communication stays a significant share and grows with scale.
+    assert rows[-1][3] > 10.0
+    assert rows[-1][2] >= rows[0][2]

@@ -1,0 +1,43 @@
+"""Figure 5: latency of naively integrating the compression algorithms.
+
+The headline negative result: the naive integration (cudaMalloc +
+cudaMemcpy + per-message cudaGetDeviceProperties in the critical path)
+is *slower* than sending uncompressed data.
+"""
+
+from _common import SIZES, emit, once
+
+from repro.core import CompressionConfig
+from repro.omb import osu_latency
+from repro.utils.units import fmt_bytes
+
+
+def build():
+    configs = [
+        ("baseline", CompressionConfig.disabled()),
+        ("naive-mpc", CompressionConfig.naive_mpc()),
+        ("naive-zfp16", CompressionConfig.naive_zfp(16)),
+    ]
+    series = {}
+    for label, cfg in configs:
+        rows = osu_latency("longhorn", sizes=SIZES, config=cfg, payload="wave")
+        series[label] = [r.latency_us for r in rows]
+    out = []
+    for i, size in enumerate(SIZES):
+        out.append([fmt_bytes(size)] + [series[l][i] for l, _ in configs])
+    return out
+
+
+def test_fig05_naive_integration(benchmark):
+    rows = once(benchmark, build)
+    emit(
+        benchmark,
+        "Fig 5 - inter-node D-D latency, naive integration (Longhorn, us)",
+        ["size", "baseline", "naive-MPC", "naive-ZFP(16)"],
+        rows,
+        naive_mpc_slowdown_1m=rows[2][2] / rows[2][1],
+    )
+    # The paper's observation: naive integration loses at every size.
+    for row in rows:
+        assert row[2] > row[1], "naive MPC must be slower than baseline"
+        assert row[3] > row[1], "naive ZFP must be slower than baseline"

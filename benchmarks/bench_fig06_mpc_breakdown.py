@@ -1,0 +1,61 @@
+"""Figure 6: breakdown of inter-node latency using MPC, naive vs OPT.
+
+Components: memory allocation (cudaMalloc), compressed-size data
+copies, compression/decompression kernels, combine, network+other.
+The OPT scheme must eliminate the allocation term, shrink the copy
+term ~10x and cut kernel time via multi-stream decomposition (paper:
+"up to 4X improvement compared to the naive integration").
+"""
+
+from _common import SIZES, emit, once
+
+from repro.core import CompressionConfig
+from repro.omb import osu_latency
+from repro.utils.units import fmt_bytes
+
+CATS = ["malloc", "data_copy", "compression_kernel", "decompression_kernel",
+        "combine", "network"]
+
+
+def build(cfg):
+    rows = osu_latency("longhorn", sizes=SIZES, config=cfg, payload="wave")
+    out = []
+    for r in rows:
+        bd = r.breakdown
+        out.append(
+            [fmt_bytes(r.nbytes)]
+            + [bd.get(c, 0.0) * 1e6 / 2 for c in CATS]  # per one-way
+            + [r.latency_us]
+        )
+    return out
+
+
+def test_fig06a_mpc_naive_breakdown(benchmark):
+    rows = once(benchmark, build, CompressionConfig.naive_mpc())
+    emit(
+        benchmark,
+        "Fig 6a - MPC naive integration latency breakdown (us, one-way)",
+        ["size"] + CATS + ["total"],
+        rows,
+        malloc_share_256k=rows[0][1] / rows[0][-1],
+    )
+    # Paper: cudaMalloc occupies a huge share at 256KB (83.4% there).
+    assert rows[0][1] / rows[0][-1] > 0.4
+
+
+def test_fig06b_mpc_opt_breakdown(benchmark):
+    naive = build(CompressionConfig.naive_mpc())
+    rows = once(benchmark, build, CompressionConfig.mpc_opt())
+    emit(
+        benchmark,
+        "Fig 6b - MPC-OPT latency breakdown (us, one-way)",
+        ["size"] + CATS + ["total"],
+        rows,
+        improvement_vs_naive=naive[-1][-1] / rows[-1][-1],
+    )
+    for n_row, o_row in zip(naive, rows):
+        assert o_row[1] == 0.0, "MPC-OPT must not cudaMalloc"
+        assert o_row[2] < n_row[2] / 3, "GDRCopy must cut the size-copy cost"
+        assert o_row[-1] < n_row[-1], "OPT must beat naive at every size"
+    # Paper: up to 4x improvement over naive.
+    assert max(n[-1] / o[-1] for n, o in zip(naive, rows)) > 2.0

@@ -1,0 +1,64 @@
+"""Figure 8: breakdown of inter-node latency using ZFP, naive vs OPT
+(Frontera Liquid).
+
+The naive integration calls cudaGetDeviceProperties (~1840us) per
+kernel launch inside get_max_grid_dims; ZFP-OPT caches the attribute
+(~1us once).  zfp_stream/zfp_field creation (~9us) is present in both.
+"""
+
+from _common import SIZES, emit, once
+
+from repro.core import CompressionConfig
+from repro.omb import osu_latency
+from repro.utils.units import fmt_bytes
+
+CATS = ["zfp_stream_field", "get_max_grid_dims", "malloc",
+        "compression_kernel", "decompression_kernel", "network"]
+
+
+def build(cfg):
+    rows = osu_latency("frontera-liquid", sizes=SIZES, config=cfg, payload="wave")
+    out = []
+    for r in rows:
+        bd = r.breakdown
+        out.append(
+            [fmt_bytes(r.nbytes)]
+            + [bd.get(c, 0.0) * 1e6 / 2 for c in CATS]
+            + [r.latency_us]
+        )
+    return out
+
+
+def test_fig08a_zfp_naive_breakdown(benchmark):
+    rows = once(benchmark, build, CompressionConfig.naive_zfp(16))
+    emit(
+        benchmark,
+        "Fig 8a - ZFP naive integration latency breakdown (us, one-way)",
+        ["size"] + CATS + ["total"],
+        rows,
+        grid_dims_us=rows[0][2],
+    )
+    for row in rows:
+        # get_max_grid_dims dominates every message size (paper: ~1840us
+        # per call, compress + decompress)
+        assert row[2] > 1500.0
+        assert row[2] > row[4] + row[5]
+
+
+def test_fig08b_zfp_opt_breakdown(benchmark):
+    naive = build(CompressionConfig.naive_zfp(16))
+    rows = once(benchmark, build, CompressionConfig.zfp_opt(16))
+    emit(
+        benchmark,
+        "Fig 8b - ZFP-OPT latency breakdown (us, one-way)",
+        ["size"] + CATS + ["total"],
+        rows,
+        grid_dims_after_caching_us=rows[0][2],
+        speedup_vs_naive_256k=naive[0][-1] / rows[0][-1],
+    )
+    for n_row, o_row in zip(naive, rows):
+        assert o_row[2] < 2.0, "cached attribute query must be ~1us total"
+        assert o_row[-1] < n_row[-1]
+    # Paper: function time cut from ~4000us to ~1us; at small sizes the
+    # total drops several-fold.
+    assert naive[0][-1] / rows[0][-1] > 3.0

@@ -1,0 +1,75 @@
+"""Figure 11: MPI_Bcast and MPI_Allgather on the 8 Table III datasets
+(8 nodes x 2 ppn, Frontera Liquid).
+
+The paper modifies OMB to transmit real dataset contents; MPC-OPT's
+gain tracks the dataset's ratio (max on msg_sppm), while ZFP-OPT's
+gain is nearly dataset-independent (fixed rate).
+"""
+
+import os
+
+from _common import emit, once
+
+from repro.core import CompressionConfig
+from repro.datasets import dataset_names
+from repro.omb import osu_allgather, osu_bcast
+from repro.utils.units import MiB
+
+NBYTES = 4 * MiB
+CONFIGS = [
+    ("baseline", None),
+    ("mpc-opt", CompressionConfig.mpc_opt()),
+    ("zfp16", CompressionConfig.zfp_opt(16)),
+    ("zfp8", CompressionConfig.zfp_opt(8)),
+    ("zfp4", CompressionConfig.zfp_opt(4)),
+]
+# the full 8-dataset sweep is slow; default to 4 representative ones
+DATASETS = dataset_names() if os.environ.get("REPRO_BENCH_FULL") == "1" else [
+    "msg_bt", "msg_sppm", "msg_sweep3d", "obs_info",
+]
+
+
+def build(op):
+    fn = osu_bcast if op == "bcast" else osu_allgather
+    out = []
+    for ds in DATASETS:
+        row = [ds]
+        for label, cfg in CONFIGS:
+            r = fn(machine="frontera-liquid", nodes=8, ppn=2, nbytes=NBYTES,
+                   payload=f"dataset:{ds}", config=cfg)
+            row.append(r.latency_us)
+        out.append(row)
+    return out
+
+
+def _labels():
+    return [l for l, _ in CONFIGS]
+
+
+def test_fig11a_bcast(benchmark):
+    rows = once(benchmark, build, "bcast")
+    emit(benchmark,
+         "Fig 11a - MPI_Bcast latency on datasets (8 nodes x 2 ppn, us)",
+         ["dataset"] + _labels(), rows)
+    by = {r[0]: dict(zip(_labels(), r[1:])) for r in rows}
+    # MPC's best gain is on msg_sppm (highest ratio), worst on msg_bt.
+    gain = lambda d: 1 - by[d]["mpc-opt"] / by[d]["baseline"]
+    assert gain("msg_sppm") > gain("msg_bt")
+    assert gain("msg_sppm") > 0.1  # paper: 57%; see EXPERIMENTS.md on calibration
+    # ZFP-OPT(4) helps on every dataset by a similar factor (fixed rate).
+    zgains = [1 - by[d]["zfp4"] / by[d]["baseline"] for d in by]
+    assert min(zgains) > 0.1
+    assert max(zgains) - min(zgains) < 0.35
+
+
+def test_fig11b_allgather(benchmark):
+    rows = once(benchmark, build, "allgather")
+    emit(benchmark,
+         "Fig 11b - MPI_Allgather latency on datasets (8 nodes x 2 ppn, us)",
+         ["dataset"] + _labels(), rows)
+    by = {r[0]: dict(zip(_labels(), r[1:])) for r in rows}
+    gain = lambda d, c: 1 - by[d][c] / by[d]["baseline"]
+    # MPC's gain tracks the ratio: best on sppm, can be negative on the
+    # ~1.33-ratio datasets (below the FDR break-even, see EXPERIMENTS.md).
+    assert gain("msg_sppm", "mpc-opt") > gain("msg_bt", "mpc-opt")
+    assert gain("msg_sppm", "zfp4") > 0.05

@@ -1,0 +1,69 @@
+"""Figure 12: AWP-ODC weak scaling on Frontera Liquid.
+
+GPU computing flops (higher is better) for baseline / MPC-OPT /
+ZFP-OPT(16) / ZFP-OPT(8) at 2 and 4 GPUs/node.  Paper: up to 19%
+(MPC-OPT) and 37% (ZFP-OPT rate:8) at 64 GPUs.
+
+Surrogate faces (paper-scale halo messages, faces-only memory) with an
+explicit 4-partition MPC-OPT, matching the tuned schedule at these
+message sizes.  REPRO_BENCH_FULL=1 extends to 64 GPUs.
+"""
+
+import os
+
+from _common import emit, once
+
+from repro.apps.awp import run_awp
+from repro.core import CompressionConfig
+
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+GPUS = [4, 8, 16, 32, 64] if FULL else [4, 8, 16]
+LOCAL = (96, 96, 512)  # faces: 2*96*512*4 = 384 KiB
+CONFIGS = [
+    ("baseline", CompressionConfig.disabled()),
+    ("mpc-opt", CompressionConfig.mpc_opt(partitions=4)),
+    ("zfp16", CompressionConfig.zfp_opt(16)),
+    ("zfp8", CompressionConfig.zfp_opt(8)),
+]
+
+
+def build(gpus_per_node):
+    rows = []
+    for gpus in GPUS:
+        if gpus < gpus_per_node:
+            continue
+        row = [gpus]
+        for label, cfg in CONFIGS:
+            r = run_awp("frontera-liquid", gpus=gpus, gpus_per_node=gpus_per_node,
+                        local_shape=LOCAL, steps=3, config=cfg, surrogate=True)
+            row.append(r.gflops / 1000.0)  # TFLOP/s
+        rows.append(row)
+    return rows
+
+
+def _check(rows):
+    last = rows[-1]
+    base, mpc, z16, z8 = last[1], last[2], last[3], last[4]
+    assert mpc > base, "MPC-OPT must improve flops at scale"
+    assert z8 > base, "ZFP-OPT(8) must improve flops at scale"
+    assert z8 >= z16 * 0.98, "lower rate >= higher rate"
+
+
+def test_fig12a_2gpus_per_node(benchmark):
+    rows = once(benchmark, build, 2)
+    emit(benchmark,
+         "Fig 12a - AWP weak scaling, Frontera, 2 GPUs/node (TFLOP/s)",
+         ["GPUs"] + [l for l, _ in CONFIGS], rows, floatfmt=".3f",
+         mpc_gain=rows[-1][2] / rows[-1][1] - 1,
+         zfp8_gain=rows[-1][4] / rows[-1][1] - 1)
+    _check(rows)
+
+
+def test_fig12b_4gpus_per_node(benchmark):
+    rows = once(benchmark, build, 4)
+    emit(benchmark,
+         "Fig 12b - AWP weak scaling, Frontera, 4 GPUs/node (TFLOP/s)",
+         ["GPUs"] + [l for l, _ in CONFIGS], rows, floatfmt=".3f",
+         mpc_gain=rows[-1][2] / rows[-1][1] - 1,
+         zfp8_gain=rows[-1][4] / rows[-1][1] - 1)
+    _check(rows)

@@ -1,0 +1,57 @@
+"""Figure 13: AWP-ODC weak scaling on Lassen, 4 GPUs/node.
+
+(a) GPU computing flops (higher better), (b) run time per time step
+(lower better).  Paper: MPC-OPT +18% at 512 GPUs, ZFP-OPT(8) +35% at
+128 GPUs; run-time/step improvements 15% / 26%.
+
+Default sweep 8..64 GPUs; REPRO_BENCH_FULL=1 goes to 512.
+"""
+
+import os
+
+from _common import emit, once
+
+from repro.apps.awp import run_awp
+from repro.core import CompressionConfig
+
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+GPUS = [8, 16, 32, 64, 128, 256, 512] if FULL else [8, 16, 32, 64]
+LOCAL = (96, 96, 512)
+CONFIGS = [
+    ("baseline", CompressionConfig.disabled()),
+    ("mpc-opt", CompressionConfig.mpc_opt(partitions=4)),
+    ("zfp16", CompressionConfig.zfp_opt(16)),
+    ("zfp8", CompressionConfig.zfp_opt(8)),
+]
+
+
+def build():
+    flops_rows, tps_rows = [], []
+    for gpus in GPUS:
+        frow, trow = [gpus], [gpus]
+        for label, cfg in CONFIGS:
+            r = run_awp("lassen", gpus=gpus, gpus_per_node=4,
+                        local_shape=LOCAL, steps=3, config=cfg, surrogate=True)
+            frow.append(r.gflops / 1000.0)
+            trow.append(r.time_per_step * 1e3)
+        flops_rows.append(frow)
+        tps_rows.append(trow)
+    return flops_rows, tps_rows
+
+
+def test_fig13_awp_lassen(benchmark):
+    flops_rows, tps_rows = once(benchmark, build)
+    labels = [l for l, _ in CONFIGS]
+    emit(benchmark, "Fig 13a - AWP on Lassen, 4 GPUs/node (TFLOP/s)",
+         ["GPUs"] + labels, flops_rows, floatfmt=".3f",
+         mpc_gain_at_max=flops_rows[-1][2] / flops_rows[-1][1] - 1,
+         zfp8_gain_at_max=flops_rows[-1][4] / flops_rows[-1][1] - 1)
+    emit(benchmark, "Fig 13b - AWP on Lassen, run time per step (ms)",
+         ["GPUs"] + labels, tps_rows, floatfmt=".3f")
+    last_f = flops_rows[-1]
+    assert last_f[2] > last_f[1], "MPC-OPT gains flops at scale"
+    assert last_f[4] > last_f[1], "ZFP-OPT(8) gains flops at scale"
+    last_t = tps_rows[-1]
+    assert last_t[2] < last_t[1] and last_t[4] < last_t[1]
+    # Aggregate flops must scale with GPU count (weak scaling).
+    assert flops_rows[-1][1] > 3 * flops_rows[0][1]

@@ -1,0 +1,50 @@
+"""Figure 14: Dask transpose-sum benchmark on the RI2 cluster.
+
+(a) execution time, (b) aggregate throughput, for 2-8 workers
+(1 GPU/node), baseline vs ZFP-OPT rates 16 and 8.  Paper: average
+1.18x speedup (rate 8) and up to 1.56x aggregate throughput at 8
+workers.
+"""
+
+from _common import emit, once
+
+from repro.apps.dasklite import transpose_sum_benchmark
+from repro.core import CompressionConfig
+
+WORKERS = [2, 4, 6, 8]
+DIMS, CHUNK = 5120, 1024  # scaled from the paper's 10K x 10K / 1K
+CONFIGS = [
+    ("baseline", None),
+    ("zfp16", CompressionConfig.zfp_opt(16)),
+    ("zfp8", CompressionConfig.zfp_opt(8)),
+]
+
+
+def build():
+    time_rows, thr_rows = [], []
+    for nw in WORKERS:
+        trow, hrow = [nw], [nw]
+        for label, cfg in CONFIGS:
+            r = transpose_sum_benchmark(n_workers=nw, dims=DIMS, chunk=CHUNK,
+                                        machine="ri2", config=cfg)
+            trow.append(r.execution_time * 1e3)
+            hrow.append(r.aggregate_throughput / 1e9)
+        time_rows.append(trow)
+        thr_rows.append(hrow)
+    return time_rows, thr_rows
+
+
+def test_fig14_dask_transpose_sum(benchmark):
+    time_rows, thr_rows = once(benchmark, build)
+    labels = [l for l, _ in CONFIGS]
+    emit(benchmark, "Fig 14a - Dask x + x.T execution time (ms, lower better)",
+         ["workers"] + labels, time_rows, floatfmt=".2f")
+    speedups = [r[1] / r[3] for r in time_rows]
+    thr_gain = thr_rows[-1][3] / thr_rows[-1][1]
+    emit(benchmark, "Fig 14b - Dask aggregate throughput (GB/s, higher better)",
+         ["workers"] + labels, thr_rows, floatfmt=".1f",
+         avg_speedup_zfp8=sum(speedups) / len(speedups),
+         throughput_gain_8w=thr_gain)
+    # Paper: avg 1.18x (2-8 workers) and 1.56x throughput at 8 workers.
+    assert sum(speedups) / len(speedups) > 1.05
+    assert thr_gain > 1.1

@@ -1,0 +1,20 @@
+"""The reproduction scorecard: every headline claim re-measured.
+
+One stop to judge the reproduction: paper value vs. measured value vs.
+shape verdict for ten headline claims spanning Table III and Figures
+5-14 (plus the pipelining extension).
+"""
+
+from _common import emit, once
+
+from repro.analysis.scorecard import render_scorecard, run_scorecard
+
+
+def test_scorecard(benchmark):
+    results = once(benchmark, run_scorecard)
+    print("\n" + render_scorecard(results) + "\n")
+    benchmark.extra_info.update(
+        {r.claim.claim_id: round(r.measured, 3) for r in results}
+    )
+    bad = [r.claim.claim_id for r in results if not r.shape_ok]
+    assert not bad, f"claims losing their shape: {bad}"

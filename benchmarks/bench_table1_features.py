@@ -1,0 +1,25 @@
+"""Table I: comparison between compression techniques.
+
+Regenerated from the registry's feature metadata; the two "Proposed"
+rows are the only ones with efficient MPI (on-the-fly) support.
+"""
+
+from _common import emit, once
+
+from repro.compression import feature_table
+
+
+def test_table1_features(benchmark):
+    rows = once(benchmark, feature_table)
+    emit(
+        benchmark,
+        "Table I - compression technique features",
+        ["design", "lossless", "lossy", "gpu", "single", "double",
+         "high-tp", "mpi", "implemented-here"],
+        rows,
+    )
+    by_name = {r[0]: r for r in rows}
+    assert by_name["Proposed MPC-OPT"][7] == "yes"
+    assert by_name["Proposed ZFP-OPT"][7] == "yes"
+    assert by_name["MPC"][7] == "no"
+    assert by_name["ZFP"][7] == "no"

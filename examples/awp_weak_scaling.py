@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""AWP-ODC weak scaling with on-the-fly compression (paper Fig 12).
+
+Runs the wave-propagation mini-app on a growing Frontera-style cluster
+and reports the paper's "GPU computing flops" metric per configuration.
+Uses the real (numpy) stencil at a small per-GPU grid, so the halo
+payloads are genuine wave fields and lossless compression provably
+leaves the physics bit-identical.
+
+Run:  python examples/awp_weak_scaling.py
+"""
+
+from repro.apps.awp import run_awp
+from repro.core import CompressionConfig
+from repro.utils import format_table
+
+
+def main():
+    configs = [
+        ("baseline", CompressionConfig.disabled()),
+        ("MPC-OPT", CompressionConfig.mpc_opt(threshold=20 * 1024)),
+        ("ZFP-OPT r16", CompressionConfig.zfp_opt(16, threshold=20 * 1024)),
+        ("ZFP-OPT r8", CompressionConfig.zfp_opt(8, threshold=20 * 1024)),
+    ]
+    rows = []
+    energies = {}
+    for gpus in (4, 8, 16):
+        for label, cfg in configs:
+            r = run_awp(
+                machine="frontera-liquid",
+                gpus=gpus,
+                gpus_per_node=4,
+                local_shape=(32, 32, 128),  # per-GPU grid (weak scaling)
+                steps=5,
+                config=cfg,
+            )
+            rows.append([
+                gpus, label, r.gflops, r.time_per_step * 1e3,
+                100 * r.comm_fraction,
+            ])
+            energies[(gpus, label)] = r.energy
+
+    print(format_table(
+        ["GPUs", "config", "GFLOP/s", "ms/step", "comm %"],
+        rows,
+        title="AWP weak scaling on Frontera-Liquid-style cluster (4 GPUs/node)",
+    ))
+
+    # Lossless compression cannot change the physics:
+    same = energies[(16, "baseline")] == energies[(16, "MPC-OPT")]
+    print(f"\nMPC-OPT solution bit-identical to baseline: {same}")
+    drift = abs(energies[(16, 'ZFP-OPT r16')] - energies[(16, 'baseline')])
+    print(f"ZFP-OPT(16) energy drift: {drift:.3e} "
+          f"(tolerable; rate 4 would break the run — see the paper)")
+
+
+if __name__ == "__main__":
+    main()

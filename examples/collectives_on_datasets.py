@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Collectives over real-dataset payloads (paper Fig 11).
+
+Broadcasts each Table III dataset across an 8-node x 2-GPU
+Frontera-style cluster and prints the latency per compression scheme.
+MPC's gain tracks each dataset's compressibility (its star is
+msg_sppm); fixed-rate ZFP gains are dataset-independent.
+
+Run:  python examples/collectives_on_datasets.py
+"""
+
+from repro.core import CompressionConfig
+from repro.omb import osu_bcast
+from repro.utils import format_table
+from repro.utils.units import MiB
+
+DATASETS = ["msg_bt", "msg_sppm", "msg_sweep3d", "num_plasma"]
+CONFIGS = [
+    ("baseline", None),
+    ("MPC-OPT", CompressionConfig.mpc_opt()),
+    ("ZFP-OPT r8", CompressionConfig.zfp_opt(8)),
+    ("ZFP-OPT r4", CompressionConfig.zfp_opt(4)),
+]
+
+
+def main():
+    rows = []
+    for ds in DATASETS:
+        row = [ds]
+        base = None
+        for label, cfg in CONFIGS:
+            r = osu_bcast(machine="frontera-liquid", nodes=8, ppn=2,
+                          nbytes=4 * MiB, payload=f"dataset:{ds}", config=cfg)
+            if base is None:
+                base = r.latency
+            row.append(r.latency_us)
+        row.append(100 * (1 - row[2] / row[1]))  # MPC gain %
+        rows.append(row)
+
+    print(format_table(
+        ["dataset", "baseline us", "MPC-OPT us", "ZFP8 us", "ZFP4 us",
+         "MPC gain %"],
+        rows,
+        title="MPI_Bcast of 4 MiB dataset payloads (8 nodes x 2 GPUs, IB FDR)",
+    ))
+    print("\nNote msg_sppm (ratio ~8) vs msg_bt (ratio ~1.3): the lossless "
+          "scheme's win is the data's compressibility; ZFP's is fixed.")
+
+
+if __name__ == "__main__":
+    main()

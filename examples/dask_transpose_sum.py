@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Dask-style distributed transpose-sum with compression (paper Fig 14).
+
+The paper's data-science workload: a chunked 2-D array distributed
+across GPU workers computes ``y = x + x.T``, forcing mirror chunks to
+cross the network.  ZFP-OPT compresses those transfers.
+
+Run:  python examples/dask_transpose_sum.py
+"""
+
+from repro.apps.dasklite import transpose_sum_benchmark
+from repro.core import CompressionConfig
+from repro.utils import format_table
+
+
+def main():
+    configs = [
+        ("baseline", None),
+        ("ZFP-OPT r16", CompressionConfig.zfp_opt(16)),
+        ("ZFP-OPT r8", CompressionConfig.zfp_opt(8)),
+    ]
+    rows = []
+    for workers in (2, 4, 8):
+        base_time = None
+        for label, cfg in configs:
+            r = transpose_sum_benchmark(
+                n_workers=workers, dims=4096, chunk=1024,
+                machine="ri2", config=cfg,
+            )
+            if base_time is None:
+                base_time = r.execution_time
+            rows.append([
+                workers, label,
+                r.execution_time * 1e3,
+                r.aggregate_throughput / 1e9,
+                base_time / r.execution_time,
+                r.bytes_on_wire / 1e6,
+            ])
+
+    print(format_table(
+        ["workers", "config", "exec ms", "agg GB/s", "speedup", "wire MB"],
+        rows,
+        title="cuPy-style x + x.T across Dask-like workers (RI2: V100, IB EDR)",
+    ))
+    print("\nPaper reference: 1.18x average speedup, up to 1.56x aggregate "
+          "throughput with ZFP-OPT(rate:8) at 8 workers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro — On-the-fly GPU message compression for MPI libraries.
+
+A full reproduction of *"Designing High-Performance MPI Libraries with
+On-the-fly Compression for Modern GPU Clusters"* (Q. Zhou et al.,
+IPDPS 2021) as a pure-Python library.
+
+The package is organised as a stack of substrates with the paper's
+contribution at the top:
+
+``repro.sim``
+    Deterministic discrete-event simulation engine (processes, events,
+    resources) — the clock everything else runs on.
+``repro.gpu``
+    Simulated GPU devices: SM occupancy, CUDA streams, device buffers,
+    calibrated cost models for cudaMalloc / cudaMemcpy / GDRCopy /
+    driver attribute queries, and pre-allocated buffer pools.
+``repro.network``
+    Interconnect models (InfiniBand EDR/FDR/HDR, NVLink, PCIe, X-Bus)
+    and cluster topologies with routing and link contention.
+``repro.mpi``
+    A GPU-aware MPI runtime on top of the simulator: communicators,
+    eager/rendezvous protocols with RTS/CTS handshakes, requests, and
+    collectives.
+``repro.compression``
+    Real, bit-exact compressor implementations — MPC (lossless), ZFP
+    (fixed-rate lossy), FPC-style delta codec — plus GPU kernel
+    throughput models calibrated to the paper's Table III.
+``repro.core``
+    The paper's contribution: the on-the-fly message compression
+    framework (header piggybacking on RTS), the naive integration, and
+    the optimized MPC-OPT / ZFP-OPT schemes.
+``repro.datasets``
+    Synthetic generators for the eight HPC datasets of Table III.
+``repro.apps``
+    AWP-ODC-like wave-propagation mini-app and a Dask-like chunked
+    array framework used for the application-level evaluation.
+``repro.omb``
+    OSU-Micro-Benchmark-style latency/bandwidth/collective harnesses.
+``repro.analysis``
+    Result records and table formatting used by the benchmark suite.
+
+Quickstart::
+
+    from repro import quick_cluster
+    from repro.core import CompressionConfig
+    from repro.omb import osu_latency
+
+    cluster = quick_cluster("frontera-liquid", nodes=2, gpus_per_node=1)
+    cfg = CompressionConfig.zfp_opt(rate=8)
+    rows = osu_latency(cluster, sizes=[1 << 20, 8 << 20], config=cfg)
+"""
+
+from repro._version import __version__
+from repro.cluster import quick_cluster
+
+__all__ = ["__version__", "quick_cluster"]

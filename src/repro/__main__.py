@@ -1,0 +1,214 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``machines``              list the cluster presets
+``codecs``                list codecs and the Table I feature matrix
+``latency``               osu_latency sweep on a preset
+``bcast`` / ``allgather`` collective latency with dataset payloads
+``awp``                   AWP weak-scaling point
+``dask``                  the transpose-sum benchmark
+``table3``                dataset compression survey
+``profile``               INAM-style communication profile of a run
+
+Examples::
+
+    python -m repro latency --machine longhorn --config zfp8 --sizes 1M,8M
+    python -m repro bcast --dataset msg_sppm --config mpc-opt
+    python -m repro awp --gpus 16 --config zfp8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import CompressionConfig
+from repro.utils import fmt_bytes, format_table, parse_size
+
+_CONFIGS = {
+    "baseline": CompressionConfig.disabled,
+    "naive-mpc": CompressionConfig.naive_mpc,
+    "naive-zfp": CompressionConfig.naive_zfp,
+    "mpc-opt": CompressionConfig.mpc_opt,
+    "zfp16": lambda: CompressionConfig.zfp_opt(16),
+    "zfp8": lambda: CompressionConfig.zfp_opt(8),
+    "zfp4": lambda: CompressionConfig.zfp_opt(4),
+    "zfp8-pipe": lambda: CompressionConfig.zfp_opt(8).with_(pipeline=True, partitions=8),
+    "adaptive": lambda: CompressionConfig.mpc_opt().with_(adaptive=True),
+}
+
+
+def _config(name: str) -> CompressionConfig:
+    try:
+        return _CONFIGS[name]()
+    except KeyError:
+        raise SystemExit(f"unknown config {name!r}; choose from {sorted(_CONFIGS)}")
+
+
+def cmd_machines(args) -> None:
+    from repro.network.presets import MACHINES
+
+    rows = [[p.name, p.device.name, p.max_gpus_per_node,
+             p.intra_link.name, p.intra_link.bandwidth / 1e9,
+             p.inter_link.name, p.inter_link.bandwidth / 1e9]
+            for p in MACHINES.values()]
+    print(format_table(
+        ["machine", "gpu", "gpus/node", "intra", "GB/s", "inter", "GB/s"], rows))
+
+
+def cmd_codecs(args) -> None:
+    from repro.compression import feature_table
+
+    print(format_table(
+        ["design", "lossless", "lossy", "gpu", "single", "double",
+         "high-tp", "mpi", "implemented"],
+        feature_table(), title="Table I"))
+
+
+def cmd_latency(args) -> None:
+    from repro.omb import osu_latency
+
+    sizes = [parse_size(s) for s in args.sizes.split(",")]
+    rows = osu_latency(args.machine, sizes=sizes, config=_config(args.config),
+                       payload=args.payload, inter_node=not args.intra)
+    print(format_table(
+        ["size", "latency_us"],
+        [[fmt_bytes(r.nbytes), r.latency_us] for r in rows],
+        title=f"osu_latency on {args.machine} [{args.config}]"))
+
+
+def cmd_collective(args, op: str) -> None:
+    from repro.omb import osu_allgather, osu_bcast
+
+    fn = osu_bcast if op == "bcast" else osu_allgather
+    r = fn(machine=args.machine, nodes=args.nodes, ppn=args.ppn,
+           nbytes=parse_size(args.size), payload=f"dataset:{args.dataset}",
+           config=_config(args.config))
+    print(f"{op} {args.dataset} {args.size} on {args.nodes}x{args.ppn} "
+          f"[{args.config}]: {r.latency_us:.1f} us")
+
+
+def cmd_awp(args) -> None:
+    from repro.apps.awp import run_awp
+
+    r = run_awp(machine=args.machine, gpus=args.gpus, gpus_per_node=args.ppn,
+                local_shape=(64, 64, 256), steps=args.steps,
+                config=_config(args.config), surrogate=args.gpus > 16)
+    print(f"AWP {args.gpus} GPUs [{args.config}]: {r.gflops:.1f} GFLOP/s, "
+          f"{r.time_per_step * 1e3:.2f} ms/step, comm {r.comm_fraction:.0%}")
+
+
+def cmd_dask(args) -> None:
+    from repro.apps.dasklite import transpose_sum_benchmark
+
+    r = transpose_sum_benchmark(n_workers=args.workers, dims=args.dims,
+                                chunk=args.chunk, config=_config(args.config))
+    print(f"Dask x+x.T {args.workers} workers [{args.config}]: "
+          f"{r.execution_time * 1e3:.2f} ms, "
+          f"{r.aggregate_throughput / 1e9:.1f} GB/s aggregate")
+
+
+def cmd_table3(args) -> None:
+    import numpy as np
+
+    from repro.compression import MpcCompressor, ZfpCompressor
+    from repro.datasets import dataset_names, generate
+    from repro.datasets.catalog import get_spec
+
+    rows = []
+    for name in dataset_names():
+        data = generate(name, scale=args.scale, seed=1)
+        dim = MpcCompressor.best_dimensionality(data, range(1, 5))
+        rows.append([
+            name, 100 * len(np.unique(data)) / data.size,
+            MpcCompressor(dim).compress(data).ratio, get_spec(name).cr_mpc,
+            ZfpCompressor(16).compress(data).ratio,
+        ])
+    print(format_table(
+        ["dataset", "unique%", "CR-MPC", "paper", "CR-ZFP16"], rows))
+
+
+def cmd_profile(args) -> None:
+    import numpy as np
+
+    from repro.analysis import CommProfile
+    from repro.mpi.cluster import Cluster
+    from repro.network.presets import machine_preset
+
+    cluster = Cluster(machine_preset(args.machine), nodes=args.nodes,
+                      gpus_per_node=args.ppn)
+    data = np.cumsum(np.ones(parse_size(args.size) // 4, dtype=np.float32))
+
+    def rank_fn(comm):
+        out = yield from comm.allgather(data)
+        return len(out)
+
+    res = cluster.run(rank_fn, config=_config(args.config))
+    print(CommProfile.from_result(res).report())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines")
+    sub.add_parser("codecs")
+
+    p = sub.add_parser("latency")
+    p.add_argument("--machine", default="longhorn")
+    p.add_argument("--config", default="baseline")
+    p.add_argument("--sizes", default="256K,1M,4M")
+    p.add_argument("--payload", default="omb")
+    p.add_argument("--intra", action="store_true")
+
+    for op in ("bcast", "allgather"):
+        p = sub.add_parser(op)
+        p.add_argument("--machine", default="frontera-liquid")
+        p.add_argument("--nodes", type=int, default=8)
+        p.add_argument("--ppn", type=int, default=2)
+        p.add_argument("--size", default="4M")
+        p.add_argument("--dataset", default="msg_sppm")
+        p.add_argument("--config", default="mpc-opt")
+
+    p = sub.add_parser("awp")
+    p.add_argument("--machine", default="frontera-liquid")
+    p.add_argument("--gpus", type=int, default=8)
+    p.add_argument("--ppn", type=int, default=4)
+    p.add_argument("--steps", type=int, default=3)
+    p.add_argument("--config", default="baseline")
+
+    p = sub.add_parser("dask")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--dims", type=int, default=4096)
+    p.add_argument("--chunk", type=int, default=1024)
+    p.add_argument("--config", default="zfp8")
+
+    p = sub.add_parser("table3")
+    p.add_argument("--scale", type=float, default=0.03)
+
+    p = sub.add_parser("profile")
+    p.add_argument("--machine", default="longhorn")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--ppn", type=int, default=2)
+    p.add_argument("--size", default="2M")
+    p.add_argument("--config", default="mpc-opt")
+
+    args = parser.parse_args(argv)
+    {
+        "machines": cmd_machines,
+        "codecs": cmd_codecs,
+        "latency": cmd_latency,
+        "bcast": lambda a: cmd_collective(a, "bcast"),
+        "allgather": lambda a: cmd_collective(a, "allgather"),
+        "awp": cmd_awp,
+        "dask": cmd_dask,
+        "table3": cmd_table3,
+        "profile": cmd_profile,
+    }[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

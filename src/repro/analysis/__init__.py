@@ -1,0 +1,12 @@
+"""Experiment records, reporting helpers and INAM-style profiling."""
+
+from repro.analysis.profile import CommProfile, LinkStats
+from repro.analysis.report import ExperimentRecord, comparison_table, reduction_pct
+
+__all__ = [
+    "ExperimentRecord",
+    "comparison_table",
+    "reduction_pct",
+    "CommProfile",
+    "LinkStats",
+]

@@ -1,0 +1,104 @@
+"""INAM-style communication profiling.
+
+The paper's future work leans on "a real-time monitor like OSU INAM"
+to drive adaptive decisions.  :class:`CommProfile` distils a run's
+tracer into the quantities such a monitor exposes: per-category time,
+per-link busy fraction and moved bytes, and a message-size histogram —
+and renders them as a report.
+
+Usage::
+
+    res = cluster.run(rank_fn, config=cfg)
+    profile = CommProfile.from_result(res)
+    print(profile.report())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.tables import format_table
+from repro.utils.units import fmt_bytes, fmt_time
+
+__all__ = ["CommProfile", "LinkStats"]
+
+
+@dataclass
+class LinkStats:
+    """Aggregated activity of one link."""
+
+    label: str
+    busy_time: float = 0.0
+    bytes_moved: int = 0
+    transfers: int = 0
+
+    def utilization(self, elapsed: float) -> float:
+        return self.busy_time / elapsed if elapsed else 0.0
+
+
+@dataclass
+class CommProfile:
+    """A digested view of one simulation run."""
+
+    elapsed: float
+    category_time: dict = field(default_factory=dict)
+    links: dict = field(default_factory=dict)
+    size_histogram: dict = field(default_factory=dict)  # log2 bucket -> count
+    total_wire_bytes: int = 0
+    n_messages: int = 0
+
+    @classmethod
+    def from_result(cls, result) -> "CommProfile":
+        """Build from a :class:`~repro.mpi.cluster.ClusterResult`."""
+        prof = cls(elapsed=result.elapsed)
+        for rec in result.tracer.records:
+            prof.category_time[rec.category] = (
+                prof.category_time.get(rec.category, 0.0) + rec.duration
+            )
+            if rec.category == "network":
+                link = rec.meta.get("link", rec.label)
+                st = prof.links.setdefault(link, LinkStats(link))
+                nbytes = int(rec.meta.get("nbytes", 0))
+                st.busy_time += rec.duration
+                st.bytes_moved += nbytes
+                st.transfers += 1
+                prof.total_wire_bytes += nbytes
+                prof.n_messages += 1
+                bucket = max(0, (max(nbytes, 1) - 1).bit_length())
+                prof.size_histogram[bucket] = prof.size_histogram.get(bucket, 0) + 1
+        return prof
+
+    @property
+    def busiest_link(self) -> LinkStats | None:
+        if not self.links:
+            return None
+        return max(self.links.values(), key=lambda s: s.busy_time)
+
+    def report(self) -> str:
+        """Human-readable multi-section report."""
+        sections = [f"run elapsed: {fmt_time(self.elapsed)}; "
+                    f"{self.n_messages} wire transfers, "
+                    f"{fmt_bytes(self.total_wire_bytes) if self.total_wire_bytes else '0'} moved"]
+        if self.category_time:
+            rows = sorted(
+                ([cat, t * 1e6, 100 * t / max(1e-30, sum(self.category_time.values()))]
+                 for cat, t in self.category_time.items()),
+                key=lambda r: -r[1],
+            )
+            sections.append(format_table(
+                ["category", "time_us", "share %"], rows, title="time by category"))
+        if self.links:
+            rows = sorted(
+                ([s.label, s.transfers, s.bytes_moved / 1e6,
+                  100 * s.utilization(self.elapsed)]
+                 for s in self.links.values()),
+                key=lambda r: -r[3],
+            )
+            sections.append(format_table(
+                ["link", "transfers", "MB", "utilization %"], rows,
+                title="link activity"))
+        if self.size_histogram:
+            rows = [[f"<=2^{b}", n] for b, n in sorted(self.size_histogram.items())]
+            sections.append(format_table(
+                ["message size", "count"], rows, title="wire-size histogram"))
+        return "\n\n".join(sections)

@@ -1,0 +1,52 @@
+"""Paper-vs-measured record keeping.
+
+Every benchmark emits :class:`ExperimentRecord` rows; the EXPERIMENTS.md
+comparison tables are produced from the same structures the benches
+print, keeping the document and the code in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.utils.tables import format_table
+
+__all__ = ["ExperimentRecord", "comparison_table", "reduction_pct"]
+
+
+def reduction_pct(baseline: float, value: float) -> float:
+    """Percent latency reduction vs. baseline (positive = faster)."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (1.0 - value / baseline)
+
+
+@dataclass
+class ExperimentRecord:
+    """One measured point with its paper counterpart (when stated)."""
+
+    experiment: str          # "fig9a", "table3", ...
+    setting: str             # "32M / MPC-OPT", "msg_sppm", ...
+    metric: str              # "latency_us", "CR", "GFLOP/s", ...
+    measured: float
+    paper: Optional[float] = None
+    note: str = ""
+
+    def row(self) -> list:
+        return [
+            self.experiment, self.setting, self.metric,
+            self.measured,
+            "-" if self.paper is None else self.paper,
+            self.note,
+        ]
+
+
+def comparison_table(records: list[ExperimentRecord], title: str = "") -> str:
+    """Render records as the paper-vs-measured table the benches print."""
+    return format_table(
+        ["experiment", "setting", "metric", "measured", "paper", "note"],
+        [r.row() for r in records],
+        floatfmt=".3f",
+        title=title,
+    )

@@ -1,0 +1,12 @@
+"""Application-level workloads from the paper's Section VII.
+
+* :mod:`repro.apps.awp` — an AWP-ODC-like 3-D wave-propagation
+  mini-app: leapfrog finite differences with per-step halo exchange
+  over the simulated MPI, weak-scaling harness, and the paper's "GPU
+  computing flops" metric.
+* :mod:`repro.apps.dasklite` — a Dask-like chunked distributed array
+  whose workers exchange chunks over the simulated MPI; implements the
+  paper's ``y = x + x.T`` benchmark.
+"""
+
+__all__ = ["awp", "dasklite"]

@@ -1,0 +1,62 @@
+"""2-D process grid and domain decomposition for the AWP mini-app.
+
+AWP-ODC decomposes its mesh over a 2-D process grid in X-Y (the Z
+dimension stays local), so each rank has at most four lateral
+neighbours.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["ProcessGrid"]
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A px x py process grid with row-major rank placement."""
+
+    px: int
+    py: int
+
+    def __post_init__(self):
+        if self.px < 1 or self.py < 1:
+            raise ConfigError(f"invalid process grid {self.px}x{self.py}")
+
+    @classmethod
+    def for_size(cls, nprocs: int) -> "ProcessGrid":
+        """Most-square factorization of ``nprocs`` (MPI_Dims_create)."""
+        if nprocs < 1:
+            raise ConfigError(f"nprocs must be >= 1, got {nprocs}")
+        px = int(math.isqrt(nprocs))
+        while nprocs % px:
+            px -= 1
+        return cls(px, nprocs // px)
+
+    @property
+    def size(self) -> int:
+        return self.px * self.py
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        if not (0 <= rank < self.size):
+            raise ConfigError(f"rank {rank} out of grid of size {self.size}")
+        return rank % self.px, rank // self.px
+
+    def rank_of(self, ix: int, iy: int) -> int:
+        return iy * self.px + ix
+
+    def neighbors(self, rank: int) -> dict[str, Optional[int]]:
+        """Lateral neighbours: keys ``-x``, ``+x``, ``-y``, ``+y``;
+        ``None`` at the domain boundary (no wraparound — AWP's domain
+        is not periodic)."""
+        ix, iy = self.coords(rank)
+        return {
+            "-x": self.rank_of(ix - 1, iy) if ix > 0 else None,
+            "+x": self.rank_of(ix + 1, iy) if ix < self.px - 1 else None,
+            "-y": self.rank_of(ix, iy - 1) if iy > 0 else None,
+            "+y": self.rank_of(ix, iy + 1) if iy < self.py - 1 else None,
+        }

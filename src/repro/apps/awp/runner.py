@@ -1,0 +1,174 @@
+"""AWP weak-scaling harness (Figures 2b, 12 and 13).
+
+Each simulated step: exchange the four lateral halos (nonblocking,
+device buffers straight into MPI as the paper's modified AWP-ODC
+does), inject the source, then run the stencil — real numpy for the
+field values plus a memory-bandwidth-bound GPU kernel charge for the
+time.
+
+The paper's metric "GPU computing flops" is the aggregate achieved
+rate: ``n_ranks * flops_per_step * steps / elapsed``; compression
+shrinks the communication share of ``elapsed`` and the metric rises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.awp.grid import ProcessGrid
+from repro.apps.awp.solver import BYTES_PER_POINT, WaveSolver
+from repro.core.config import CompressionConfig
+from repro.errors import ConfigError
+from repro.mpi.cluster import Cluster
+from repro.mpi.request import waitall
+from repro.network.presets import machine_preset
+
+__all__ = ["AwpResult", "run_awp", "weak_scaling"]
+
+_DIR_TAGS = {"-x": 11, "+x": 12, "-y": 13, "+y": 14}
+_OPPOSITE = {"-x": "+x", "+x": "-x", "-y": "+y", "+y": "-y"}
+
+
+@dataclass
+class AwpResult:
+    """Aggregated outcome of one AWP run."""
+
+    n_ranks: int
+    steps: int
+    elapsed: float                 # simulated seconds
+    time_per_step: float
+    comm_time_per_step: float      # mean across ranks
+    compute_time_per_step: float
+    gflops: float                  # aggregate achieved GFLOP/s
+    energy: float                  # solution diagnostic (accuracy checks)
+    config_label: str
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_time_per_step / self.time_per_step if self.time_per_step else 0.0
+
+
+def _awp_rank(comm, grid: ProcessGrid, local_shape, steps: int, seed_fields: bool,
+              surrogate: bool = False):
+    if surrogate:
+        from repro.apps.awp.surrogate import SurrogateSolver
+
+        solver = SurrogateSolver(local_shape, comm.rank, grid)
+        seed_fields = False
+    else:
+        solver = WaveSolver(local_shape, comm.rank, grid)
+    if seed_fields:
+        # Mid-simulation-like smooth field instead of the cold start,
+        # so halo payloads are immediately wave-like.
+        rng = np.random.default_rng(1234 + comm.rank)
+        k = rng.uniform(0.05, 0.15, size=3)
+        nx, ny, nz = solver.u.shape
+        gx, gy = grid.coords(comm.rank)
+        x = np.arange(nx)[:, None, None] + gx * local_shape[0]
+        y = np.arange(ny)[None, :, None] + gy * local_shape[1]
+        z = np.arange(nz)[None, None, :]
+        wave = 0.1 * np.sin(k[0] * x + k[1] * y + k[2] * z)
+        solver.u += wave.astype(solver.dtype)
+        solver.u_prev += wave.astype(solver.dtype)
+    nbrs = {d: nb for d, nb in grid.neighbors(comm.rank).items() if nb is not None}
+    dev = comm.device()
+    spec = dev.spec
+    compute_duration = solver.interior_points * BYTES_PER_POINT / spec.mem_bandwidth
+
+    yield from comm.barrier()
+    t_start = comm.now
+    comm_time = 0.0
+    for _ in range(steps):
+        t0 = comm.now
+        sends = []
+        recvs = {}
+        for d, nb in nbrs.items():
+            sends.append(comm.isend(solver.face_to_send(d), nb, tag=_DIR_TAGS[d]))
+            recvs[d] = comm.irecv(nb, tag=_DIR_TAGS[_OPPOSITE[d]])
+        for d, req in recvs.items():
+            payload = yield from req.wait()
+            solver.apply_received(d, payload)
+        yield from waitall(sends)
+        solver.apply_physical_boundaries(nbrs)
+        comm_time += comm.now - t0
+
+        solver.inject_source()
+        yield from dev.run_kernel(
+            compute_duration, spec.sm_count, "app_compute", "awp_stencil"
+        )
+        solver.step_compute()
+    elapsed = comm.now - t_start
+    return {
+        "elapsed": elapsed,
+        "comm_time": comm_time,
+        "flops": solver.flops_per_step * steps,
+        "energy": solver.energy(),
+    }
+
+
+def run_awp(
+    machine: str = "frontera-liquid",
+    gpus: int = 4,
+    gpus_per_node: int = 4,
+    local_shape: tuple[int, int, int] = (32, 32, 128),
+    steps: int = 4,
+    config: Optional[CompressionConfig] = None,
+    seed_fields: bool = True,
+    surrogate: bool = False,
+) -> AwpResult:
+    """Run the mini-app once and aggregate the paper's metrics.
+
+    Weak scaling: ``local_shape`` is per-GPU, so the global mesh grows
+    with ``gpus``.  ``surrogate=True`` swaps the full-field solver for
+    the faces-only :class:`~repro.apps.awp.surrogate.SurrogateSolver`
+    (needed for the 128-512 GPU Lassen sweeps).
+    """
+    if gpus % gpus_per_node:
+        raise ConfigError(f"{gpus} GPUs not divisible by {gpus_per_node}/node")
+    config = config or CompressionConfig.disabled()
+    preset = machine_preset(machine)
+    cluster = Cluster(preset, nodes=gpus // gpus_per_node, gpus_per_node=gpus_per_node)
+    grid = ProcessGrid.for_size(gpus)
+    res = cluster.run(
+        _awp_rank, config=config,
+        args=(grid, local_shape, steps, seed_fields, surrogate),
+    )
+    elapsed = max(v["elapsed"] for v in res.values)
+    total_flops = sum(v["flops"] for v in res.values)
+    mean_comm = sum(v["comm_time"] for v in res.values) / gpus
+    tps = elapsed / steps
+    return AwpResult(
+        n_ranks=gpus,
+        steps=steps,
+        elapsed=elapsed,
+        time_per_step=tps,
+        comm_time_per_step=mean_comm / steps,
+        compute_time_per_step=tps - mean_comm / steps,
+        gflops=total_flops / elapsed / 1e9 if elapsed else 0.0,
+        energy=float(np.mean([v["energy"] for v in res.values])),
+        config_label=config.label,
+    )
+
+
+def weak_scaling(
+    machine: str,
+    gpu_counts,
+    gpus_per_node: int,
+    configs,
+    local_shape: tuple[int, int, int] = (32, 32, 128),
+    steps: int = 4,
+    surrogate: bool = False,
+) -> list[AwpResult]:
+    """Sweep GPU counts x configs (Figures 12/13); returns flat results
+    ordered by (gpus, config)."""
+    out = []
+    for gpus in gpu_counts:
+        for cfg in configs:
+            out.append(
+                run_awp(machine, gpus, gpus_per_node, local_shape, steps, cfg,
+                        surrogate=surrogate)
+            )
+    return out

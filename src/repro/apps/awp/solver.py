@@ -1,0 +1,196 @@
+"""Local wave-propagation solver (the per-GPU computation).
+
+A 4th-order-in-space, 2nd-order-in-time leapfrog discretization of the
+scalar wave equation — the same stencil+halo structure as AWP-ODC's
+velocity-stress kernels, small enough to run in real numpy on every
+simulated rank so the halo payloads fed to the compression framework
+are genuine wave-field data.
+
+The field carries a 2-cell halo on every axis; X/Y halos are exchanged
+with neighbours, Z halos are local (zero-Dirichlet), matching AWP's
+2-D decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.awp.grid import ProcessGrid
+from repro.errors import ConfigError
+
+__all__ = ["WaveSolver", "stencil_flops_per_point", "HALO"]
+
+#: halo width required by the 4th-order Laplacian
+HALO = 2
+
+#: floating-point operations per updated grid point (3 axes x 5-point
+#: weighted sums + leapfrog combine)
+_FLOPS_PER_POINT = 33.0
+
+#: DRAM traffic per point per step for the GPU cost model.  AWP-ODC
+#: updates ~9 coupled fields (3 velocities + 6 stresses, plus
+#: attenuation memory variables) across several kernels; ~180 bytes of
+#: traffic per mesh point per time step reproduces its published
+#: compute/communication balance (paper Fig 2b).  Our mini-app's
+#: single-field numpy stencil supplies the *data*; this constant
+#: supplies the *time* of the full production kernel pipeline.
+BYTES_PER_POINT = 180.0
+
+
+def stencil_flops_per_point() -> float:
+    """Flops one leapfrog update spends per interior grid point."""
+    return _FLOPS_PER_POINT
+
+
+def _lap4(u: np.ndarray) -> np.ndarray:
+    """4th-order Laplacian of the interior of a halo-padded field."""
+    c = u[2:-2, 2:-2, 2:-2]
+    out = -7.5 * c  # 3 axes x (-2.5)
+    for ax in range(3):
+        s_m2 = tuple(slice(0, -4) if a == ax else slice(2, -2) for a in range(3))
+        s_m1 = tuple(slice(1, -3) if a == ax else slice(2, -2) for a in range(3))
+        s_p1 = tuple(slice(3, -1) if a == ax else slice(2, -2) for a in range(3))
+        s_p2 = tuple(slice(4, None) if a == ax else slice(2, -2) for a in range(3))
+        out = out + (4.0 / 3.0) * (u[s_m1] + u[s_p1])
+        out = out - (1.0 / 12.0) * (u[s_m2] + u[s_p2])
+    return out
+
+
+class WaveSolver:
+    """Per-rank leapfrog integrator with exchangeable X/Y halos."""
+
+    def __init__(
+        self,
+        local_shape: tuple[int, int, int],
+        rank: int,
+        grid: ProcessGrid,
+        dt: float = 0.35,
+        c: float = 1.0,
+        dtype=np.float32,
+        source_amplitude: float = 1.0,
+    ):
+        nx, ny, nz = local_shape
+        if min(nx, ny, nz) < HALO * 2:
+            raise ConfigError(f"local shape {local_shape} too small for halo {HALO}")
+        if dt * c > 0.5:  # comfortably under the 3-D CFL bound
+            raise ConfigError(f"unstable dt*c = {dt * c}")
+        self.local_shape = (nx, ny, nz)
+        self.rank = rank
+        self.grid = grid
+        self.dt = dt
+        self.c = c
+        self.dtype = np.dtype(dtype)
+        self.source_amplitude = source_amplitude
+        padded = (nx + 2 * HALO, ny + 2 * HALO, nz + 2 * HALO)
+        self.u = np.zeros(padded, dtype=self.dtype)
+        self.u_prev = np.zeros(padded, dtype=self.dtype)
+        self.time_step = 0
+        # The moment source sits at the global domain centre; only the
+        # owning rank injects it.
+        cx, cy = grid.coords(rank)
+        self._has_source = (cx == grid.px // 2) and (cy == grid.py // 2)
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def interior_points(self) -> int:
+        nx, ny, nz = self.local_shape
+        return nx * ny * nz
+
+    @property
+    def flops_per_step(self) -> float:
+        return self.interior_points * _FLOPS_PER_POINT
+
+    def face_nbytes(self, direction: str) -> int:
+        nx, ny, nz = self.local_shape
+        if direction in ("-x", "+x"):
+            return HALO * ny * nz * self.dtype.itemsize
+        return HALO * nx * nz * self.dtype.itemsize
+
+    # -- halo exchange payloads --------------------------------------------------
+    def face_to_send(self, direction: str) -> np.ndarray:
+        """Boundary strip (owned cells) to ship toward ``direction``,
+        flattened and contiguous (a CUDA-aware MPI device buffer)."""
+        h = HALO
+        if direction == "-x":
+            block = self.u[h:2 * h, h:-h, h:-h]
+        elif direction == "+x":
+            block = self.u[-2 * h:-h, h:-h, h:-h]
+        elif direction == "-y":
+            block = self.u[h:-h, h:2 * h, h:-h]
+        elif direction == "+y":
+            block = self.u[h:-h, -2 * h:-h, h:-h]
+        else:
+            raise ConfigError(f"bad direction {direction!r}")
+        return np.ascontiguousarray(block).reshape(-1)
+
+    def apply_received(self, direction: str, payload: np.ndarray) -> None:
+        """Install a neighbour's strip into our halo on side
+        ``direction``."""
+        if direction not in ("-x", "+x", "-y", "+y"):
+            raise ConfigError(f"bad direction {direction!r}")
+        h = HALO
+        nx, ny, nz = self.local_shape
+        if direction in ("-x", "+x"):
+            shape = (h, ny, nz)
+        else:
+            shape = (nx, h, nz)
+        block = np.asarray(payload, dtype=self.dtype).reshape(shape)
+        if direction == "-x":
+            self.u[0:h, h:-h, h:-h] = block
+        elif direction == "+x":
+            self.u[-h:, h:-h, h:-h] = block
+        elif direction == "-y":
+            self.u[h:-h, 0:h, h:-h] = block
+        elif direction == "+y":
+            self.u[h:-h, -h:, h:-h] = block
+        else:
+            raise ConfigError(f"bad direction {direction!r}")
+
+    def apply_physical_boundaries(self, neighbors: dict) -> None:
+        """Zero-Dirichlet on domain edges (sides with no neighbour) and
+        always on Z."""
+        h = HALO
+        if neighbors.get("-x") is None:
+            self.u[0:h] = 0.0
+        if neighbors.get("+x") is None:
+            self.u[-h:] = 0.0
+        if neighbors.get("-y") is None:
+            self.u[:, 0:h] = 0.0
+        if neighbors.get("+y") is None:
+            self.u[:, -h:] = 0.0
+        self.u[:, :, 0:h] = 0.0
+        self.u[:, :, -h:] = 0.0
+
+    # -- dynamics -------------------------------------------------------------
+    def inject_source(self) -> None:
+        """Ricker-style pulse at the global centre for the first steps."""
+        if not self._has_source or self.time_step > 20:
+            return
+        t = self.time_step * self.dt
+        t0, f0 = 3.0, 0.45
+        arg = (np.pi * f0 * (t - t0)) ** 2
+        amp = self.source_amplitude * (1 - 2 * arg) * np.exp(-arg)
+        nx, ny, nz = self.local_shape
+        self.u[HALO + nx // 2, HALO + ny // 2, HALO + nz // 2] += self.dtype.type(amp)
+
+    def step_compute(self) -> None:
+        """One leapfrog update of the interior (real numpy)."""
+        lap = _lap4(self.u)
+        coeff = self.dtype.type((self.c * self.dt) ** 2)
+        interior = (slice(HALO, -HALO),) * 3
+        u_new = 2.0 * self.u[interior] - self.u_prev[interior] + coeff * lap
+        self.u_prev, self.u = self.u, self.u_prev
+        self.u[interior] = u_new.astype(self.dtype, copy=False)
+        self.time_step += 1
+
+    # -- diagnostics ------------------------------------------------------------
+    def energy(self) -> float:
+        """Sum of squares of the interior — a cheap conserved-ish
+        diagnostic for accuracy comparisons."""
+        interior = (slice(HALO, -HALO),) * 3
+        return float(np.sum(self.u[interior].astype(np.float64) ** 2))
+
+    def interior(self) -> np.ndarray:
+        return self.u[(slice(HALO, -HALO),) * 3]

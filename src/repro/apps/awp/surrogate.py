@@ -1,0 +1,87 @@
+"""Memory-light surrogate for large-scale AWP runs.
+
+The real :class:`~repro.apps.awp.solver.WaveSolver` keeps a full 3-D
+field per rank — fine up to ~64 ranks, but the paper's Figure 13 runs
+512 GPUs, which would need gigabytes of host RAM just to hold the
+fields.  For those scales the :class:`SurrogateSolver` keeps *only the
+halo faces*, synthesizing them each step as smoothly-evolving wave-like
+data whose MPC compressibility matches what the real solver's faces
+exhibit (ratio ~1.5-3 mid-simulation; near-constant at startup, where
+the paper observed MPC ratios up to 31).
+
+The communication pattern, message sizes, tags and the GPU compute
+charge are identical to the real solver; only the field state (which
+the network never sees beyond its faces) is elided.  DESIGN.md records
+this as a documented substitution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.awp.grid import ProcessGrid
+from repro.apps.awp.solver import HALO, _FLOPS_PER_POINT
+from repro.datasets.synthetic import bitwalk
+
+__all__ = ["SurrogateSolver"]
+
+
+class SurrogateSolver:
+    """Duck-type of :class:`WaveSolver` holding faces only."""
+
+    def __init__(self, local_shape, rank: int, grid: ProcessGrid, dtype=np.float32,
+                 step_bits: int = 8):
+        self.local_shape = tuple(local_shape)
+        self.rank = rank
+        self.grid = grid
+        self.dtype = np.dtype(dtype)
+        self.time_step = 0
+        self._rng = np.random.default_rng(97 + rank)
+        self._step_bits = step_bits
+        self._faces: dict[str, np.ndarray] = {}
+
+    @property
+    def interior_points(self) -> int:
+        nx, ny, nz = self.local_shape
+        return nx * ny * nz
+
+    @property
+    def flops_per_step(self) -> float:
+        return self.interior_points * _FLOPS_PER_POINT
+
+    def _face_elems(self, direction: str) -> int:
+        nx, ny, nz = self.local_shape
+        return HALO * (ny if direction in ("-x", "+x") else nx) * nz
+
+    def face_nbytes(self, direction: str) -> int:
+        return self._face_elems(direction) * self.dtype.itemsize
+
+    def face_to_send(self, direction: str) -> np.ndarray:
+        """A smooth wave-like strip; perturbed in place each step so
+        consecutive steps stay correlated like a real field."""
+        n = self._face_elems(direction)
+        face = self._faces.get(direction)
+        if face is None or face.size != n:
+            face = bitwalk(n, self._step_bits, self._rng)
+        else:
+            jitter = bitwalk(n, max(1, self._step_bits - 4), self._rng) - np.float32(1.0)
+            face = (face + 0.05 * jitter).astype(self.dtype)
+        self._faces[direction] = face
+        return face
+
+    # The surrogate has no field to update; these are no-op protocol
+    # compatibility points so the runner code is identical.
+    def apply_received(self, direction: str, payload: np.ndarray) -> None:
+        pass
+
+    def apply_physical_boundaries(self, neighbors: dict) -> None:
+        pass
+
+    def inject_source(self) -> None:
+        pass
+
+    def step_compute(self) -> None:
+        self.time_step += 1
+
+    def energy(self) -> float:
+        return 0.0

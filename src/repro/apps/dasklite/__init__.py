@@ -1,0 +1,22 @@
+"""Dask-like distributed chunked arrays over the simulated MPI.
+
+The paper's Section VII-B runs Dask with the MPI4Dask backend over
+MVAPICH2-GDR and benchmarks ``y = x + x.T; y.persist(); wait(y)`` on a
+cuPy array (10K x 10K, 1K chunks) spread across GPU workers.  Dask's
+value in that experiment is purely as a *chunk-shipping* layer — the
+gains come from compressing the large (8MB-1GB) worker-to-worker
+transfers — so this package implements exactly that layer:
+
+* :class:`~repro.apps.dasklite.array.DistArray` — a 2-D block-chunked
+  array with round-robin chunk placement across workers;
+* :mod:`~repro.apps.dasklite.ops` — distributed operations
+  (``transpose_sum`` — the paper's workload — plus elementwise add and
+  rechunk-free transpose) that exchange chunks via nonblocking MPI;
+* :func:`~repro.apps.dasklite.workload.transpose_sum_benchmark` — the
+  Figure 14 harness reporting execution time and aggregate throughput.
+"""
+
+from repro.apps.dasklite.array import ChunkGrid, DistArray
+from repro.apps.dasklite.workload import DaskResult, transpose_sum_benchmark
+
+__all__ = ["ChunkGrid", "DistArray", "DaskResult", "transpose_sum_benchmark"]

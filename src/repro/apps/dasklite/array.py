@@ -1,0 +1,105 @@
+"""Block-chunked distributed arrays.
+
+A :class:`DistArray` partitions a 2-D array into square-ish chunks laid
+out on a :class:`ChunkGrid`; each chunk lives on exactly one worker
+(round-robin over the flattened chunk index, Dask's default-ish
+placement for a freshly created array).  Every worker holds its own
+chunks in a local dict — there is no global array anywhere, matching
+Dask's execution model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["ChunkGrid", "DistArray"]
+
+
+@dataclass(frozen=True)
+class ChunkGrid:
+    """Chunking geometry for a (rows x cols) array with square chunks."""
+
+    rows: int
+    cols: int
+    chunk: int
+
+    def __post_init__(self):
+        if self.rows < 1 or self.cols < 1 or self.chunk < 1:
+            raise ConfigError(f"bad chunk grid: {self}")
+
+    @property
+    def n_chunk_rows(self) -> int:
+        return -(-self.rows // self.chunk)
+
+    @property
+    def n_chunk_cols(self) -> int:
+        return -(-self.cols // self.chunk)
+
+    @property
+    def n_chunks(self) -> int:
+        return self.n_chunk_rows * self.n_chunk_cols
+
+    def chunk_shape(self, i: int, j: int) -> tuple[int, int]:
+        r = min(self.chunk, self.rows - i * self.chunk)
+        c = min(self.chunk, self.cols - j * self.chunk)
+        if r <= 0 or c <= 0:
+            raise ConfigError(f"chunk ({i},{j}) outside grid")
+        return r, c
+
+    def flat_index(self, i: int, j: int) -> int:
+        return i * self.n_chunk_cols + j
+
+    def owner_of(self, i: int, j: int, n_workers: int) -> int:
+        """Round-robin placement over the flattened chunk index."""
+        return self.flat_index(i, j) % n_workers
+
+    def chunks_of(self, worker: int, n_workers: int):
+        """All (i, j) chunk coordinates owned by ``worker``."""
+        for i in range(self.n_chunk_rows):
+            for j in range(self.n_chunk_cols):
+                if self.owner_of(i, j, n_workers) == worker:
+                    yield i, j
+
+
+class DistArray:
+    """One worker's view of a distributed 2-D array."""
+
+    def __init__(self, grid: ChunkGrid, worker: int, n_workers: int,
+                 dtype=np.float32):
+        self.grid = grid
+        self.worker = worker
+        self.n_workers = n_workers
+        self.dtype = np.dtype(dtype)
+        self.chunks: dict[tuple[int, int], np.ndarray] = {}
+
+    @classmethod
+    def create_random(cls, grid: ChunkGrid, worker: int, n_workers: int,
+                      seed: int = 0, dtype=np.float32) -> "DistArray":
+        """Materialize this worker's chunks of a deterministic
+        pseudo-random array (cuPy-style ``random`` content, but smooth
+        enough along rows to be realistically compressible)."""
+        arr = cls(grid, worker, n_workers, dtype)
+        for i, j in grid.chunks_of(worker, n_workers):
+            rng = np.random.default_rng(seed * 1_000_003 + grid.flat_index(i, j))
+            shape = grid.chunk_shape(i, j)
+            base = rng.standard_normal(shape[0]).astype(arr.dtype)
+            ramp = np.cumsum(rng.standard_normal(shape).astype(arr.dtype) * 0.01, axis=1)
+            arr.chunks[(i, j)] = (base[:, None] + ramp).astype(arr.dtype)
+        return arr
+
+    def owned(self) -> list[tuple[int, int]]:
+        return sorted(self.chunks)
+
+    def nbytes_local(self) -> int:
+        return sum(c.nbytes for c in self.chunks.values())
+
+    def owner_of(self, i: int, j: int) -> int:
+        return self.grid.owner_of(i, j, self.n_workers)
+
+    def checksum(self) -> float:
+        """Deterministic aggregate over local chunks (test support)."""
+        return float(sum(np.sum(c.astype(np.float64)) for c in self.chunks.values()))

@@ -1,0 +1,99 @@
+"""The Figure 14 benchmark: sum of a cuPy array and its transpose.
+
+Paper setup: cuPy dims 10K x 10K, chunk size 1K, 1 GPU (worker) per
+RI2 node; "the benchmark then adds these distributed chunks to their
+transpose, forcing the GPU data to move over the network":
+
+    y = x + x.T; y = y.persist(); wait(y)
+
+Metrics:
+
+* **execution time** — wall (simulated) time of the persist/wait;
+* **aggregate throughput** — total bytes of array data the workers
+  collectively processed (both operands of every chunk add) divided by
+  execution time, the Dask-dashboard-style number Figure 14b reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.dasklite.array import ChunkGrid, DistArray
+from repro.apps.dasklite.ops import transpose_sum
+from repro.core.config import CompressionConfig
+from repro.mpi.cluster import Cluster
+from repro.network.presets import machine_preset
+
+__all__ = ["DaskResult", "transpose_sum_benchmark"]
+
+
+@dataclass
+class DaskResult:
+    """Outcome of one transpose-sum run."""
+
+    n_workers: int
+    dims: int
+    chunk: int
+    execution_time: float          # simulated seconds
+    aggregate_throughput: float    # bytes/s processed by all workers
+    bytes_on_wire: int             # array bytes that crossed the network
+    checksum: float                # correctness diagnostic
+    config_label: str
+
+
+def _worker(comm, grid: ChunkGrid, seed: int):
+    x = DistArray.create_random(grid, comm.rank, comm.size, seed=seed)
+    yield from comm.barrier()
+    t0 = comm.now
+    y = yield from transpose_sum(comm, x)
+    yield from comm.barrier()
+    elapsed = comm.now - t0
+    processed = 2 * x.nbytes_local() + y.nbytes_local()
+    remote = sum(
+        x.grid.chunk_shape(i, j)[0] * x.grid.chunk_shape(i, j)[1] * x.dtype.itemsize
+        for (i, j) in x.owned()
+        if x.owner_of(j, i) != x.worker
+    )
+    return {
+        "elapsed": elapsed,
+        "processed": processed,
+        "wire": remote,
+        "checksum": y.checksum(),
+    }
+
+
+def transpose_sum_benchmark(
+    n_workers: int = 4,
+    dims: int = 4096,
+    chunk: int = 512,
+    machine: str = "ri2",
+    config: Optional[CompressionConfig] = None,
+    seed: int = 0,
+) -> DaskResult:
+    """Run ``y = x + x.T`` on ``n_workers`` single-GPU nodes.
+
+    Defaults are a scaled-down version of the paper's 10K x 10K / 1K
+    configuration (same chunk-to-array proportions; scale up via
+    ``dims``/``chunk`` to match exactly).
+    """
+    config = config or CompressionConfig.disabled()
+    preset = machine_preset(machine)
+    cluster = Cluster(preset, nodes=n_workers, gpus_per_node=1)
+    grid = ChunkGrid(dims, dims, chunk)
+    res = cluster.run(_worker, config=config, args=(grid, seed))
+    elapsed = max(v["elapsed"] for v in res.values)
+    processed = sum(v["processed"] for v in res.values)
+    wire = sum(v["wire"] for v in res.values)
+    return DaskResult(
+        n_workers=n_workers,
+        dims=dims,
+        chunk=chunk,
+        execution_time=elapsed,
+        aggregate_throughput=processed / elapsed if elapsed else 0.0,
+        bytes_on_wire=wire,
+        checksum=float(sum(v["checksum"] for v in res.values)),
+        config_label=config.label,
+    )

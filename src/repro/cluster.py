@@ -1,0 +1,31 @@
+"""Top-level convenience for building simulated clusters.
+
+``quick_cluster`` wires together a named machine preset (Longhorn,
+Frontera-Liquid, Lassen, RI2, Sierra) into a ready-to-run
+:class:`repro.mpi.cluster.Cluster`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["quick_cluster"]
+
+
+def quick_cluster(machine: str = "longhorn", nodes: int = 2, gpus_per_node: int = 1):
+    """Build a :class:`repro.mpi.cluster.Cluster` from a machine preset.
+
+    Parameters
+    ----------
+    machine:
+        One of the presets in :mod:`repro.network.presets`
+        (``"longhorn"``, ``"frontera-liquid"``, ``"lassen"``, ``"ri2"``,
+        ``"sierra"``).
+    nodes:
+        Number of nodes to instantiate.
+    gpus_per_node:
+        GPUs per node (bounded by the preset's physical maximum).
+    """
+    from repro.mpi.cluster import Cluster
+    from repro.network.presets import machine_preset
+
+    preset = machine_preset(machine)
+    return Cluster(preset=preset, nodes=nodes, gpus_per_node=gpus_per_node)

@@ -1,0 +1,44 @@
+"""GPU compression algorithms (real implementations) and their models.
+
+The paper enhances two publicly available GPU compressors:
+
+* **MPC** (Yang et al., IEEE Cluster 2015) — lossless, floating-point.
+  Pipeline: last-*n*-th-value subtraction (the *dimensionality*
+  parameter), per-block bit transposition, and zero elimination.
+* **ZFP** (Lindstrom, TVCG 2014) — lossy, fixed-rate.  4-value blocks,
+  shared exponent, an integer lifting transform, negabinary
+  conversion, and bit-plane truncation at *rate* bits/value.
+
+Both are implemented here, bit-for-bit invertible (MPC) /
+error-bounded (ZFP), fully vectorized with numpy.  An FPC-style delta
+codec represents the CPU-based comparators of the paper's Table I, and
+a passthrough codec serves as the no-compression control.
+
+Compression *ratios* produced by this package are real measurements.
+GPU execution *time* is provided separately by
+:mod:`repro.compression.perfmodel`, calibrated to the paper's Table III
+throughputs, so the simulator can charge realistic kernel durations.
+"""
+
+from repro.compression.base import CompressedData, Compressor
+from repro.compression.mpc import MpcCompressor
+from repro.compression.zfp import ZfpCompressor
+from repro.compression.fpc import FpcCompressor
+from repro.compression.null import NullCompressor
+from repro.compression.registry import available, feature_table, get_compressor, register
+from repro.compression.perfmodel import KernelCostModel, kernel_cost_model_for
+
+__all__ = [
+    "CompressedData",
+    "Compressor",
+    "MpcCompressor",
+    "ZfpCompressor",
+    "FpcCompressor",
+    "NullCompressor",
+    "available",
+    "feature_table",
+    "get_compressor",
+    "register",
+    "KernelCostModel",
+    "kernel_cost_model_for",
+]

@@ -1,0 +1,137 @@
+"""Compressor interface and compressed-message container.
+
+Mirrors the paper's framework split: *control parameters* (the header
+field ``A`` — algorithm, dtype, element count, algorithm knobs) travel
+in the MPI header piggybacked on the RTS packet, while the *result
+metadata* (field ``B`` — compressed size, per-partition sizes) is
+produced by the kernel.  :class:`CompressedData` carries both alongside
+the payload so that a receiver can reconstruct the original array.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.errors import CompressionError
+
+__all__ = ["Compressor", "CompressedData"]
+
+
+@dataclass
+class CompressedData:
+    """A compressed message plus everything needed to restore it.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name of the compressor that produced the payload.
+    payload:
+        The compressed bytes as a contiguous ``uint8`` array.
+    n_elements:
+        Element count of the original array.
+    dtype:
+        Original numpy dtype (``float32``/``float64``).
+    params:
+        Algorithm control parameters (header field ``A``), e.g.
+        ``{"dimensionality": 2}`` for MPC or ``{"rate": 8}`` for ZFP.
+    meta:
+        Kernel-produced metadata (header field ``B``), e.g. the exact
+        compressed size; for partitioned MPC-OPT the per-partition
+        compressed sizes live here.
+    """
+
+    algorithm: str
+    payload: np.ndarray
+    n_elements: int
+    dtype: np.dtype
+    params: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.payload = np.ascontiguousarray(self.payload, dtype=np.uint8)
+        self.dtype = np.dtype(self.dtype)
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed size in bytes."""
+        return int(self.payload.nbytes)
+
+    @property
+    def original_nbytes(self) -> int:
+        return int(self.n_elements * self.dtype.itemsize)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (original / compressed); > 1 is a win."""
+        if self.nbytes == 0:
+            return float("inf")
+        return self.original_nbytes / self.nbytes
+
+
+class Compressor(ABC):
+    """Interface every codec implements.
+
+    Class attributes mirror the feature columns of the paper's Table I
+    so :func:`repro.compression.registry.feature_table` can regenerate
+    it.
+    """
+
+    #: registry name
+    name: ClassVar[str] = ""
+    #: True if decompression restores the input bit-for-bit
+    lossless: ClassVar[bool] = True
+    #: Table I column: has a GPU (CUDA) implementation
+    gpu_supported: ClassVar[bool] = False
+    #: Table I column: handles single-precision floats
+    single_precision: ClassVar[bool] = True
+    #: Table I column: handles double-precision floats
+    double_precision: ClassVar[bool] = True
+    #: Table I column: high-throughput (suitable for on-the-fly use)
+    high_throughput: ClassVar[bool] = False
+    #: Table I column: efficient MPI (on-the-fly) support — only the
+    #: proposed OPT schemes set this
+    mpi_support: ClassVar[bool] = False
+
+    #: dtypes accepted by compress()
+    supported_dtypes: ClassVar[tuple] = (np.float32, np.float64)
+
+    @abstractmethod
+    def compress(self, data: np.ndarray) -> CompressedData:
+        """Compress a 1-D floating-point array into a payload."""
+
+    @abstractmethod
+    def decompress(self, comp: CompressedData) -> np.ndarray:
+        """Restore (exactly, or within the codec's error bound) the
+        original array from ``comp``."""
+
+    # -- shared validation ----------------------------------------------
+    def _check_input(self, data: np.ndarray) -> np.ndarray:
+        if not isinstance(data, np.ndarray):
+            raise CompressionError(f"{self.name}: expected ndarray, got {type(data).__name__}")
+        if data.dtype.type not in self.supported_dtypes:
+            raise CompressionError(
+                f"{self.name}: unsupported dtype {data.dtype}; "
+                f"supported: {[np.dtype(t).name for t in self.supported_dtypes]}"
+            )
+        if data.ndim != 1:
+            data = data.reshape(-1)
+        return np.ascontiguousarray(data)
+
+    def _check_payload(self, comp: CompressedData) -> None:
+        if comp.algorithm != self.name:
+            raise CompressionError(
+                f"payload was produced by {comp.algorithm!r}, not {self.name!r}"
+            )
+
+    def expected_compressed_bytes(self, n_elements: int, itemsize: int) -> int | None:
+        """For fixed-rate codecs, the exact compressed size; ``None``
+        when the size is data-dependent (the paper exploits this: ZFP's
+        predictable size avoids a device->host size copy)."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

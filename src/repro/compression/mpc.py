@@ -1,0 +1,223 @@
+"""MPC — Massively Parallel Compression (lossless), vectorized.
+
+Faithful reimplementation of the MPC pipeline (Yang, Mukka, Hesaaraki,
+Burtscher — *MPC: A Massively Parallel Compression Algorithm for
+Scientific Data*, IEEE Cluster 2015) used by the paper as its lossless
+codec:
+
+1. **LNV subtraction** ("last n-th value"): reinterpret each float as
+   an unsigned word and subtract the word ``dimensionality`` positions
+   earlier (modulo 2^w).  For multi-field interleaved data the right
+   dimensionality makes residuals tiny.  Residuals are then zigzag
+   encoded (small negative -> small unsigned) so that sign extension
+   does not defeat the zero elimination stage — this plays the role of
+   the sign-handling component in MPC's synthesized pipeline.
+2. **Bit transposition**: within each block of *w* words (w = 32 for
+   singles, 64 for doubles), transpose the w x w bit matrix.  Small
+   residuals touch few bit positions, so most transposed words become
+   all-zero.
+3. **Zero elimination**: emit a bitmap marking non-zero transposed
+   words followed by only the non-zero words.
+
+All three stages are numpy-vectorized (the bit transpose uses
+``unpackbits``/``packbits`` over big-endian views) and the codec is
+bit-for-bit lossless — including NaNs, infinities, negative zeros and
+denormals, since it only ever manipulates raw bit patterns.
+
+Payload layout (little-endian):
+
+====================  =======================================
+bitmap                ``ceil(n_padded/8)`` bytes, MSB-first
+non-zero words        4 (or 8) bytes each, little-endian
+====================  =======================================
+
+``n_elements`` and ``dimensionality`` travel out-of-band in
+:class:`~repro.compression.base.CompressedData.params` exactly as the
+paper ships them in the RTS-piggybacked header.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedData, Compressor
+from repro.errors import CompressionError
+
+__all__ = ["MpcCompressor", "bit_transpose"]
+
+
+def bit_transpose(words: np.ndarray) -> np.ndarray:
+    """Transpose the bit matrix of each block of *w* *w*-bit words.
+
+    ``words`` must be a 1-D uint32 or uint64 array whose length is a
+    multiple of the word width (32 or 64).  The transform is an
+    involution: applying it twice restores the input.
+
+    Implemented as the mask-and-shift "delta swap" transpose (Hacker's
+    Delight, 7-3) vectorized across all blocks at once: log2(w) passes,
+    each a handful of elementwise ops, with no 8x bit-expansion.
+    """
+    if words.dtype == np.uint32:
+        w = 32
+    elif words.dtype == np.uint64:
+        w = 64
+    else:
+        raise CompressionError(f"bit_transpose expects uint32/uint64, got {words.dtype}")
+    if words.size % w:
+        raise CompressionError(f"length {words.size} is not a multiple of the word width {w}")
+    nblocks = words.size // w
+    if nblocks == 0:
+        return words.copy()
+    a = words.reshape(nblocks, w).copy()
+    dt = words.dtype.type
+    full = (1 << w) - 1
+    m = full >> (w // 2)  # 0x0000FFFF for w=32
+    j = w // 2
+    while j:
+        mm = dt(m)
+        jj = dt(j)
+        # Rows with (row & j) == 0 pair with row + j; reshaping makes
+        # both groups plain slices (views), so the swap is in place.
+        b = a.reshape(nblocks, w // (2 * j), 2, j)
+        lo = b[:, :, 0, :]
+        hi = b[:, :, 1, :]
+        t = (lo ^ (hi >> jj)) & mm
+        lo ^= t
+        hi ^= t << jj
+        j >>= 1
+        if j:
+            m = (m ^ (m << j)) & full
+    return a.reshape(-1)
+
+
+class MpcCompressor(Compressor):
+    """Lossless MPC codec with a tunable ``dimensionality``.
+
+    Parameters
+    ----------
+    dimensionality:
+        The LNV stride — the distance (in values) to the prior value
+        used as the prediction.  Interleaved d-field datasets compress
+        best at their native d.  Must be >= 1; the MPC paper explores
+        1..64, we accept any positive stride.
+    """
+
+    name = "mpc"
+    lossless = True
+    gpu_supported = True
+    single_precision = True
+    double_precision = True
+    high_throughput = True
+    mpi_support = False  # the naive library; MPC-OPT flips this
+
+    def __init__(self, dimensionality: int = 1):
+        if dimensionality < 1:
+            raise CompressionError(f"dimensionality must be >= 1, got {dimensionality}")
+        self.dimensionality = int(dimensionality)
+
+    # -- helpers ---------------------------------------------------------
+    @staticmethod
+    def _uint_dtype(dtype: np.dtype):
+        return np.uint32 if dtype.itemsize == 4 else np.uint64
+
+    def _predict(self, words: np.ndarray) -> np.ndarray:
+        """Forward LNV residual, zigzag encoded.
+
+        r[i] = zigzag(w[i] - w[i-dim] mod 2^w); zigzag maps signed
+        residuals to unsigned with small magnitudes staying small.
+        """
+        d = self.dimensionality
+        r = words.copy()
+        if words.size > d:
+            r[d:] -= words[:-d]
+        w_bits = words.dtype.itemsize * 8
+        one = r.dtype.type(1)
+        sign = (r >> (w_bits - 1)) & one
+        return (r << one) ^ (r.dtype.type(0) - sign)
+
+    def _unpredict(self, residuals: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`_predict`: un-zigzag then per-phase
+        modular cumsum."""
+        one = residuals.dtype.type(1)
+        r = (residuals >> one) ^ (residuals.dtype.type(0) - (residuals & one))
+        d = self.dimensionality
+        out = np.empty_like(r)
+        for k in range(min(d, r.size)):
+            np.cumsum(r[k::d], dtype=r.dtype, out=out[k::d])
+        return out
+
+    # -- API --------------------------------------------------------------
+    def compress(self, data: np.ndarray) -> CompressedData:
+        data = self._check_input(data)
+        udtype = self._uint_dtype(data.dtype)
+        w = data.dtype.itemsize * 8
+        words = data.view(udtype)
+        residuals = self._predict(words)
+        # Pad to a whole number of w-word blocks with zero residuals.
+        pad = (-residuals.size) % w
+        if pad:
+            residuals = np.concatenate([residuals, np.zeros(pad, dtype=udtype)])
+        transposed = bit_transpose(residuals)
+        nonzero = transposed != 0
+        bitmap = np.packbits(nonzero)
+        payload = np.concatenate(
+            [bitmap, transposed[nonzero].astype(f"<u{w // 8}").view(np.uint8)]
+        )
+        return CompressedData(
+            algorithm=self.name,
+            payload=payload,
+            n_elements=data.size,
+            dtype=data.dtype,
+            params={"dimensionality": self.dimensionality},
+            meta={"compressed_bytes": int(payload.nbytes)},
+        )
+
+    def decompress(self, comp: CompressedData) -> np.ndarray:
+        self._check_payload(comp)
+        dim = int(comp.params.get("dimensionality", self.dimensionality))
+        if dim != self.dimensionality:
+            # Decompress with the stride it was compressed with.
+            return MpcCompressor(dim).decompress(comp)
+        n = comp.n_elements
+        dtype = comp.dtype
+        udtype = self._uint_dtype(dtype)
+        w = dtype.itemsize * 8
+        if n == 0:
+            return np.empty(0, dtype=dtype)
+        n_padded = -(-n // w) * w
+        bitmap_bytes = -(-n_padded // 8)
+        payload = comp.payload
+        if payload.size < bitmap_bytes:
+            raise CompressionError(
+                f"mpc payload truncated: need >= {bitmap_bytes} bitmap bytes, have {payload.size}"
+            )
+        nonzero = np.unpackbits(payload[:bitmap_bytes])[:n_padded].astype(bool)
+        nnz = int(nonzero.sum())
+        word_bytes = w // 8
+        expect = bitmap_bytes + nnz * word_bytes
+        if payload.size != expect:
+            raise CompressionError(
+                f"mpc payload size mismatch: expected {expect} bytes, have {payload.size}"
+            )
+        transposed = np.zeros(n_padded, dtype=udtype)
+        transposed[nonzero] = (
+            payload[bitmap_bytes:].view(f"<u{word_bytes}").astype(udtype)
+        )
+        residuals = bit_transpose(transposed)[:n]
+        words = self._unpredict(residuals)
+        return words.view(dtype).copy()
+
+    def ratio_for(self, data: np.ndarray) -> float:
+        """Convenience: the compression ratio achieved on ``data``."""
+        return self.compress(data).ratio
+
+    @staticmethod
+    def best_dimensionality(data: np.ndarray, candidates=range(1, 9)) -> int:
+        """Pick the dimensionality with the best ratio (paper Table III
+        uses fine-tuned dimensionality per dataset)."""
+        best_d, best_r = 1, -1.0
+        for d in candidates:
+            r = MpcCompressor(d).compress(data).ratio
+            if r > best_r:
+                best_d, best_r = d, r
+        return best_d

@@ -1,0 +1,98 @@
+"""Compressor registry and the paper's Table I feature matrix.
+
+``get_compressor`` constructs codecs by name with keyword parameters
+(the framework's header stores only the name + params, so both ends of
+a link can reconstruct the same codec).  ``feature_table`` regenerates
+the comparison matrix of the paper's Table I, including rows for
+compressors surveyed but not reimplemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.compression.base import Compressor
+from repro.compression.fpc import FpcCompressor
+from repro.compression.gfc import GfcCompressor
+from repro.compression.mpc import MpcCompressor
+from repro.compression.null import NullCompressor
+from repro.compression.sz import SzCompressor
+from repro.compression.zfp import ZfpCompressor
+from repro.compression.zfp2d import Zfp2dCompressor
+from repro.errors import CompressionError
+
+__all__ = ["register", "get_compressor", "available", "feature_table", "TABLE1_ROWS"]
+
+_REGISTRY: Dict[str, Callable[..., Compressor]] = {}
+
+
+def register(name: str, factory: Callable[..., Compressor]) -> None:
+    """Register a codec factory under ``name`` (overwrites allowed so
+    applications can swap in custom codecs)."""
+    _REGISTRY[name] = factory
+
+
+def get_compressor(name: str, **params) -> Compressor:
+    """Instantiate a registered codec, passing ``params`` through."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise CompressionError(
+            f"unknown compressor {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**params)
+
+
+def available() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+register("mpc", MpcCompressor)
+register("zfp", ZfpCompressor)
+register("fpc", FpcCompressor)
+register("gfc", GfcCompressor)
+register("sz", SzCompressor)
+register("zfp2d", Zfp2dCompressor)
+register("null", NullCompressor)
+
+
+# The full Table I of the paper.  Columns: (lossless, lossy, gpu,
+# single, double, high_throughput, efficient_mpi).  ``implemented``
+# marks the rows this package provides as working code.
+TABLE1_ROWS: list[dict] = [
+    dict(name="FPC", lossless=True, lossy=False, gpu=False, single=False, double=True,
+         high_throughput=False, mpi=True, implemented=True, impl="fpc"),
+    dict(name="fpzip", lossless=True, lossy=True, gpu=False, single=True, double=True,
+         high_throughput=False, mpi=False, implemented=False, impl=None),
+    dict(name="ISOBAR", lossless=True, lossy=False, gpu=False, single=True, double=True,
+         high_throughput=False, mpi=False, implemented=False, impl=None),
+    dict(name="SPDP", lossless=True, lossy=False, gpu=False, single=True, double=True,
+         high_throughput=False, mpi=False, implemented=False, impl=None),
+    dict(name="GFC", lossless=True, lossy=False, gpu=True, single=False, double=True,
+         high_throughput=True, mpi=False, implemented=True, impl="gfc"),
+    dict(name="MPC", lossless=True, lossy=False, gpu=True, single=True, double=True,
+         high_throughput=True, mpi=False, implemented=True, impl="mpc"),
+    dict(name="SZ", lossless=False, lossy=True, gpu=True, single=True, double=True,
+         high_throughput=True, mpi=False, implemented=True, impl="sz"),
+    dict(name="ZFP", lossless=False, lossy=True, gpu=True, single=True, double=True,
+         high_throughput=True, mpi=False, implemented=True, impl="zfp"),
+    dict(name="Proposed MPC-OPT", lossless=True, lossy=False, gpu=True, single=True,
+         double=True, high_throughput=True, mpi=True, implemented=True, impl="mpc"),
+    dict(name="Proposed ZFP-OPT", lossless=False, lossy=True, gpu=True, single=True,
+         double=True, high_throughput=True, mpi=True, implemented=True, impl="zfp"),
+]
+
+
+def feature_table() -> list[list[str]]:
+    """Rows for rendering Table I: check/cross marks per feature."""
+    def mark(b: bool) -> str:
+        return "yes" if b else "no"
+
+    out = []
+    for row in TABLE1_ROWS:
+        out.append([
+            row["name"], mark(row["lossless"]), mark(row["lossy"]), mark(row["gpu"]),
+            mark(row["single"]), mark(row["double"]), mark(row["high_throughput"]),
+            mark(row["mpi"]), mark(row["implemented"]),
+        ])
+    return out

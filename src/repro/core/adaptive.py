@@ -1,0 +1,94 @@
+"""Adaptive compression policy — the paper's stated future work.
+
+Section IX: "we plan to explore the dynamic design to automatically
+determine the use of compression or selection of different algorithms
+for specific communication calls based on the compression costs and
+communication time assisted by real-time monitor like OSU INAM".
+
+:class:`AdaptivePolicy` is that design: an online monitor records, per
+message-size bucket, the observed compression ratio and kernel costs;
+for each new send it estimates
+
+    T_compressed ~= t_compr + S / (CR_ewma * B) + t_decompr
+    T_raw        ~= S / B
+
+and compresses only when the estimate predicts a win.  Until enough
+observations exist for a bucket the policy explores (compresses) so it
+can learn the data's compressibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AdaptivePolicy", "BucketStats"]
+
+
+@dataclass
+class BucketStats:
+    """EWMA state for one message-size bucket."""
+
+    ratio: float = 1.0
+    compress_time: float = 0.0
+    decompress_time: float = 0.0
+    samples: int = 0
+
+    def update(self, ratio: float, t_compr: float, t_decompr: float, alpha: float) -> None:
+        if self.samples == 0:
+            self.ratio, self.compress_time, self.decompress_time = ratio, t_compr, t_decompr
+        else:
+            self.ratio += alpha * (ratio - self.ratio)
+            self.compress_time += alpha * (t_compr - self.compress_time)
+            self.decompress_time += alpha * (t_decompr - self.decompress_time)
+        self.samples += 1
+
+
+class AdaptivePolicy:
+    """Online win/lose estimator for on-the-fly compression.
+
+    Parameters
+    ----------
+    min_samples:
+        Observations per bucket before the policy stops always
+        exploring.
+    alpha:
+        EWMA smoothing factor for the ratio/cost estimates.
+    hysteresis:
+        Required predicted speedup (e.g. 1.05 = 5%) before compression
+        is enabled for a bucket, avoiding flapping on marginal wins.
+    """
+
+    def __init__(self, min_samples: int = 3, alpha: float = 0.25, hysteresis: float = 1.05):
+        self.min_samples = min_samples
+        self.alpha = alpha
+        self.hysteresis = hysteresis
+        self._buckets: dict[int, BucketStats] = {}
+
+    @staticmethod
+    def bucket_of(nbytes: int) -> int:
+        """Power-of-two size bucket."""
+        return max(0, (int(nbytes) - 1).bit_length())
+
+    def stats(self, nbytes: int) -> BucketStats:
+        return self._buckets.setdefault(self.bucket_of(nbytes), BucketStats())
+
+    def record(self, nbytes: int, ratio: float, t_compr: float, t_decompr: float) -> None:
+        """Feed one observed compression outcome back into the monitor."""
+        self.stats(nbytes).update(ratio, t_compr, t_decompr, self.alpha)
+
+    def should_compress(self, nbytes: int, path_bandwidth: float) -> bool:
+        """Predict whether compressing an ``nbytes`` message pays off
+        on a route of ``path_bandwidth`` bytes/s."""
+        st = self.stats(nbytes)
+        if st.samples < self.min_samples:
+            return True  # explore
+        if path_bandwidth <= 0:
+            return True  # no route information: keep the configured behaviour
+        t_raw = nbytes / path_bandwidth
+        t_comp = st.compress_time + nbytes / (max(st.ratio, 1e-9) * path_bandwidth) \
+            + st.decompress_time
+        return t_raw > t_comp * self.hysteresis
+
+    def snapshot(self) -> dict[int, BucketStats]:
+        """Current monitor state (for inspection/INAM-style display)."""
+        return dict(self._buckets)

@@ -1,0 +1,532 @@
+"""Sender/receiver compression pipelines (the paper's Algorithms 1-3).
+
+The engine is instantiated once per MPI rank.  It owns the rank's
+pre-allocated buffer pools and CUDA streams, and exposes four
+generator subroutines the MPI protocol layer calls:
+
+``sender_prepare``
+    Steps 1-3 of Figure 4: decide whether to compress, obtain device
+    buffers (pool vs. ``cudaMalloc``), launch the compression
+    kernel(s), retrieve the compressed size (GDRCopy vs.
+    ``cudaMemcpy``), combine partitions, and build the header that the
+    protocol layer piggybacks on the RTS packet.
+``sender_release``
+    Return pooled buffers / free temporaries once the send completes.
+``receiver_prepare``
+    Step between RTS and CTS: allocate the temporary device buffer for
+    the incoming compressed payload.
+``receiver_complete``
+    Steps 6-7: launch the decompression kernel(s) and restore the
+    original data.
+
+Real numpy codecs run on the actual payload (compression ratios are
+measured, not assumed); kernel durations come from the calibrated
+:mod:`repro.compression.perfmodel` models and every driver-level cost
+(malloc, memcpy, GDRCopy, attribute queries) is charged on the shared
+simulation clock with a tracer span, so latency breakdowns
+(Figs 6/8/10) fall out of the traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.compression import get_compressor, kernel_cost_model_for
+from repro.compression.base import CompressedData
+from repro.compression.cache import GLOBAL_CODEC_CACHE
+from repro.core.adaptive import AdaptivePolicy
+from repro.core.config import CompressionConfig
+from repro.core.header import CompressionHeader
+from repro.core.tuning import partitions_for_message
+from repro.errors import CompressionError
+from repro.gpu.device import Device
+from repro.gpu.pool import BufferPool, SizeClassBufferPool
+from repro.utils.units import KiB, MiB
+
+__all__ = ["CompressionEngine", "SendPlan"]
+
+_MAX_STREAMS = 16
+#: ZFP's zfp_stream / zfp_field construction cost (paper Sec. V: ~9us)
+_ZFP_STREAM_FIELD_TIME = 9e-6
+
+
+@dataclass
+class SendPlan:
+    """Everything the protocol layer needs to ship one message."""
+
+    header: CompressionHeader
+    payload: np.ndarray  # bytes that go on the wire (or the raw array)
+    wire_nbytes: int
+    resources: list = field(default_factory=list)
+
+    @property
+    def compressed(self) -> bool:
+        return self.header.compressed
+
+
+@dataclass
+class PipelinedSendPlan:
+    """A send split into independently-compressed, streamable partitions.
+
+    The protocol layer runs ``kernel_run(i)`` (a generator subroutine)
+    for each partition — charging that partition's compression kernel
+    and size retrieval — and puts ``comps[i].payload`` on the wire as
+    soon as it returns, overlapping compression with transfer.
+    """
+
+    header: CompressionHeader
+    comps: list
+    resources: list = field(default_factory=list)
+    kernel_run: object = None  # callable(i) -> generator
+
+    @property
+    def n_parts(self) -> int:
+        return len(self.comps)
+
+
+def _partition_counts(n_elements: int, parts: int) -> list[int]:
+    """Element count per partition — must match ``np.array_split``."""
+    base, rem = divmod(n_elements, parts)
+    return [base + (1 if i < rem else 0) for i in range(parts)]
+
+
+class CompressionEngine:
+    """Per-rank compression state machine."""
+
+    def __init__(self, sim, device: Device, config: CompressionConfig):
+        self.sim = sim
+        self.device = device
+        self.config = config
+        self._codecs: dict = {}
+        self.adaptive_policy: Optional[AdaptivePolicy] = (
+            AdaptivePolicy() if config.adaptive else None
+        )
+        # Pre-allocated pools, built at init (MPI_Init) off the
+        # critical path — MPC-OPT optimizations 1 & 2.
+        if config.enabled and config.use_buffer_pool:
+            self.data_pool = SizeClassBufferPool(
+                device, min_bytes=64 * KiB, max_bytes=256 * MiB, count_per_class=2
+            )
+            self.doff_pool = BufferPool(device, 4 * KiB, count=8)
+        else:
+            self.data_pool = None
+            self.doff_pool = None
+        self.streams = [device.new_stream() for _ in range(_MAX_STREAMS)]
+
+    # -- helpers -----------------------------------------------------------
+    def _codec(self, algorithm: str, **params):
+        key = (algorithm, tuple(sorted(params.items())))
+        if key not in self._codecs:
+            self._codecs[key] = get_compressor(algorithm, **params)
+        return self._codecs[key]
+
+    def _compressible(self, data) -> bool:
+        cfg = self.config
+        return (
+            cfg.enabled
+            and isinstance(data, np.ndarray)
+            and data.dtype.type in (np.float32, np.float64)
+            and data.nbytes >= cfg.threshold
+        )
+
+    def _acquire_data_buffer(self, nbytes: int, label: str):
+        """Pool hit (cheap) or cudaMalloc (the naive path's cost)."""
+        if self.data_pool is not None:
+            buf = yield from self.data_pool.acquire(nbytes, label)
+        else:
+            buf = yield from self.device.malloc(nbytes, label)
+        return buf
+
+    def _acquire_doff(self, label: str = "d_off"):
+        if self.doff_pool is not None:
+            buf = yield from self.doff_pool.acquire(self.device.spec.sm_count * 4, label)
+        else:
+            buf = yield from self.device.malloc(self.device.spec.sm_count * 4, label)
+        return buf
+
+    def _release(self, resources: list):
+        for buf in resources:
+            if buf.pooled:
+                pool = self.doff_pool if buf.capacity == 4 * KiB else self.data_pool
+                yield from pool.release(buf)
+            else:
+                yield from self.device.free(buf)
+
+    def sender_release(self, plan: SendPlan):
+        """Return the send-side buffers (after the data has left)."""
+        yield from self._release(plan.resources)
+        plan.resources = []
+
+    # -- sender ---------------------------------------------------------------
+    def sender_prepare(self, data, path_bandwidth: float = 0.0):
+        """Compress (or not) and produce a :class:`SendPlan`.
+
+        ``path_bandwidth`` (bytes/s of the route to the destination)
+        feeds the adaptive policy when enabled.
+        """
+        if self._compressible(data):
+            if self.adaptive_policy is None or self.adaptive_policy.should_compress(
+                data.nbytes, path_bandwidth
+            ):
+                if self.config.algorithm == "mpc":
+                    plan = yield from self._send_mpc(data)
+                elif self.config.algorithm == "zfp":
+                    plan = yield from self._send_zfp(data)
+                else:
+                    plan = yield from self._send_generic(data)
+                return plan
+        nbytes = int(data.nbytes) if isinstance(data, np.ndarray) else len(data)
+        header = CompressionHeader.uncompressed(nbytes)
+        return SendPlan(header=header, payload=data, wire_nbytes=nbytes)
+
+    def _run_partition_kernels(self, durations: list[float], blocks: int, category: str):
+        """Launch one kernel per partition on separate CUDA streams.
+
+        Kernels overlap on the device (bounded by the SM pool), but
+        their *submissions* serialize on the CPU — one enqueue per
+        stream — which is what makes over-partitioning small messages a
+        loss and motivates the tuned schedule.
+        """
+        if len(durations) == 1:
+            yield from self.streams[0].run_kernel(durations[0], blocks, category, "p0")
+            return
+        submit = self.device.spec.kernel_launch
+        procs = []
+        for i, d in enumerate(durations):
+            if i:
+                yield self.sim.timeout(submit)
+            procs.append(
+                self.sim.process(
+                    self.streams[i % _MAX_STREAMS].run_kernel(d, blocks, category, f"p{i}"),
+                    name=f"{category}-p{i}",
+                )
+            )
+        yield self.sim.all_of(procs)
+
+    def _send_mpc(self, data: np.ndarray):
+        cfg = self.config
+        spec = self.device.spec
+        model = kernel_cost_model_for("mpc")
+        codec = self._codec("mpc", dimensionality=cfg.mpc_dimensionality)
+        nbytes = data.nbytes
+
+        parts = cfg.partitions or partitions_for_message(nbytes)
+        # Never partition below one SM per kernel or 64 elements each.
+        parts = max(1, min(parts, spec.sm_count, data.size // 64 or 1))
+
+        t_prepare_start = self.sim.now
+        resources = []
+        bound = nbytes + nbytes // 16 + 4096  # worst-case MPC expansion
+        comp_buf = yield from self._acquire_data_buffer(bound, "mpc_compressed")
+        resources.append(comp_buf)
+        doff = yield from self._acquire_doff()
+        resources.append(doff)
+
+        # Real compression, one partition at a time (memoized host-side;
+        # kernel time is charged below regardless).
+        pieces = np.array_split(data, parts)
+        comps = [GLOBAL_CODEC_CACHE.compress(codec, p) for p in pieces]
+        sizes = [c.nbytes for c in comps]
+
+        # Modelled kernel executions (concurrent when partitioned).
+        blocks = max(1, spec.sm_count // parts)
+        durations = [
+            model.compress_time(p.nbytes, blocks, spec.sm_count) for p in pieces
+        ]
+        yield from self._run_partition_kernels(durations, blocks, "compression_kernel")
+
+        # Retrieve compressed size(s): GDRCopy (OPT) vs cudaMemcpy (naive).
+        size_bytes = 4 * parts
+        if cfg.use_gdrcopy:
+            yield from self.device.gdrcopy(size_bytes, "compressed_size")
+        else:
+            yield from self.device.memcpy_d2h(size_bytes, "compressed_size")
+
+        # Merge partition outputs into one contiguous buffer (fixed
+        # order, Sec. IV); partition 0 is already in place.
+        if parts > 1:
+            yield from self.device.memcpy_d2d(sum(sizes[1:]), "combine")
+
+        payload = np.concatenate([c.payload for c in comps]) if parts > 1 else comps[0].payload
+        if self.adaptive_policy is not None:
+            blocks_r = max(1, spec.sm_count // parts)
+            est_decompr = max(
+                model.decompress_time(p.nbytes, blocks_r, spec.sm_count) for p in pieces
+            )
+            self.adaptive_policy.record(
+                nbytes, nbytes / max(1, payload.nbytes),
+                self.sim.now - t_prepare_start, est_decompr,
+            )
+        if payload.nbytes >= nbytes:
+            # Incompressible: fall back to the raw message (the kernel
+            # time was still spent — that is the price of trying).
+            yield from self._release(resources)
+            return SendPlan(
+                header=CompressionHeader.uncompressed(nbytes),
+                payload=data, wire_nbytes=nbytes,
+            )
+        comp_buf.write(payload)
+        header = CompressionHeader.for_message(
+            "mpc", data.dtype, data.size, cfg.mpc_dimensionality, sizes
+        )
+        return SendPlan(
+            header=header, payload=payload, wire_nbytes=payload.nbytes,
+            resources=resources,
+        )
+
+    def _zfp_grid_dims(self):
+        """ZFP's get_max_grid_dims: per-message cudaGetDeviceProperties
+        in the naive library vs. a cached cudaDeviceGetAttribute in
+        ZFP-OPT (Section V)."""
+        if self.config.cache_device_attrs:
+            yield from self.device.get_device_attribute("max_grid_dim_x", cached=True)
+        else:
+            yield from self.device.get_device_properties()
+
+    def _zfp_stream_field(self):
+        """Construct zfp_stream / zfp_field (CPU-side, ~9us)."""
+        t0 = self.sim.now
+        yield self.sim.timeout(_ZFP_STREAM_FIELD_TIME)
+        if self.sim.tracer is not None:
+            self.sim.tracer.span(t0, self.sim.now, "zfp_stream_field", "create")
+
+    def _send_zfp(self, data: np.ndarray):
+        cfg = self.config
+        spec = self.device.spec
+        model = kernel_cost_model_for("zfp")
+        codec = self._codec("zfp", rate=cfg.zfp_rate)
+        nbytes = data.nbytes
+
+        t_prepare_start = self.sim.now
+        yield from self._zfp_stream_field()
+        yield from self._zfp_grid_dims()
+
+        expected = codec.expected_compressed_bytes(data.size, data.dtype.itemsize)
+        resources = []
+        comp_buf = yield from self._acquire_data_buffer(expected, "zfp_compressed")
+        resources.append(comp_buf)
+
+        comp = GLOBAL_CODEC_CACHE.compress(codec, data)  # real compression
+        duration = model.compress_time(nbytes, spec.sm_count, spec.sm_count)
+        yield from self.streams[0].run_kernel(
+            duration, spec.sm_count, "compression_kernel", "zfp"
+        )
+        # No size copy: ZFP's compressed size is predictable (Sec. III).
+        if self.adaptive_policy is not None:
+            est_decompr = model.decompress_time(nbytes, spec.sm_count, spec.sm_count)
+            self.adaptive_policy.record(
+                nbytes, nbytes / max(1, comp.nbytes),
+                self.sim.now - t_prepare_start, est_decompr,
+            )
+        comp_buf.write(comp.payload)
+        header = CompressionHeader.for_message(
+            "zfp", data.dtype, data.size, cfg.zfp_rate, (comp.nbytes,)
+        )
+        return SendPlan(
+            header=header, payload=comp.payload, wire_nbytes=comp.nbytes,
+            resources=resources,
+        )
+
+    def _generic_codec(self):
+        cfg = self.config
+        if cfg.algorithm == "sz":
+            return self._codec("sz", error_bound=cfg.sz_error_bound), \
+                CompressionHeader.encode_sz_bound(cfg.sz_error_bound)
+        return self._codec(cfg.algorithm), 0
+
+    def _send_generic(self, data: np.ndarray):
+        """Any other registry codec (sz/gfc/fpc) as the transport
+        compressor: one full-device kernel, size retrieved like MPC's
+        (data-dependent compressed size)."""
+        cfg = self.config
+        spec = self.device.spec
+        model = kernel_cost_model_for(cfg.algorithm)
+        codec, param = self._generic_codec()
+        nbytes = data.nbytes
+        if data.dtype.type not in codec.supported_dtypes:
+            return SendPlan(
+                header=CompressionHeader.uncompressed(nbytes),
+                payload=data, wire_nbytes=nbytes,
+            )
+        resources = []
+        bound = nbytes + nbytes // 4 + 8192
+        comp_buf = yield from self._acquire_data_buffer(bound, f"{cfg.algorithm}_compressed")
+        resources.append(comp_buf)
+        comp = GLOBAL_CODEC_CACHE.compress(codec, data)
+        duration = model.compress_time(nbytes, spec.sm_count, spec.sm_count)
+        yield from self.streams[0].run_kernel(
+            duration, spec.sm_count, "compression_kernel", cfg.algorithm
+        )
+        if cfg.use_gdrcopy:
+            yield from self.device.gdrcopy(4, "compressed_size")
+        else:
+            yield from self.device.memcpy_d2h(4, "compressed_size")
+        if comp.nbytes >= nbytes:
+            yield from self._release(resources)
+            return SendPlan(
+                header=CompressionHeader.uncompressed(nbytes),
+                payload=data, wire_nbytes=nbytes,
+            )
+        comp_buf.write(comp.payload)
+        header = CompressionHeader.for_message(
+            cfg.algorithm, data.dtype, data.size, param, (comp.nbytes,)
+        )
+        return SendPlan(header=header, payload=comp.payload,
+                        wire_nbytes=comp.nbytes, resources=resources)
+
+    # -- pipelined extension -------------------------------------------------
+    def sender_prepare_pipelined(self, data, path_bandwidth: float = 0.0):
+        """Build a :class:`PipelinedSendPlan`, or return ``None`` when
+        the message should take the ordinary path (not compressible,
+        too small to split, or incompressible data).
+
+        Works for both codecs: ZFP partitions are independent 4-block
+        groups, MPC partitions reset the LNV predictor exactly as in
+        the paper's combined scheme (Section IV notes the ratio impact
+        is negligible).
+        """
+        cfg = self.config
+        if not (cfg.pipeline and self._compressible(data)):
+            return None
+        spec = self.device.spec
+        nbytes = data.nbytes
+        parts = cfg.partitions or partitions_for_message(nbytes)
+        parts = max(1, min(parts, spec.sm_count, data.size // 64 or 1))
+        if parts < 2:
+            return None
+        model = kernel_cost_model_for(cfg.algorithm)
+        if cfg.algorithm == "mpc":
+            codec = self._codec("mpc", dimensionality=cfg.mpc_dimensionality)
+            param = cfg.mpc_dimensionality
+        else:
+            codec = self._codec("zfp", rate=cfg.zfp_rate)
+            param = cfg.zfp_rate
+
+        pieces = np.array_split(data, parts)
+        comps = [GLOBAL_CODEC_CACHE.compress(codec, p) for p in pieces]
+        sizes = [c.nbytes for c in comps]
+        if sum(sizes) >= nbytes:
+            return None  # incompressible: take the raw fallback path
+
+        resources = []
+        bound = nbytes + nbytes // 16 + 4096
+        comp_buf = yield from self._acquire_data_buffer(bound, "pipe_compressed")
+        resources.append(comp_buf)
+        if cfg.algorithm == "mpc":
+            doff = yield from self._acquire_doff()
+            resources.append(doff)
+        else:
+            yield from self._zfp_stream_field()
+            yield from self._zfp_grid_dims()
+
+        # Pipelining wants *staggered* completions: chunks run back to
+        # back on one stream at half-device width (the paper's "half
+        # the SMs is roughly the same as using full GPU"), so chunk 0
+        # is on the wire while chunk 1 is still compressing.
+        blocks = max(1, spec.sm_count // 2)
+        engine = self
+
+        def kernel_run(i: int):
+            duration = model.compress_time(pieces[i].nbytes, blocks, spec.sm_count)
+            yield from engine.streams[0].run_kernel(
+                duration, blocks, "compression_kernel", f"pipe{i}"
+            )
+            if cfg.algorithm == "mpc":
+                # per-partition compressed-size retrieval
+                if cfg.use_gdrcopy:
+                    yield from engine.device.gdrcopy(4, "compressed_size")
+                else:
+                    yield from engine.device.memcpy_d2h(4, "compressed_size")
+
+        header = CompressionHeader.for_message(
+            cfg.algorithm, data.dtype, data.size, param, sizes, pipelined=True
+        )
+        return PipelinedSendPlan(
+            header=header, comps=comps, resources=resources, kernel_run=kernel_run
+        )
+
+    def pipelined_release(self, plan: PipelinedSendPlan):
+        yield from self._release(plan.resources)
+        plan.resources = []
+
+    def pipelined_receive_part(self, header: CompressionHeader, part: int, payload):
+        """Decompress one arrived partition (generator subroutine)."""
+        spec = self.device.spec
+        model = kernel_cost_model_for(header.algorithm)
+        codec = self._codec(header.algorithm, **header.codec_params())
+        dtype = np.dtype(header.dtype_name)
+        counts = _partition_counts(header.n_elements, header.n_partitions)
+        # Half-device kernels: arrivals are already staggered by the
+        # wire, adjacent parts may overlap pairwise.
+        blocks = max(1, spec.sm_count // 2)
+        duration = model.decompress_time(counts[part] * dtype.itemsize, blocks,
+                                         spec.sm_count)
+        yield from self.streams[part % _MAX_STREAMS].run_kernel(
+            duration, blocks, "decompression_kernel", f"pipe{part}"
+        )
+        comp = CompressedData(
+            algorithm=header.algorithm,
+            payload=np.ascontiguousarray(payload, dtype=np.uint8),
+            n_elements=counts[part], dtype=dtype, params=header.codec_params(),
+        )
+        return GLOBAL_CODEC_CACHE.decompress(codec, comp)
+
+    # -- receiver -----------------------------------------------------------
+    def receiver_prepare(self, header: CompressionHeader):
+        """Between RTS and CTS: obtain the temporary device buffer (and
+        MPC's d_off) for the incoming compressed payload."""
+        if not header.compressed:
+            return []
+        resources = []
+        buf = yield from self._acquire_data_buffer(header.wire_bytes, "recv_compressed")
+        resources.append(buf)
+        if header.algorithm == "mpc":
+            doff = yield from self._acquire_doff()
+            resources.append(doff)
+        return resources
+
+    def receiver_complete(self, header: CompressionHeader, payload, resources: list):
+        """After the data lands: decompress and restore the original."""
+        if not header.compressed:
+            return payload
+        spec = self.device.spec
+        model = kernel_cost_model_for(header.algorithm)
+        codec = self._codec(header.algorithm, **header.codec_params())
+        dtype = np.dtype(header.dtype_name)
+
+        if header.algorithm == "zfp":
+            yield from self._zfp_stream_field()
+            yield from self._zfp_grid_dims()
+
+        parts = header.n_partitions
+        counts = _partition_counts(header.n_elements, parts)
+        blocks = max(1, spec.sm_count // parts)
+        durations = [
+            model.decompress_time(c * dtype.itemsize, blocks, spec.sm_count)
+            for c in counts
+        ]
+        yield from self._run_partition_kernels(durations, blocks, "decompression_kernel")
+
+        # Real decompression, partition by partition.
+        out_parts = []
+        offset = 0
+        payload = np.ascontiguousarray(payload, dtype=np.uint8)
+        for count, size in zip(counts, header.partition_sizes):
+            piece = payload[offset:offset + size]
+            offset += size
+            comp = CompressedData(
+                algorithm=header.algorithm, payload=piece, n_elements=count,
+                dtype=dtype, params=header.codec_params(),
+            )
+            out_parts.append(GLOBAL_CODEC_CACHE.decompress(codec, comp))
+        if offset != payload.nbytes:
+            raise CompressionError(
+                f"payload has {payload.nbytes} bytes but partitions account for {offset}"
+            )
+        result = np.concatenate(out_parts) if parts > 1 else out_parts[0]
+
+        yield from self._release(resources)
+        return result

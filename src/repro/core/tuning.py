@@ -1,0 +1,56 @@
+"""Partition-count tuning for MPC-OPT's kernel decomposition.
+
+Section IV: "to achieve better performance, we fine-tune the number of
+partitions used for different message sizes based on the experimental
+results".  The static table below is the equivalent tuned schedule for
+the modelled V100/RTX parts: small messages cannot amortize extra
+kernel launches, large ones benefit from more concurrent kernels with
+fewer thread blocks each (less busy-wait synchronization).
+
+``sweep_partitions`` reproduces the tuning experiment itself and is
+exercised by ``benchmarks/bench_ablation_partitions.py``.
+"""
+
+from __future__ import annotations
+
+from repro.utils.units import KiB, MiB
+
+__all__ = ["partitions_for_message", "sweep_partitions"]
+
+#: (max message bytes, partitions) — first matching row wins.  Tuned
+#: against bench_ablation_partitions.py on the V100 model (the paper
+#: likewise fine-tunes per message size experimentally).
+_SCHEDULE = (
+    (128 * KiB, 1),
+    (1 * MiB, 2),
+    (4 * MiB, 4),
+    (float("inf"), 8),
+)
+
+
+def partitions_for_message(nbytes: int) -> int:
+    """Tuned partition count for one message size."""
+    for limit, parts in _SCHEDULE:
+        if nbytes <= limit:
+            return parts
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def sweep_partitions(model, nbytes: int, sm_count: int, candidates=(1, 2, 4, 8, 16)) -> dict:
+    """Model-predicted compression wall time per candidate partition
+    count.
+
+    ``model`` is a :class:`repro.compression.perfmodel.KernelCostModel`.
+    Partition kernels run concurrently with ``sm_count // p`` blocks
+    each, but their *launches* serialize on the CPU, and the partition
+    outputs must be merged — which is why small messages prefer a
+    single kernel and large ones prefer many.
+    """
+    out = {}
+    for p in candidates:
+        blocks = max(1, sm_count // p)
+        per_kernel = model.compress_time(-(-nbytes // p), blocks, sm_count)
+        serial_launches = (p - 1) * model.launch_overhead
+        combine = 0.0 if p == 1 else model.launch_overhead + nbytes / 400e9
+        out[p] = serial_launches + per_kernel + combine
+    return out

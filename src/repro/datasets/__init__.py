@@ -1,0 +1,15 @@
+"""Synthetic stand-ins for the eight HPC datasets of Table III.
+
+The paper evaluates MPC/ZFP on eight single-precision datasets from
+the Burtscher collection (msg_bt, msg_lu, msg_sp, msg_sppm,
+msg_sweep3d, obs_error, obs_info, num_plasma).  Those files are not
+redistributable, so :mod:`repro.datasets.synthetic` generates arrays
+tuned to reproduce each dataset's published statistics — size, unique
+value fraction and (most importantly) MPC compression ratio — which
+are the properties the paper's results depend on.
+"""
+
+from repro.datasets.catalog import DATASETS, DatasetSpec, dataset_names
+from repro.datasets.synthetic import generate
+
+__all__ = ["DATASETS", "DatasetSpec", "dataset_names", "generate"]

@@ -1,0 +1,90 @@
+"""Published per-dataset statistics (paper Table III).
+
+``cr_mpc`` is MPC's best compression ratio with fine-tuned
+dimensionality; ``dimensionality`` is the stride our generator builds
+into the data (and at which MPC compresses it best).  Throughputs are
+the paper's V100 measurements, kept for reference/reporting.
+
+The generator knobs (``step_bits``, ``run_length``, ``dup_frac``/
+``burst``, ``pool_frac``) were calibrated so the synthetic datasets
+reproduce the paper's unique-value fractions and MPC ratios; see
+:mod:`repro.datasets.synthetic` for their meaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["DatasetSpec", "DATASETS", "dataset_names", "get_spec"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table III plus generator tuning knobs."""
+
+    name: str
+    size_mb: float          # paper dataset size
+    unique_pct: float       # % unique values
+    cr_mpc: float           # paper's MPC compression ratio
+    cr_zfp: float = 2.0     # rate 16 on singles is exactly 2
+    tp_compr_zfp: float = 0.0    # Gb/s, paper V100
+    tp_decompr_zfp: float = 0.0
+    tp_compr_mpc: float = 0.0
+    tp_decompr_mpc: float = 0.0
+    # generator knobs (see repro.datasets.synthetic)
+    step_bits: int = 20        # significant bits of the LNV residual walk
+    run_length: float = 1.0    # mean geometric repeat run (scattered dups)
+    dup_frac: float = 0.0      # fraction of data in long constant regions
+    burst: int = 256           # fresh-value burst length between regions
+    pool_frac: float = 0.0     # value-pool size as a fraction of n
+    dimensionality: int = 1    # interleaved field count
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "msg_bt": DatasetSpec(
+        "msg_bt", 128, 92.9, 1.339, 2.0, 469.29, 735.56, 206.01, 189.14,
+        step_bits=22, run_length=1.076,
+    ),
+    "msg_lu": DatasetSpec(
+        "msg_lu", 93, 99.2, 1.444, 2.0, 451.48, 743.52, 211.88, 191.05,
+        step_bits=20, run_length=1.008,
+    ),
+    "msg_sp": DatasetSpec(
+        "msg_sp", 16, 98.9, 1.352, 2.0, 421.88, 709.34, 204.93, 174.58,
+        step_bits=22, run_length=1.011, dimensionality=2,
+    ),
+    "msg_sppm": DatasetSpec(
+        "msg_sppm", 16, 10.2, 8.951, 2.0, 280.36, 395.08, 199.68, 174.31,
+        step_bits=22, dup_frac=0.885, burst=256,
+    ),
+    "msg_sweep3d": DatasetSpec(
+        "msg_sweep3d", 60, 89.8, 1.537, 2.0, 334.65, 571.19, 207.14, 211.25,
+        step_bits=19, run_length=1.114,
+    ),
+    "obs_error": DatasetSpec(
+        "obs_error", 30, 18.0, 1.301, 2.0, 447.22, 717.36, 209.25, 187.35,
+        step_bits=23, run_length=5.6,
+    ),
+    "obs_info": DatasetSpec(
+        "obs_info", 9.1, 23.9, 1.440, 2.0, 536.88, 739.07, 194.18, 168.91,
+        step_bits=21, run_length=4.2,
+    ),
+    "num_plasma": DatasetSpec(
+        "num_plasma", 17, 0.3, 1.348, 2.0, 585.80, 822.01, 197.94, 185.52,
+        step_bits=21, pool_frac=0.003,
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    """Table III order."""
+    return list(DATASETS)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise ConfigError(f"unknown dataset {name!r}; known: {list(DATASETS)}") from None

@@ -1,0 +1,125 @@
+"""Generators producing floats with controlled MPC compressibility.
+
+MPC's ratio on a dataset is governed by the bit-width distribution of
+the LNV residuals and by how much of the data sits in exactly-constant
+runs (whole 32-word blocks of zero residuals vanish entirely), so the
+generator synthesizes bit patterns directly:
+
+* **bitwalk** — random-walk the *integer representation* starting from
+  1.0f with steps of ``step_bits`` significant bits; adjacent values
+  then differ in ~``step_bits`` low bits, which is exactly the
+  structure MPC's LNV+bit-transpose+zero-elimination pipeline exploits,
+  while every value stays a positive, normal float.
+* **scattered duplication** (``run_length`` > 1) — geometric repeat
+  runs; lowers the unique-value fraction (obs_error/obs_info) without
+  changing the ratio much (short runs rarely cover a whole block).
+* **dup/burst mixture** (``dup_frac``/``burst``) — long constant
+  regions separated by bursts of fresh values; most 32-word blocks are
+  pure zero residuals and get eliminated, reproducing msg_sppm's
+  ratio of ~9 at ~10% unique values.
+* **value pool** (``pool_frac``) — draw from a tiny pool in a noisy
+  cyclic order: almost no unique values but non-trivial residuals
+  (num_plasma: 0.3% unique yet ratio only 1.35).
+* **interleaving** (``dimensionality``) — d independent walks
+  interleaved, so MPC compresses best at stride d (Table III's
+  "fine-tuned dimensionality").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.catalog import DatasetSpec, get_spec
+from repro.errors import ConfigError
+
+__all__ = ["generate", "generate_from_spec", "bitwalk"]
+
+_ONE_F32 = np.uint32(0x3F800000)  # bit pattern of 1.0f
+
+
+def bitwalk(n: int, step_bits: int, rng: np.random.Generator) -> np.ndarray:
+    """Random walk over float32 *bit patterns*.
+
+    Steps are uniform in ``[-2^step_bits, 2^step_bits)`` so LNV
+    residuals have ~``step_bits + 1`` significant bits.  The walk is
+    reflected away from the exponent extremes to keep every value a
+    positive, normal float.
+    """
+    if not (1 <= step_bits <= 26):
+        raise ConfigError(f"step_bits must be in [1, 26], got {step_bits}")
+    if n == 0:
+        return np.empty(0, dtype=np.float32)
+    steps = rng.integers(-(1 << step_bits), 1 << step_bits, size=n, dtype=np.int64)
+    walk = np.cumsum(steps) + int(_ONE_F32)
+    # Reflect into the safe band of positive normal floats
+    # (exponent byte between ~0x20 and ~0x5F).
+    lo, hi = 0x20000000, 0x5F000000
+    span = hi - lo
+    walk = np.abs((walk - lo) % (2 * span) - span) + lo
+    return walk.astype(np.uint32).view(np.float32)
+
+
+def _with_runs(values: np.ndarray, run_length: float, n: int,
+               rng: np.random.Generator) -> np.ndarray:
+    """Repeat each value a geometric number of times (mean run_length)."""
+    if run_length <= 1.0:
+        return values[:n]
+    lengths = rng.geometric(1.0 / run_length, size=values.size)
+    data = np.repeat(values, lengths)
+    while data.size < n:  # pragma: no cover - generous sizing above
+        extra = rng.geometric(1.0 / run_length, size=1024)
+        data = np.concatenate([data, np.repeat(values[: extra.size], extra)])
+    return data[:n]
+
+
+def _dup_burst(n: int, step_bits: int, dup_frac: float, burst: int,
+               rng: np.random.Generator) -> np.ndarray:
+    """Alternate long constant regions with bursts of fresh values."""
+    const_len = max(1, int(round(burst * dup_frac / max(1e-9, 1.0 - dup_frac))))
+    period = const_len + burst
+    n_periods = -(-n // period) + 1
+    fresh = bitwalk(n_periods * (burst + 1), step_bits, rng)
+    chunks = []
+    pos = 0
+    for i in range(n_periods):
+        anchor = fresh[i * (burst + 1)]
+        chunks.append(np.full(const_len, anchor, dtype=np.float32))
+        chunks.append(fresh[i * (burst + 1) + 1:(i + 1) * (burst + 1)])
+        pos += period
+        if pos >= n:
+            break
+    return np.concatenate(chunks)[:n]
+
+
+def generate_from_spec(spec: DatasetSpec, scale: float = 1.0, seed: int = 0) -> np.ndarray:
+    """Build a synthetic dataset from a :class:`DatasetSpec`.
+
+    ``scale`` multiplies the paper's dataset size (use e.g. 1/16 for
+    fast tests); the statistical structure is size-invariant.
+    """
+    if scale <= 0:
+        raise ConfigError(f"scale must be > 0, got {scale}")
+    n = max(64, int(spec.size_mb * scale * 1e6 / 4))
+    rng = np.random.default_rng(seed ^ hash(spec.name) & 0x7FFFFFFF)
+
+    if spec.pool_frac:
+        pool = bitwalk(max(4, int(spec.pool_frac * n)), spec.step_bits, rng)
+        idx = (np.arange(n) + rng.integers(0, 2, size=n)) % pool.size
+        return pool[idx]
+
+    if spec.dup_frac:
+        return _dup_burst(n, spec.step_bits, spec.dup_frac, spec.burst, rng)
+
+    d = max(1, spec.dimensionality)
+    per = -(-n // d) + 8
+    fields = [
+        _with_runs(bitwalk(per, spec.step_bits, rng), spec.run_length, per, rng)
+        for _ in range(d)
+    ]
+    data = np.stack(fields, axis=1).reshape(-1)  # interleave fields
+    return data[:n].copy()
+
+
+def generate(name: str, scale: float = 1.0, seed: int = 0) -> np.ndarray:
+    """Generate the named Table III dataset (float32, 1-D)."""
+    return generate_from_spec(get_spec(name), scale=scale, seed=seed)

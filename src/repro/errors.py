@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the simulator runs out of events while processes are
+    still waiting — e.g. a receive with no matching send."""
+
+
+class GpuError(ReproError):
+    """Raised for invalid operations on the simulated GPU substrate."""
+
+
+class OutOfDeviceMemoryError(GpuError):
+    """Raised when a device allocation exceeds the configured capacity."""
+
+
+class BufferPoolExhaustedError(GpuError):
+    """Raised when a non-growable buffer pool has no free buffers."""
+
+
+class NetworkError(ReproError):
+    """Raised for topology/routing problems (e.g. no path between GPUs)."""
+
+
+class MpiError(ReproError):
+    """Raised for MPI-level misuse (bad rank, truncation, ...)."""
+
+
+class TruncationError(MpiError):
+    """Raised when a receive buffer is smaller than the incoming message."""
+
+
+class CompressionError(ReproError):
+    """Raised when a compressor cannot process the given payload."""
+
+
+class HeaderError(CompressionError):
+    """Raised when a compression header fails to pack/unpack."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid configuration values."""

@@ -1,0 +1,32 @@
+"""Simulated GPU substrate.
+
+Models the pieces of the CUDA runtime whose costs drive the paper's
+analysis: device memory allocation (``cudaMalloc``), device<->host
+copies (``cudaMemcpy`` vs. the low-latency GDRCopy path), driver
+attribute queries (``cudaGetDeviceProperties`` vs. a cached
+``cudaDeviceGetAttribute``), kernel launches on CUDA streams with
+SM-occupancy-aware concurrency, and pre-allocated device buffer pools.
+
+Payload *data* inside :class:`~repro.gpu.buffer.DeviceBuffer` is real
+(numpy); only *durations* are modelled, charged on the shared
+discrete-event clock.
+"""
+
+from repro.gpu.spec import DeviceSpec, V100, RTX5000, A100, device_preset
+from repro.gpu.buffer import DeviceBuffer
+from repro.gpu.device import Device
+from repro.gpu.pool import BufferPool, SizeClassBufferPool
+from repro.gpu.stream import Stream
+
+__all__ = [
+    "DeviceSpec",
+    "V100",
+    "RTX5000",
+    "A100",
+    "device_preset",
+    "DeviceBuffer",
+    "Device",
+    "BufferPool",
+    "SizeClassBufferPool",
+    "Stream",
+]

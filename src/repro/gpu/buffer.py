@@ -1,0 +1,71 @@
+"""Device memory buffers.
+
+A :class:`DeviceBuffer` is a chunk of simulated GPU memory carrying
+real numpy bytes.  Buffers track their owning device and whether they
+came from a pool (pooled buffers are returned, not freed).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GpuError
+
+__all__ = ["DeviceBuffer"]
+
+
+class DeviceBuffer:
+    """A device allocation with real backing storage.
+
+    Attributes
+    ----------
+    capacity:
+        Allocated size in bytes.
+    data:
+        The live payload (a numpy array of any dtype/size whose
+        ``nbytes`` must fit ``capacity``); ``None`` until written.
+    """
+
+    __slots__ = ("device", "capacity", "data", "pooled", "_freed", "label")
+
+    def __init__(self, device, capacity: int, pooled: bool = False, label: str = ""):
+        if capacity < 0:
+            raise GpuError(f"negative buffer capacity: {capacity}")
+        self.device = device
+        self.capacity = int(capacity)
+        self.data: Optional[np.ndarray] = None
+        self.pooled = pooled
+        self._freed = False
+        self.label = label
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def write(self, array: np.ndarray) -> None:
+        """Place ``array`` into the buffer (zero-time bookkeeping; the
+        *time* of getting data here is charged by the operation that
+        produced it — a kernel, a copy, or a wire transfer)."""
+        if self._freed:
+            raise GpuError(f"write to freed buffer {self.label!r}")
+        if array.nbytes > self.capacity:
+            raise GpuError(
+                f"payload of {array.nbytes} bytes exceeds buffer capacity {self.capacity}"
+            )
+        self.data = array
+
+    def read(self) -> np.ndarray:
+        if self._freed:
+            raise GpuError(f"read from freed buffer {self.label!r}")
+        if self.data is None:
+            raise GpuError(f"read from unwritten buffer {self.label!r}")
+        return self.data
+
+    def clear(self) -> None:
+        self.data = None
+
+    def __repr__(self) -> str:
+        state = "freed" if self._freed else ("empty" if self.data is None else f"{self.data.nbytes}B")
+        return f"<DeviceBuffer cap={self.capacity} {state} pooled={self.pooled}>"

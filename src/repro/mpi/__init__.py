@@ -1,0 +1,22 @@
+"""GPU-aware MPI runtime on the simulated cluster.
+
+A deliberately MVAPICH2-shaped implementation: ranks are simulation
+processes, small messages go eager, large messages use the rendezvous
+protocol (RTS -> CTS -> DATA) — and the compression framework's header
+rides on the RTS packet exactly as in the paper's Figure 3.
+
+Public surface:
+
+* :class:`~repro.mpi.cluster.Cluster` — builds a simulator, topology,
+  devices and per-rank compression engines, then runs an SPMD rank
+  function on every rank.
+* :class:`~repro.mpi.comm.Communicator` — ``send``/``recv``/``isend``/
+  ``irecv``/``sendrecv`` plus the collectives of
+  :mod:`repro.mpi.collectives` as methods.
+"""
+
+from repro.mpi.cluster import Cluster, ClusterResult
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Communicator
+from repro.mpi.request import Request
+
+__all__ = ["Cluster", "ClusterResult", "Communicator", "Request", "ANY_SOURCE", "ANY_TAG"]

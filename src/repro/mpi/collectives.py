@@ -1,0 +1,204 @@
+"""Collective algorithms built on the point-to-point protocol.
+
+Because the rendezvous path (and hence the compression framework) sits
+under every large transfer, collectives gain from compression without
+any algorithm changes — exactly how the paper evaluates MPI_Bcast and
+MPI_Allgather, and how the future-work Alltoall/Allreduce behave.
+
+Algorithms (classic MPICH choices for large messages on small ranks):
+
+* ``bcast`` — binomial tree.
+* ``gather``/``scatter`` — linear rooted.
+* ``allgather`` — ring.
+* ``reduce`` — binomial tree with local combine.
+* ``allreduce`` — recursive doubling on power-of-two sizes, otherwise
+  reduce + bcast.
+* ``alltoall`` — pairwise exchange.
+* ``barrier`` — dissemination.
+
+All functions are generator subroutines; every rank of the
+communicator must call the same collective in the same order (SPMD).
+Internal messages use a high tag base to stay clear of user tags.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.errors import MpiError
+
+__all__ = [
+    "bcast", "gather", "scatter", "allgather", "reduce", "allreduce",
+    "alltoall", "barrier", "COLL_TAG_BASE",
+]
+
+COLL_TAG_BASE = 1 << 20
+_T_BCAST = COLL_TAG_BASE + 1
+_T_GATHER = COLL_TAG_BASE + 2
+_T_SCATTER = COLL_TAG_BASE + 3
+_T_ALLGATHER = COLL_TAG_BASE + 4
+_T_REDUCE = COLL_TAG_BASE + 5
+_T_ALLTOALL = COLL_TAG_BASE + 6
+_T_BARRIER = COLL_TAG_BASE + 7
+
+
+def _default_op(op: Optional[Callable]) -> Callable:
+    return np.add if op is None else op
+
+
+def bcast(comm, data: Any, root: int = 0):
+    """Binomial-tree broadcast; returns the data on every rank."""
+    size, rank = comm.size, comm.rank
+    if not (0 <= root < size):
+        raise MpiError(f"bcast root {root} out of range")
+    if size == 1:
+        return data
+    rel = (rank - root) % size
+
+    # Receive from the parent (the peer that owns our highest set bit).
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            parent = ((rel & ~mask) + root) % size
+            data = yield from comm.recv(parent, _T_BCAST)
+            break
+        mask <<= 1
+    # Forward to children below that bit.
+    mask >>= 1
+    reqs = []
+    while mask > 0:
+        if rel + mask < size and not (rel & mask):
+            child = ((rel | mask) + root) % size
+            reqs.append(comm.isend(data, child, _T_BCAST))
+        mask >>= 1
+    for r in reqs:
+        yield from r.wait()
+    return data
+
+
+def gather(comm, data: Any, root: int = 0):
+    """Linear gather; returns the list of contributions at the root,
+    ``None`` elsewhere."""
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        out: list = [None] * size
+        out[rank] = data
+        reqs = {src: comm.irecv(src, _T_GATHER) for src in range(size) if src != root}
+        for src, req in reqs.items():
+            out[src] = yield from req.wait()
+        return out
+    yield from comm.send(data, root, _T_GATHER)
+    return None
+
+
+def scatter(comm, chunks, root: int = 0):
+    """Linear scatter of ``chunks`` (a list of ``size`` items at the
+    root); returns this rank's chunk."""
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if chunks is None or len(chunks) != size:
+            raise MpiError(f"scatter needs exactly {size} chunks at the root")
+        reqs = [comm.isend(chunks[dst], dst, _T_SCATTER) for dst in range(size) if dst != root]
+        for r in reqs:
+            yield from r.wait()
+        return chunks[rank]
+    data = yield from comm.recv(root, _T_SCATTER)
+    return data
+
+
+def allgather(comm, data: Any):
+    """Ring allgather; returns the list of all contributions."""
+    size, rank = comm.size, comm.rank
+    out: list = [None] * size
+    out[rank] = data
+    if size == 1:
+        return out
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    send_block = rank
+    for _ in range(size - 1):
+        recv_block = (send_block - 1) % size
+        received = yield from comm.sendrecv(
+            out[send_block], right, left, _T_ALLGATHER, _T_ALLGATHER
+        )
+        out[recv_block] = received
+        send_block = recv_block
+    return out
+
+
+def reduce(comm, data: Any, root: int = 0, op: Optional[Callable] = None):
+    """Binomial-tree reduction; returns the result at the root,
+    ``None`` elsewhere."""
+    size, rank = comm.size, comm.rank
+    op = _default_op(op)
+    rel = (rank - root) % size
+    result = data
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            parent = ((rel & ~mask) + root) % size
+            yield from comm.send(result, parent, _T_REDUCE)
+            return None
+        peer_rel = rel | mask
+        if peer_rel < size:
+            contrib = yield from comm.recv(((peer_rel) + root) % size, _T_REDUCE)
+            result = op(result, contrib)
+        mask <<= 1
+    return result
+
+
+def allreduce(comm, data: Any, op: Optional[Callable] = None):
+    """Recursive doubling (power-of-two ranks) or reduce+bcast."""
+    size, rank = comm.size, comm.rank
+    op = _default_op(op)
+    if size & (size - 1) == 0:
+        result = data
+        mask = 1
+        while mask < size:
+            peer = rank ^ mask
+            received = yield from comm.sendrecv(
+                result, peer, peer, _T_REDUCE, _T_REDUCE
+            )
+            result = op(result, received)
+            mask <<= 1
+        return result
+    result = yield from reduce(comm, data, 0, op)
+    result = yield from bcast(comm, result, 0)
+    return result
+
+
+def alltoall(comm, chunks):
+    """Pairwise-exchange alltoall of ``size`` chunks; returns the
+    chunks received from each rank."""
+    size, rank = comm.size, comm.rank
+    if chunks is None or len(chunks) != size:
+        raise MpiError(f"alltoall needs exactly {size} chunks")
+    out: list = [None] * size
+    out[rank] = chunks[rank]
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        out[src] = yield from comm.sendrecv(
+            chunks[dst], dst, src, _T_ALLTOALL + step, _T_ALLTOALL + step
+        )
+    return out
+
+
+_BARRIER_TOKEN = np.zeros(1, dtype=np.uint8)
+
+
+def barrier(comm):
+    """Dissemination barrier (log2(size) rounds of tiny messages)."""
+    size, rank = comm.size, comm.rank
+    k = 0
+    dist = 1
+    while dist < size:
+        dst = (rank + dist) % size
+        src = (rank - dist) % size
+        yield from comm.sendrecv(
+            _BARRIER_TOKEN, dst, src, _T_BARRIER + k, _T_BARRIER + k
+        )
+        dist <<= 1
+        k += 1

@@ -1,0 +1,287 @@
+"""Communicator: point-to-point primitives and collective methods.
+
+Point-to-point follows MVAPICH2's two protocols:
+
+**Eager** (below :data:`EAGER_THRESHOLD`): envelope + payload travel
+together; no handshake, no compression (small messages never cross the
+compression threshold anyway).
+
+**Rendezvous** (paper Figures 3-4):
+
+1. sender (optionally) compresses — :meth:`CompressionEngine.sender_prepare`;
+2. RTS carries the piggybacked compression header to the receiver;
+3. receiver matches the RTS, obtains its temporary device buffer, and
+   answers CTS;
+4. sender pushes the (compressed) payload across the topology;
+5. receiver decompresses into the user buffer and completes.
+
+All primitives are generator subroutines (``yield from comm.send(...)``)
+except ``isend``/``irecv``, which spawn a protocol process and return a
+:class:`~repro.mpi.request.Request`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import MpiError
+from repro.mpi import collectives as _coll
+from repro.mpi.matching import ANY
+from repro.mpi.message import Packet, PacketKind
+from repro.mpi.request import Request
+from repro.utils.units import KiB
+
+__all__ = ["Communicator", "ANY_SOURCE", "ANY_TAG", "EAGER_THRESHOLD"]
+
+ANY_SOURCE = ANY
+ANY_TAG = ANY
+
+#: eager/rendezvous protocol switch point (MVAPICH2-GDR GPU default scale)
+EAGER_THRESHOLD = 16 * KiB
+
+#: CPU-side software overhead charged per point-to-point operation
+SETUP_TIME = 1.0e-6
+
+
+class Communicator:
+    """An MPI communicator bound to one rank of a running job."""
+
+    def __init__(self, runtime, rank: int, size: int):
+        self._rt = runtime
+        self.rank = rank
+        self.size = size
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def sim(self):
+        return self._rt.sim
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._rt.sim.now
+
+    def device(self):
+        """This rank's GPU."""
+        return self._rt.device_of(self.rank)
+
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not (0 <= peer < self.size):
+            raise MpiError(f"{what} rank {peer} out of range [0, {self.size})")
+
+    # -- nonblocking point-to-point ----------------------------------------------
+    def isend(self, data: Any, dest: int, tag: int = 0) -> Request:
+        """Start a nonblocking send of ``data`` (a numpy array resident
+        on this rank's GPU) to ``dest``."""
+        self._check_peer(dest, "destination")
+        req = Request(self.sim, kind=f"isend->{dest}")
+        self.sim.process(self._send_proc(data, dest, tag, req), name=f"isend{self.rank}->{dest}")
+        return req
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Start a nonblocking receive.  The request's value is the
+        received array."""
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        req = Request(self.sim, kind=f"irecv<-{source}")
+        self.sim.process(self._recv_proc(source, tag, req), name=f"irecv{self.rank}<-{source}")
+        return req
+
+    # -- blocking wrappers ------------------------------------------------------
+    def send(self, data: Any, dest: int, tag: int = 0):
+        """Blocking send (generator subroutine)."""
+        req = self.isend(data, dest, tag)
+        yield from req.wait()
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive (generator subroutine); returns the data."""
+        req = self.irecv(source, tag)
+        data = yield from req.wait()
+        return data
+
+    def sendrecv(self, senddata: Any, dest: int, source: int = ANY_SOURCE,
+                 sendtag: int = 0, recvtag: int = ANY_TAG):
+        """Concurrent send+receive; returns the received data."""
+        sreq = self.isend(senddata, dest, sendtag)
+        rreq = self.irecv(source, recvtag)
+        data = yield from rreq.wait()
+        yield from sreq.wait()
+        return data
+
+    # -- protocol processes ------------------------------------------------------
+    def _payload_nbytes(self, data: Any) -> int:
+        if isinstance(data, np.ndarray):
+            return int(data.nbytes)
+        return len(data)
+
+    def _send_proc(self, data: Any, dest: int, tag: int, req: Request):
+        rt = self._rt
+        try:
+            yield self.sim.timeout(SETUP_TIME)
+            seq = rt.next_seq()
+            nbytes = self._payload_nbytes(data)
+            if dest == self.rank:
+                # Self-send: no wire, deliver the envelope directly.
+                pkt = Packet(PacketKind.EAGER, self.rank, dest, tag, seq,
+                             payload=data, wire_nbytes=nbytes)
+                rt.matching_of(dest).deliver_envelope(pkt)
+                req.complete()
+                return
+
+            if nbytes < EAGER_THRESHOLD:
+                pkt = Packet(PacketKind.EAGER, self.rank, dest, tag, seq,
+                             payload=data, wire_nbytes=nbytes)
+                yield from rt.transfer(self.rank, dest, nbytes + pkt.control_bytes(),
+                                       label="eager")
+                rt.matching_of(dest).deliver_envelope(pkt)
+                req.complete()
+                return
+
+            # Rendezvous with on-the-fly compression.
+            engine = rt.engine_of(self.rank)
+            if engine.config.enabled and engine.config.pipeline:
+                pplan = yield from engine.sender_prepare_pipelined(
+                    data, path_bandwidth=rt.path_bandwidth(self.rank, dest)
+                )
+                if pplan is not None:
+                    yield from self._send_pipelined(rt, dest, tag, seq, pplan)
+                    req.complete()
+                    return
+            plan = yield from engine.sender_prepare(
+                data, path_bandwidth=rt.path_bandwidth(self.rank, dest)
+            )
+            rts = Packet(PacketKind.RTS, self.rank, dest, tag, seq,
+                         header=plan.header, wire_nbytes=plan.wire_nbytes)
+            yield from rt.control_delay(self.rank, dest, rts.control_bytes())
+            cts_ev = rt.matching_of(self.rank).expect_cts(seq)
+            rt.matching_of(dest).deliver_envelope(rts)
+            yield cts_ev
+            yield from rt.transfer(self.rank, dest, plan.wire_nbytes, label="rndv_data")
+            data_pkt = Packet(PacketKind.DATA, self.rank, dest, tag, seq,
+                              payload=plan.payload, wire_nbytes=plan.wire_nbytes)
+            rt.matching_of(dest).deliver_data(data_pkt)
+            yield from engine.sender_release(plan)
+            req.complete()
+        except BaseException as exc:  # surfaced via the request
+            req.fail(exc)
+
+    def _send_pipelined(self, rt, dest: int, tag: int, seq: int, pplan):
+        """Stream each partition as its compression kernel completes."""
+        engine = rt.engine_of(self.rank)
+        total = pplan.header.wire_bytes
+        rts = Packet(PacketKind.RTS, self.rank, dest, tag, seq,
+                     header=pplan.header, wire_nbytes=total)
+        yield from rt.control_delay(self.rank, dest, rts.control_bytes())
+        cts_ev = rt.matching_of(self.rank).expect_cts(seq)
+        rt.matching_of(dest).deliver_envelope(rts)
+        yield cts_ev
+
+        def part_sender(i):
+            yield from pplan.kernel_run(i)
+            comp = pplan.comps[i]
+            yield from rt.transfer(self.rank, dest, comp.nbytes, label="pipe_data")
+            rt.matching_of(dest).deliver_data(
+                Packet(PacketKind.DATA, self.rank, dest, tag, seq,
+                       payload=comp.payload, wire_nbytes=comp.nbytes, part=i)
+            )
+
+        procs = [
+            self.sim.process(part_sender(i), name=f"pipe-send{i}")
+            for i in range(pplan.n_parts)
+        ]
+        yield self.sim.all_of(procs)
+        yield from engine.pipelined_release(pplan)
+
+    def _recv_pipelined(self, rt, pkt, req: Request):
+        """Decompress each partition as it lands."""
+        engine = rt.engine_of(self.rank)
+        header = pkt.header
+        resources = yield from engine.receiver_prepare(header)
+        data_evs = [
+            rt.matching_of(self.rank).expect_data(pkt.seq, part=i)
+            for i in range(header.n_partitions)
+        ]
+        cts = Packet(PacketKind.CTS, self.rank, pkt.src, pkt.tag, pkt.seq)
+        yield from rt.control_delay(self.rank, pkt.src, cts.control_bytes())
+        rt.matching_of(pkt.src).deliver_cts(cts)
+
+        def part_receiver(i):
+            data_pkt = yield data_evs[i]
+            out = yield from engine.pipelined_receive_part(
+                header, i, data_pkt.payload
+            )
+            return out
+
+        procs = [
+            self.sim.process(part_receiver(i), name=f"pipe-recv{i}")
+            for i in range(header.n_partitions)
+        ]
+        results = yield self.sim.all_of(procs)
+        parts = [results[i] for i in range(header.n_partitions)]
+        yield from engine._release(resources)
+        req.complete(np.concatenate(parts))
+
+    def _recv_proc(self, source: int, tag: int, req: Request):
+        rt = self._rt
+        try:
+            yield self.sim.timeout(SETUP_TIME)
+            match_ev = rt.matching_of(self.rank).post_recv(source, tag)
+            pkt = yield match_ev
+            if pkt.kind == PacketKind.EAGER:
+                req.complete(pkt.payload)
+                return
+            if pkt.kind != PacketKind.RTS:
+                raise MpiError(f"unexpected envelope {pkt!r}")
+            if pkt.header is not None and pkt.header.pipelined:
+                yield from self._recv_pipelined(rt, pkt, req)
+                return
+            engine = rt.engine_of(self.rank)
+            resources = yield from engine.receiver_prepare(pkt.header)
+            data_ev = rt.matching_of(self.rank).expect_data(pkt.seq)
+            cts = Packet(PacketKind.CTS, self.rank, pkt.src, tag, pkt.seq)
+            yield from rt.control_delay(self.rank, pkt.src, cts.control_bytes())
+            rt.matching_of(pkt.src).deliver_cts(cts)
+            data_pkt = yield data_ev
+            data = yield from engine.receiver_complete(
+                pkt.header, data_pkt.payload, resources
+            )
+            req.complete(data)
+        except BaseException as exc:
+            req.fail(exc)
+
+    # -- collectives --------------------------------------------------------------
+    def bcast(self, data, root: int = 0):
+        """Binomial-tree broadcast (generator subroutine).  Returns the
+        broadcast data on every rank."""
+        result = yield from _coll.bcast(self, data, root)
+        return result
+
+    def allgather(self, data):
+        """Ring allgather; returns a list of every rank's contribution."""
+        result = yield from _coll.allgather(self, data)
+        return result
+
+    def gather(self, data, root: int = 0):
+        result = yield from _coll.gather(self, data, root)
+        return result
+
+    def scatter(self, chunks, root: int = 0):
+        result = yield from _coll.scatter(self, chunks, root)
+        return result
+
+    def reduce(self, data, root: int = 0, op=None):
+        result = yield from _coll.reduce(self, data, root, op)
+        return result
+
+    def allreduce(self, data, op=None):
+        result = yield from _coll.allreduce(self, data, op)
+        return result
+
+    def alltoall(self, chunks):
+        result = yield from _coll.alltoall(self, chunks)
+        return result
+
+    def barrier(self):
+        yield from _coll.barrier(self)

@@ -1,0 +1,111 @@
+"""Tag matching: posted receives vs. unexpected messages.
+
+MPI matching semantics per receiver rank: a receive matches the first
+arrived (FIFO) message whose ``(source, tag)`` agrees, with wildcards
+``ANY_SOURCE``/``ANY_TAG``.  Envelope packets (EAGER or RTS) go
+through matching; CTS and DATA packets are routed by sequence number
+to the operation that is waiting for them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import MpiError
+from repro.mpi.message import Packet
+from repro.sim import Event, Simulator
+
+__all__ = ["MatchingEngine", "ANY"]
+
+ANY = -1
+
+
+@dataclass
+class _PostedRecv:
+    source: int
+    tag: int
+    event: Event
+
+
+def _matches(post_src: int, post_tag: int, pkt: Packet) -> bool:
+    return (post_src == ANY or post_src == pkt.src) and (
+        post_tag == ANY or post_tag == pkt.tag
+    )
+
+
+class MatchingEngine:
+    """Per-rank matching state."""
+
+    def __init__(self, sim: Simulator, rank: int):
+        self.sim = sim
+        self.rank = rank
+        self._posted: deque[_PostedRecv] = deque()
+        self._unexpected: deque[Packet] = deque()
+        self._cts_waiters: dict[int, Event] = {}
+        self._data_waiters: dict[int, Event] = {}
+        self._early: dict[tuple[str, int], Packet] = {}
+
+    # -- envelope path ------------------------------------------------------
+    def post_recv(self, source: int, tag: int) -> Event:
+        """Post a receive; the returned event fires with the matching
+        envelope packet (EAGER or RTS)."""
+        for i, pkt in enumerate(self._unexpected):
+            if _matches(source, tag, pkt):
+                del self._unexpected[i]
+                ev = self.sim.event()
+                ev.succeed(pkt)
+                return ev
+        ev = self.sim.event()
+        self._posted.append(_PostedRecv(source, tag, ev))
+        return ev
+
+    def deliver_envelope(self, pkt: Packet) -> None:
+        """An EAGER or RTS packet arrived."""
+        for i, post in enumerate(self._posted):
+            if _matches(post.source, post.tag, pkt):
+                del self._posted[i]
+                post.event.succeed(pkt)
+                return
+        self._unexpected.append(pkt)
+
+    # -- seq-routed path ------------------------------------------------------
+    def expect_cts(self, seq: int) -> Event:
+        return self._expect("cts", (seq, 0), self._cts_waiters)
+
+    def expect_data(self, seq: int, part: int = 0) -> Event:
+        return self._expect("data", (seq, part), self._data_waiters)
+
+    def _expect(self, kind: str, key: tuple, table: dict[tuple, Event]) -> Event:
+        early = self._early.pop((kind, key), None)
+        ev = self.sim.event()
+        if early is not None:
+            ev.succeed(early)
+            return ev
+        if key in table:
+            raise MpiError(f"duplicate {kind} waiter for {key}")
+        table[key] = ev
+        return ev
+
+    def deliver_cts(self, pkt: Packet) -> None:
+        self._route("cts", (pkt.seq, 0), pkt, self._cts_waiters)
+
+    def deliver_data(self, pkt: Packet) -> None:
+        self._route("data", (pkt.seq, pkt.part), pkt, self._data_waiters)
+
+    def _route(self, kind: str, key: tuple, pkt: Packet,
+               table: dict[tuple, Event]) -> None:
+        ev = table.pop(key, None)
+        if ev is not None:
+            ev.succeed(pkt)
+        else:
+            self._early[(kind, key)] = pkt
+
+    # -- diagnostics ------------------------------------------------------------
+    @property
+    def pending_recvs(self) -> int:
+        return len(self._posted)
+
+    @property
+    def unexpected_count(self) -> int:
+        return len(self._unexpected)

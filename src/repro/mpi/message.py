@@ -1,0 +1,58 @@
+"""Protocol packets.
+
+Four packet kinds implement the two MVAPICH2 protocols:
+
+* ``EAGER`` — header + payload in one shot, for small messages.
+* ``RTS`` — Request-To-Send, carrying the piggybacked compression
+  header (paper Figure 3: "we piggyback the compression-related header
+  information into the RTS packet to avoid extra message exchanges").
+* ``CTS`` — Clear-To-Send, from receiver once its buffers are ready.
+* ``DATA`` — the (possibly compressed) payload transfer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.header import CompressionHeader
+
+__all__ = ["PacketKind", "Packet", "CONTROL_PACKET_BYTES"]
+
+#: base size of a control packet (RTS/CTS) before the piggybacked header
+CONTROL_PACKET_BYTES = 64
+
+
+class PacketKind(enum.Enum):
+    EAGER = "eager"
+    RTS = "rts"
+    CTS = "cts"
+    DATA = "data"
+
+
+@dataclass
+class Packet:
+    """One protocol message between two ranks."""
+
+    kind: PacketKind
+    src: int
+    dst: int
+    tag: int
+    seq: int
+    header: Optional[CompressionHeader] = None
+    payload: Any = None
+    wire_nbytes: int = 0
+    #: partition index for pipelined DATA packets (0 otherwise)
+    part: int = 0
+
+    def control_bytes(self) -> int:
+        """Bytes this packet occupies as a control message."""
+        extra = self.header.nbytes if self.header is not None else 0
+        return CONTROL_PACKET_BYTES + extra
+
+    def __repr__(self) -> str:
+        return (
+            f"<Packet {self.kind.value} {self.src}->{self.dst} "
+            f"tag={self.tag} seq={self.seq}>"
+        )

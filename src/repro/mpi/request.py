@@ -1,0 +1,78 @@
+"""Nonblocking communication requests.
+
+``isend``/``irecv`` return a :class:`Request`; ``yield from
+request.wait()`` blocks the calling rank until completion.  Multiple
+processes may wait on the same request.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import MpiError
+from repro.sim import Simulator
+
+__all__ = ["Request", "waitall"]
+
+
+class Request:
+    """Completion handle for a nonblocking operation."""
+
+    def __init__(self, sim: Simulator, kind: str = ""):
+        self.sim = sim
+        self.kind = kind
+        self.data: Any = None
+        self._done = False
+        self._failed: BaseException | None = None
+        self._waiters: list = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def complete(self, data: Any = None) -> None:
+        if self._done:
+            raise MpiError(f"request {self.kind!r} completed twice")
+        self._done = True
+        self.data = data
+        for ev in self._waiters:
+            ev.succeed(data)
+        self._waiters.clear()
+
+    def fail(self, exc: BaseException) -> None:
+        if self._done:
+            raise MpiError(f"request {self.kind!r} failed after completion")
+        self._done = True
+        self._failed = exc
+        for ev in self._waiters:
+            ev.fail(exc)
+            ev.defuse()
+        self._waiters.clear()
+
+    def test(self) -> bool:
+        """Nonblocking completion check."""
+        if self._failed is not None:
+            raise self._failed
+        return self._done
+
+    def wait(self):
+        """Generator subroutine: block until complete, return the data
+        (received array for irecv, None for isend)."""
+        if self._failed is not None:
+            raise self._failed
+        if self._done:
+            return self.data
+        ev = self.sim.event()
+        self._waiters.append(ev)
+        result = yield ev
+        return result
+
+
+def waitall(requests):
+    """Generator subroutine: wait on every request, return their data
+    in order."""
+    out = []
+    for r in requests:
+        val = yield from r.wait()
+        out.append(val)
+    return out

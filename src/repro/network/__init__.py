@@ -1,0 +1,39 @@
+"""Interconnect models and cluster topologies.
+
+Links are latency+bandwidth pipes with per-direction contention;
+topologies wire GPUs inside nodes (NVLink or PCIe) and nodes to each
+other (InfiniBand).  The disparity these models encode — ~75 GB/s
+NVLink vs. 12.5 GB/s IB EDR vs. 6.8 GB/s IB FDR — is the paper's
+motivating Figure 1.
+"""
+
+from repro.network.links import Link, LinkSpec
+from repro.network.presets import (
+    IB_EDR,
+    IB_FDR,
+    IB_HDR,
+    NVLINK2,
+    NVLINK3,
+    PCIE3_X16,
+    PCIE4_X8,
+    XBUS,
+    MachinePreset,
+    machine_preset,
+)
+from repro.network.topology import Topology
+
+__all__ = [
+    "Link",
+    "LinkSpec",
+    "Topology",
+    "MachinePreset",
+    "machine_preset",
+    "IB_EDR",
+    "IB_FDR",
+    "IB_HDR",
+    "NVLINK2",
+    "NVLINK3",
+    "PCIE3_X16",
+    "PCIE4_X8",
+    "XBUS",
+]

@@ -1,0 +1,86 @@
+"""Point-to-point link model.
+
+A link is a unidirectional latency+bandwidth pipe.  Transfers hold the
+link for their serialization time, so concurrent messages through the
+same link (e.g. several ranks behind one InfiniBand HCA) queue — the
+contention that shapes collective and application performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+from repro.sim import Resource, Simulator
+
+__all__ = ["LinkSpec", "Link"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static link description.
+
+    Attributes
+    ----------
+    name:
+        Human-readable technology name ("IB-EDR", "NVLink-3", ...).
+    latency:
+        One-way propagation + switching latency (seconds).
+    bandwidth:
+        Peak unidirectional bandwidth (bytes/second).
+    lanes:
+        Number of transfers that can be in flight concurrently without
+        queueing (each gets ``bandwidth / lanes``... kept at 1 for the
+        serializing model used throughout the paper's fabrics).
+    """
+
+    name: str
+    latency: float
+    bandwidth: float
+    lanes: int = 1
+
+    def __post_init__(self):
+        if self.latency < 0 or self.bandwidth <= 0 or self.lanes < 1:
+            raise NetworkError(f"invalid link spec: {self}")
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Time for ``nbytes`` to cross the wire, excluding queueing."""
+        return self.latency + nbytes / self.bandwidth
+
+
+class Link:
+    """A live (contended) instance of a :class:`LinkSpec`."""
+
+    def __init__(self, sim: Simulator, spec: LinkSpec, label: str = ""):
+        self.sim = sim
+        self.spec = spec
+        self.label = label or spec.name
+        self._res = Resource(sim, capacity=spec.lanes)
+
+    @property
+    def queued(self) -> int:
+        return self._res.queued
+
+    def transfer(self, nbytes: int, label: str = ""):
+        """Move ``nbytes`` across the link (generator subroutine).
+
+        Queues behind in-flight transfers, then holds the link for the
+        serialization time.
+        """
+        if nbytes < 0:
+            raise NetworkError(f"negative transfer size: {nbytes}")
+        req = self._res.request()
+        yield req
+        t0 = self.sim.now
+        try:
+            yield self.sim.timeout(self.spec.serialization_time(nbytes))
+        finally:
+            self._res.release(req)
+        if self.sim.tracer is not None:
+            self.sim.tracer.span(
+                t0, self.sim.now, "network", label or self.label,
+                nbytes=nbytes, link=self.label,
+            )
+
+    def __repr__(self) -> str:
+        return f"<Link {self.label} {self.spec.bandwidth / 1e9:.1f}GB/s>"

@@ -1,0 +1,124 @@
+"""Link and machine presets.
+
+Bandwidths follow the paper's Figure 1 and Section VI testbed
+descriptions; latencies are typical published values for the
+technologies.
+
+==============  ==========  =====================================
+link            bandwidth   source
+==============  ==========  =====================================
+IB EDR          12.5 GB/s   paper Sec. VI ("IB-EDR one way 100Gb/s")
+IB FDR           6.8 GB/s   56 Gb/s signalling, Frontera Liquid
+IB HDR          25.0 GB/s   paper Sec. I
+NVLink 3-lane   75.0 GB/s   paper Fig. 1 (Sierra/Longhorn/Lassen)
+X-Bus           64.0 GB/s   paper Fig. 1
+PCIe3 x16       16.0 GB/s   paper Fig. 1 (8-lane Gen4 = 16 GB/s);
+                            ~12 GB/s effective used for payloads
+==============  ==========  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.gpu.spec import RTX5000, V100, DeviceSpec
+from repro.network.links import LinkSpec
+from repro.utils.units import GBps, us
+
+__all__ = [
+    "IB_EDR", "IB_FDR", "IB_HDR", "NVLINK2", "NVLINK3", "PCIE3_X16", "PCIE4_X8",
+    "XBUS", "MachinePreset", "machine_preset", "MACHINES",
+]
+
+IB_EDR = LinkSpec(name="IB-EDR", latency=us(1.5), bandwidth=GBps(12.5))
+IB_FDR = LinkSpec(name="IB-FDR", latency=us(1.9), bandwidth=GBps(6.8))
+IB_HDR = LinkSpec(name="IB-HDR", latency=us(1.3), bandwidth=GBps(25.0))
+NVLINK2 = LinkSpec(name="NVLink-2lane", latency=us(2.0), bandwidth=GBps(50.0))
+NVLINK3 = LinkSpec(name="NVLink-3lane", latency=us(2.0), bandwidth=GBps(75.0))
+PCIE3_X16 = LinkSpec(name="PCIe3-x16", latency=us(4.0), bandwidth=GBps(12.0))
+PCIE4_X8 = LinkSpec(name="PCIe4-x8", latency=us(3.0), bandwidth=GBps(16.0))
+XBUS = LinkSpec(name="X-Bus", latency=us(1.0), bandwidth=GBps(64.0))
+
+
+@dataclass(frozen=True)
+class MachinePreset:
+    """One of the paper's testbeds.
+
+    Attributes
+    ----------
+    device:
+        GPU model installed per node.
+    intra_link:
+        GPU<->GPU link within a node.
+    intra_shared:
+        True when the intra-node fabric is a shared bus (PCIe through
+        the host bridge); False for dedicated point-to-point NVLink.
+    inter_link:
+        Per-node InfiniBand uplink (the inter-node bottleneck).
+    max_gpus_per_node:
+        Physical GPU count per node.
+    """
+
+    name: str
+    device: DeviceSpec
+    intra_link: LinkSpec
+    intra_shared: bool
+    inter_link: LinkSpec
+    max_gpus_per_node: int
+
+    def description(self) -> str:
+        return (
+            f"{self.name}: {self.max_gpus_per_node}x {self.device.name}/node, "
+            f"intra {self.intra_link.name} ({self.intra_link.bandwidth / 1e9:.1f} GB/s), "
+            f"inter {self.inter_link.name} ({self.inter_link.bandwidth / 1e9:.1f} GB/s)"
+        )
+
+
+#: TACC Longhorn: 4x V100 per POWER9 node, NVLink, IB EDR.
+LONGHORN = MachinePreset(
+    name="longhorn", device=V100, intra_link=NVLINK3, intra_shared=False,
+    inter_link=IB_EDR, max_gpus_per_node=4,
+)
+
+#: TACC Frontera Liquid subsystem: 4x Quadro RTX 5000, PCIe, IB FDR.
+FRONTERA_LIQUID = MachinePreset(
+    name="frontera-liquid", device=RTX5000, intra_link=PCIE3_X16, intra_shared=True,
+    inter_link=IB_FDR, max_gpus_per_node=4,
+)
+
+#: LLNL Lassen: 4x V100 per POWER9 node, NVLink, IB EDR.
+LASSEN = MachinePreset(
+    name="lassen", device=V100, intra_link=NVLINK3, intra_shared=False,
+    inter_link=IB_EDR, max_gpus_per_node=4,
+)
+
+#: OSU RI2: 1x V100 per Broadwell node over the PCIe host bridge, IB EDR.
+RI2 = MachinePreset(
+    name="ri2", device=V100, intra_link=PCIE3_X16, intra_shared=True,
+    inter_link=IB_EDR, max_gpus_per_node=1,
+)
+
+#: LLNL Sierra (Fig. 1): 4x V100, 3-lane NVLink, IB EDR.
+SIERRA = MachinePreset(
+    name="sierra", device=V100, intra_link=NVLINK3, intra_shared=False,
+    inter_link=IB_EDR, max_gpus_per_node=4,
+)
+
+MACHINES = {
+    "longhorn": LONGHORN,
+    "frontera-liquid": FRONTERA_LIQUID,
+    "lassen": LASSEN,
+    "ri2": RI2,
+    "sierra": SIERRA,
+}
+
+
+def machine_preset(name: str) -> MachinePreset:
+    """Look up a machine preset by case-insensitive name."""
+    try:
+        return MACHINES[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown machine {name!r}; known: {sorted(MACHINES)}"
+        ) from None

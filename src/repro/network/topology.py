@@ -1,0 +1,161 @@
+"""Cluster topology: GPUs, nodes, and the links between them.
+
+A :class:`Topology` instantiates live :class:`~repro.network.links.Link`
+objects from a :class:`~repro.network.presets.MachinePreset`:
+
+* intra-node — either dedicated per-direction GPU pair links (NVLink)
+  or a shared per-node, per-direction bus (PCIe host bridge);
+* inter-node — one uplink and one downlink per node to an ideal
+  (full-bisection) switch, so the node's HCA is the contention point,
+  matching the single-HCA testbeds of the paper.
+
+``transfer(src, dst, nbytes)`` resolves the route and moves the bytes,
+charging end-to-end latency plus serialization at the bottleneck while
+holding every traversed link.  A networkx graph of the topology is
+available for inspection and for tooling built on top.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import NetworkError
+from repro.network.links import Link
+from repro.network.presets import MachinePreset
+from repro.sim import Simulator
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """Physical layout of a simulated GPU cluster."""
+
+    def __init__(self, sim: Simulator, preset: MachinePreset, nodes: int, gpus_per_node: int):
+        if nodes < 1:
+            raise NetworkError(f"need >= 1 node, got {nodes}")
+        if not (1 <= gpus_per_node <= preset.max_gpus_per_node):
+            raise NetworkError(
+                f"{preset.name} supports 1..{preset.max_gpus_per_node} GPUs/node, "
+                f"got {gpus_per_node}"
+            )
+        self.sim = sim
+        self.preset = preset
+        self.nodes = nodes
+        self.gpus_per_node = gpus_per_node
+
+        # Inter-node: per-node uplink/downlink to an ideal switch.
+        self._uplink = [Link(sim, preset.inter_link, f"node{n}-up") for n in range(nodes)]
+        self._downlink = [Link(sim, preset.inter_link, f"node{n}-down") for n in range(nodes)]
+
+        # Intra-node fabric.
+        self._intra: dict = {}
+        if preset.intra_shared:
+            # One shared bus per node per direction.
+            for n in range(nodes):
+                self._intra[n] = Link(sim, preset.intra_link, f"node{n}-{preset.intra_link.name}")
+        else:
+            # Dedicated ordered-pair links, created lazily.
+            pass
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def n_gpus(self) -> int:
+        return self.nodes * self.gpus_per_node
+
+    def node_of(self, gpu: int) -> int:
+        if not (0 <= gpu < self.n_gpus):
+            raise NetworkError(f"gpu {gpu} out of range (have {self.n_gpus})")
+        return gpu // self.gpus_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def _intra_link(self, src: int, dst: int) -> Link:
+        preset = self.preset
+        if preset.intra_shared:
+            return self._intra[self.node_of(src)]
+        key = (src, dst)
+        if key not in self._intra:
+            self._intra[key] = Link(
+                self.sim, preset.intra_link, f"{preset.intra_link.name}:{src}->{dst}"
+            )
+        return self._intra[key]
+
+    def route(self, src: int, dst: int) -> list[Link]:
+        """The ordered links a message from ``src`` to ``dst`` crosses."""
+        if src == dst:
+            return []
+        if self.same_node(src, dst):
+            return [self._intra_link(src, dst)]
+        return [self._uplink[self.node_of(src)], self._downlink[self.node_of(dst)]]
+
+    def path_bandwidth(self, src: int, dst: int) -> float:
+        links = self.route(src, dst)
+        if not links:
+            return float("inf")
+        return min(l.spec.bandwidth for l in links)
+
+    def path_latency(self, src: int, dst: int) -> float:
+        return sum(l.spec.latency for l in self.route(src, dst))
+
+    # -- data movement ------------------------------------------------------
+    def transfer(self, src: int, dst: int, nbytes: int, label: str = ""):
+        """Move ``nbytes`` from GPU ``src`` to GPU ``dst`` (generator
+        subroutine).
+
+        Same-GPU transfers are free; same-node transfers cross the
+        intra link; inter-node transfers hold both HCA links for the
+        bottleneck serialization time (cut-through, not
+        store-and-forward).
+        """
+        links = self.route(src, dst)
+        if not links:
+            return
+        if len(links) == 1:
+            yield from links[0].transfer(nbytes, label=label)
+            return
+        # Cut-through across both HCAs: hold them together for
+        # total-latency + bottleneck-serialization.
+        bw = min(l.spec.bandwidth for l in links)
+        lat = sum(l.spec.latency for l in links)
+        reqs = [l._res.request() for l in links]
+        for r in reqs:
+            yield r
+        t0 = self.sim.now
+        try:
+            yield self.sim.timeout(lat + nbytes / bw)
+        finally:
+            for l, r in zip(links, reqs):
+                l._res.release(r)
+        if self.sim.tracer is not None:
+            self.sim.tracer.span(
+                t0, self.sim.now, "network", label or f"{src}->{dst}",
+                nbytes=nbytes, src=src, dst=dst,
+                link="+".join(l.label for l in links),
+            )
+
+    # -- inspection -----------------------------------------------------------
+    def graph(self) -> "nx.DiGraph":
+        """A networkx digraph of GPUs, node switches and the core
+        switch, annotated with link specs (Figure 1 style)."""
+        g = nx.DiGraph()
+        g.add_node("switch", kind="switch")
+        for n in range(self.nodes):
+            hub = f"node{n}"
+            g.add_node(hub, kind="node")
+            up, down = self.preset.inter_link, self.preset.inter_link
+            g.add_edge(hub, "switch", spec=up, bandwidth=up.bandwidth)
+            g.add_edge("switch", hub, spec=down, bandwidth=down.bandwidth)
+            for k in range(self.gpus_per_node):
+                gpu = n * self.gpus_per_node + k
+                g.add_node(f"gpu{gpu}", kind="gpu", device=self.preset.device.name)
+                il = self.preset.intra_link
+                g.add_edge(f"gpu{gpu}", hub, spec=il, bandwidth=il.bandwidth)
+                g.add_edge(hub, f"gpu{gpu}", spec=il, bandwidth=il.bandwidth)
+        return g
+
+    def __repr__(self) -> str:
+        return (
+            f"<Topology {self.preset.name} {self.nodes}x{self.gpus_per_node} "
+            f"({self.n_gpus} GPUs)>"
+        )

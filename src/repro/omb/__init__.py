@@ -1,0 +1,27 @@
+"""OSU-Micro-Benchmark-style harnesses on the simulated cluster.
+
+``osu_latency`` / ``osu_bw`` mirror the OMB point-to-point benchmarks
+(Figures 5, 9, 10); ``osu_bcast`` / ``osu_allgather`` (and the
+future-work ``osu_alltoall`` / ``osu_allreduce``) mirror the
+collective benchmarks, including the paper's modification to transmit
+*real dataset* contents instead of the dummy fill (Figure 11).
+
+Because the simulation is deterministic, a single timed iteration
+yields the exact latency; ``warmup`` iterations still run first so
+one-time effects (device-attribute caching, pool growth) are excluded,
+like OMB's 100 warm-up runs.
+"""
+
+from repro.omb.payload import make_payload
+from repro.omb.pt2pt import osu_bw, osu_latency
+from repro.omb.collective import osu_allgather, osu_allreduce, osu_alltoall, osu_bcast
+
+__all__ = [
+    "make_payload",
+    "osu_latency",
+    "osu_bw",
+    "osu_bcast",
+    "osu_allgather",
+    "osu_alltoall",
+    "osu_allreduce",
+]

@@ -1,0 +1,51 @@
+"""Benchmark payload generation.
+
+Three payload families, selected by name:
+
+* ``"omb"`` — OSU's classic constant fill.  Compresses extremely well
+  with MPC (the paper's Fig 10a discussion notes "the high compression
+  ratio on dummy data").
+* ``"random"`` — incompressible white noise (MPC's worst case).
+* ``"wave"`` — smooth synthetic field (MPC ratio ~1.5-3, like
+  mid-simulation HPC data).
+* ``"dataset:<name>"`` — a slice of one of the Table III synthetic
+  datasets (the paper's modified OMB for Figure 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import generate
+from repro.datasets.synthetic import bitwalk
+from repro.errors import ConfigError
+
+__all__ = ["make_payload"]
+
+
+def make_payload(kind: str, nbytes: int, seed: int = 0) -> np.ndarray:
+    """Build a float32 payload of exactly ``nbytes`` bytes."""
+    if nbytes % 4:
+        raise ConfigError(f"payload bytes must be a multiple of 4, got {nbytes}")
+    n = nbytes // 4
+    rng = np.random.default_rng(seed)
+    if kind == "omb":
+        return np.full(n, np.float32(1.0))
+    if kind == "random":
+        return rng.standard_normal(n).astype(np.float32)
+    if kind == "wave":
+        return bitwalk(n, 10, rng)
+    if kind.startswith("dataset:"):
+        name = kind.split(":", 1)[1]
+        from repro.datasets.catalog import get_spec
+
+        # Generate only as much of the dataset as the payload needs.
+        scale = nbytes / (get_spec(name).size_mb * 1e6) * 1.02 + 1e-6
+        data = generate(name, scale=scale, seed=seed)
+        if data.size < n:
+            reps = -(-n // data.size)
+            data = np.tile(data, reps)
+        return data[:n].copy()
+    raise ConfigError(
+        f"unknown payload kind {kind!r}; use 'omb', 'random', 'wave' or 'dataset:<name>'"
+    )

@@ -1,0 +1,127 @@
+"""osu_latency / osu_bw analogues.
+
+``osu_latency`` runs the classic two-rank ping-pong and reports
+one-way latency per message size; ``osu_bw`` posts a window of
+back-to-back nonblocking sends and reports achieved bandwidth.
+
+Rank placement controls the fabric under test: ``inter_node=True``
+puts the two ranks on different nodes (IB), ``False`` on the same node
+(NVLink/PCIe) — Figure 9's four panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import CompressionConfig
+from repro.mpi.cluster import Cluster
+from repro.mpi.request import waitall
+from repro.network.presets import machine_preset
+from repro.omb.payload import make_payload
+
+__all__ = ["LatencyRow", "osu_latency", "osu_bw"]
+
+
+@dataclass
+class LatencyRow:
+    """One line of osu_latency output."""
+
+    nbytes: int
+    latency: float  # one-way seconds
+    breakdown: dict
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency * 1e6
+
+
+def _make_cluster(machine: str, inter_node: bool) -> Cluster:
+    preset = machine_preset(machine)
+    if inter_node:
+        return Cluster(preset, nodes=2, gpus_per_node=1)
+    return Cluster(preset, nodes=1, gpus_per_node=2)
+
+
+def _pingpong(comm, data, iterations: int, warmup: int):
+    peer = 1 - comm.rank
+    t_start = None
+    for it in range(warmup + iterations):
+        if it == warmup:
+            yield from comm.barrier()
+            t_start = comm.now
+        if comm.rank == 0:
+            yield from comm.send(data, peer, tag=1)
+            yield from comm.recv(peer, tag=2)
+        else:
+            got = yield from comm.recv(peer, tag=1)
+            yield from comm.send(got, peer, tag=2)
+    return (comm.now - t_start) / (2 * iterations)
+
+
+def osu_latency(
+    machine: str = "longhorn",
+    sizes=(256 << 10, 1 << 20, 4 << 20),
+    config: Optional[CompressionConfig] = None,
+    payload: str = "omb",
+    inter_node: bool = True,
+    iterations: int = 1,
+    warmup: int = 1,
+) -> list[LatencyRow]:
+    """One-way D-D latency per message size (Figures 5 and 9)."""
+    config = config or CompressionConfig.disabled()
+    cluster = _make_cluster(machine, inter_node)
+    rows = []
+    for nbytes in sizes:
+        data = make_payload(payload, nbytes)
+        res = cluster.run(_pingpong, config=config, args=(data, iterations, warmup))
+        rows.append(LatencyRow(nbytes=nbytes, latency=res.values[0],
+                               breakdown=res.breakdown()))
+    return rows
+
+
+def _bw_ranks(comm, data, window: int, iterations: int, warmup: int):
+    peer = 1 - comm.rank
+    t_start = None
+    for it in range(warmup + iterations):
+        if it == warmup:
+            yield from comm.barrier()
+            t_start = comm.now
+        if comm.rank == 0:
+            reqs = [comm.isend(data, peer, tag=100 + w) for w in range(window)]
+            yield from waitall(reqs)
+            yield from comm.recv(peer, tag=999)  # ack
+        else:
+            reqs = [comm.irecv(peer, tag=100 + w) for w in range(window)]
+            yield from waitall(reqs)
+            yield from comm.send(data[:1], peer, tag=999)
+    elapsed = comm.now - t_start
+    return data.nbytes * window * iterations / elapsed if elapsed else 0.0
+
+
+def osu_bw(
+    machine: str = "longhorn",
+    sizes=(1 << 20, 4 << 20),
+    config: Optional[CompressionConfig] = None,
+    payload: str = "omb",
+    inter_node: bool = True,
+    window: int = 8,
+    iterations: int = 1,
+    warmup: int = 1,
+) -> list[LatencyRow]:
+    """Streaming bandwidth (osu_bw): a window of back-to-back isends
+    per iteration.
+
+    Each returned row's ``breakdown['bandwidth']`` carries the achieved
+    bytes/s (the quantity Figure 2a plots); ``latency`` holds the
+    per-window wall time for reference."""
+    config = config or CompressionConfig.disabled()
+    cluster = _make_cluster(machine, inter_node)
+    rows = []
+    for nbytes in sizes:
+        data = make_payload(payload, nbytes)
+        res = cluster.run(_bw_ranks, config=config, args=(data, window, iterations, warmup))
+        bw = res.values[0]
+        rows.append(LatencyRow(nbytes=nbytes, latency=nbytes * window / bw if bw else 0.0,
+                               breakdown={"bandwidth": bw}))
+    return rows

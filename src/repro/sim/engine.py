@@ -1,0 +1,382 @@
+"""Core event loop: simulator, events, timeouts and processes.
+
+Time is a ``float`` in **seconds**.  Ties are broken by insertion order,
+so a run is fully deterministic for a given program.
+
+The generator protocol: a process function is a generator that yields
+:class:`Event` instances.  When the yielded event triggers, the process
+resumes; the event's value is sent into the generator (or its exception
+is thrown in).  A process is itself an :class:`Event` that triggers when
+the generator returns, carrying the return value.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import DeadlockError, SimulationError
+
+__all__ = ["Simulator", "Event", "Timeout", "Process", "AllOf", "AnyOf", "Interrupt"]
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process may catch it and continue; ``cause`` carries
+    an arbitrary payload describing why it was interrupted.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *pending*; it is *triggered* exactly once, either
+    via :meth:`succeed` (carrying a value) or :meth:`fail` (carrying an
+    exception).  Callbacks registered before triggering run, in order,
+    when the simulator pops the event off the schedule.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self._defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value/exception (even if callbacks
+        have not run yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True for success, False for failure, None while pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value accessed before it triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every waiting process.  If
+        nothing ever waits on a failed event the failure would be lost,
+        so the simulator raises it at the end of the run unless the
+        event is :meth:`defused <defuse>`.
+        """
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self)
+        self.sim._failed_events.append(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the simulator will not
+        re-raise its exception at the end of the run."""
+        self._defused = True
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.  If the event
+        has already been processed the callback runs immediately."""
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.9f}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=self.delay)
+
+
+class Process(Event):
+    """Wraps a generator and drives it through the event loop.
+
+    The process triggers (as an event) when the generator returns; the
+    StopIteration value becomes the event value.  Unhandled exceptions in
+    the generator fail the process event, propagating to any waiter.
+    """
+
+    __slots__ = ("gen", "name", "_target")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"Process needs a generator, got {type(gen).__name__}; "
+                "did you call a plain function instead of a generator function?"
+            )
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Kick off on the next scheduling round at the current time.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.add_callback(self._resume)
+        sim._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        if self._target is not None and self.callbacks is not None:
+            # Detach from whatever it was waiting on.
+            tgt = self._target
+            if tgt.callbacks is not None and self._resume in tgt.callbacks:
+                tgt.callbacks.remove(self._resume)
+        poke = Event(self.sim)
+        poke._ok = False
+        poke._value = Interrupt(cause)
+        poke._defused = True
+        poke.add_callback(self._resume)
+        self.sim._schedule(poke)
+
+    # -- internal ------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+        try:
+            if event._ok:
+                target = self.gen.send(event._value)
+            else:
+                event._defused = True
+                target = self.gen.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("yielded event belongs to a different Simulator")
+        self._target = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Shared machinery for AllOf / AnyOf."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._n_done = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        return {i: ev._value for i, ev in enumerate(self.events) if ev.triggered and ev._ok}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when *all* child events have triggered successfully.
+
+    The value is a dict mapping the child's index to its value.  A child
+    failure fails the condition immediately.
+    """
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._n_done += 1
+        if self._n_done == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers when the *first* child event triggers.
+
+    The value is a dict of every child already triggered at that moment.
+    """
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Simulator:
+    """Event loop and clock.
+
+    Usage::
+
+        sim = Simulator()
+
+        def hello(sim):
+            yield sim.timeout(1.5)
+            return "done"
+
+        proc = sim.process(hello(sim))
+        sim.run()
+        assert sim.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+        self._failed_events: list[Event] = []
+        self.tracer = None  # attached by repro.sim.trace.Tracer
+
+    # -- clock ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factories ------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        t, _, event = heapq.heappop(self._heap)
+        self._now = t
+        callbacks, event.callbacks = event.callbacks, None
+        if self.tracer is not None:
+            self.tracer._on_event(t, event)
+        for cb in callbacks:
+            cb(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule empties, or until time ``until``.
+
+        Raises any un-defused failure once the loop exits, so a crashed
+        process cannot be silently dropped.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                break
+            self.step()
+        for ev in self._failed_events:
+            if not ev._defused:
+                raise ev._value
+        self._failed_events.clear()
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Convenience: spawn a process, run to completion, return its value.
+
+        Raises :class:`DeadlockError` if the schedule empties while the
+        process is still waiting (e.g. an unmatched receive).
+        """
+        proc = self.process(gen, name=name)
+        self.run()
+        if not proc.triggered:
+            raise DeadlockError(
+                f"simulation ran out of events while process {proc.name!r} was still waiting"
+            )
+        if not proc._ok:
+            raise proc._value
+        return proc._value

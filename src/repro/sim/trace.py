@@ -1,0 +1,99 @@
+"""Lightweight tracing of simulation activity.
+
+A :class:`Tracer` attaches to a :class:`~repro.sim.engine.Simulator` and
+records *spans* — named intervals with a category — that the rest of the
+stack uses to produce latency breakdowns (compression kernel time, wire
+time, memory allocation time, ...), mirroring the paper's Figures 6, 8
+and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A closed span on the simulation timeline."""
+
+    t_start: float
+    t_end: float
+    category: str
+    label: str
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` spans and aggregates by category.
+
+    Spans may overlap (e.g. concurrent kernels on different streams);
+    :meth:`total` sums raw durations while :meth:`busy` merges
+    overlapping spans of one category into wall-clock occupancy.
+    """
+
+    def __init__(self, sim=None):
+        self.records: list[TraceRecord] = []
+        self._event_count = 0
+        if sim is not None:
+            sim.tracer = self
+
+    # Called by Simulator.step for every processed event.
+    def _on_event(self, t: float, event: Any) -> None:
+        self._event_count += 1
+
+    @property
+    def event_count(self) -> int:
+        return self._event_count
+
+    def span(self, t_start: float, t_end: float, category: str, label: str = "", **meta) -> None:
+        """Record a closed interval."""
+        if t_end < t_start:
+            raise ValueError(f"span ends before it starts: [{t_start}, {t_end}]")
+        self.records.append(TraceRecord(t_start, t_end, category, label, meta))
+
+    def total(self, category: Optional[str] = None) -> float:
+        """Sum of span durations, optionally filtered by category."""
+        return sum(
+            r.duration for r in self.records if category is None or r.category == category
+        )
+
+    def busy(self, category: str) -> float:
+        """Wall-clock time during which >= 1 span of ``category`` was open."""
+        spans = sorted(
+            ((r.t_start, r.t_end) for r in self.records if r.category == category)
+        )
+        out = 0.0
+        cur_s: Optional[float] = None
+        cur_e = 0.0
+        for s, e in spans:
+            if cur_s is None:
+                cur_s, cur_e = s, e
+            elif s <= cur_e:
+                cur_e = max(cur_e, e)
+            else:
+                out += cur_e - cur_s
+                cur_s, cur_e = s, e
+        if cur_s is not None:
+            out += cur_e - cur_s
+        return out
+
+    def categories(self) -> list[str]:
+        return sorted({r.category for r in self.records})
+
+    def breakdown(self) -> dict[str, float]:
+        """Category -> summed duration, for latency breakdown figures."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.category] = out.get(r.category, 0.0) + r.duration
+        return out
+
+    def clear(self) -> None:
+        self.records.clear()
+        self._event_count = 0

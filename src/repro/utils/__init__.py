@@ -1,0 +1,33 @@
+"""Shared helpers: unit conversion, bit manipulation, table formatting."""
+
+from repro.utils.units import (
+    GB,
+    GiB,
+    KB,
+    KiB,
+    MB,
+    MiB,
+    Gbps,
+    GBps,
+    us,
+    fmt_bytes,
+    fmt_time,
+    parse_size,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "GB",
+    "GiB",
+    "KB",
+    "KiB",
+    "MB",
+    "MiB",
+    "Gbps",
+    "GBps",
+    "us",
+    "fmt_bytes",
+    "fmt_time",
+    "parse_size",
+    "format_table",
+]

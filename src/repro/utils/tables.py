@@ -1,0 +1,45 @@
+"""Plain-text table rendering for benchmark harness output.
+
+The benchmark suite prints the same rows/series the paper's tables and
+figures report; this module renders them as aligned monospace tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(v: Any, floatfmt: str) -> str:
+    if isinstance(v, float):
+        return format(v, floatfmt)
+    return str(v)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    floatfmt: str = ".2f",
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ----
+    1  2.50
+    """
+    srows = [[_cell(v, floatfmt) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import Device
+from repro.gpu.spec import V100
+from repro.mpi.cluster import Cluster
+from repro.network.presets import machine_preset
+from repro.sim import Simulator, Tracer
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def traced_sim():
+    s = Simulator()
+    Tracer(s)
+    return s
+
+
+@pytest.fixture
+def device(traced_sim):
+    return Device(traced_sim, V100, device_id=0)
+
+
+@pytest.fixture
+def two_node_cluster():
+    """Two single-GPU nodes over IB EDR (Longhorn-style)."""
+    return Cluster(machine_preset("longhorn"), nodes=2, gpus_per_node=1)
+
+
+@pytest.fixture
+def intra_node_cluster():
+    """One node with two GPUs over NVLink."""
+    return Cluster(machine_preset("longhorn"), nodes=1, gpus_per_node=2)
+
+
+@pytest.fixture
+def small_grid_cluster():
+    """Four single-GPU Frontera-style nodes (FDR)."""
+    return Cluster(machine_preset("frontera-liquid"), nodes=4, gpus_per_node=1)
+
+
+def smooth_f32(n: int, seed: int = 0) -> np.ndarray:
+    """A compressible float32 signal."""
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.standard_normal(n).astype(np.float32) * 1e-3).astype(np.float32)
+
+
+@pytest.fixture
+def smooth_signal():
+    return smooth_f32(100_000)

@@ -1,0 +1,76 @@
+"""INAM-style CommProfile tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import CommProfile
+from repro.core import CompressionConfig
+from repro.mpi.cluster import Cluster
+from repro.network.presets import machine_preset
+from repro.utils.units import MiB
+
+
+def run_traffic(config=None, nodes=2, ppn=2):
+    cluster = Cluster(machine_preset("longhorn"), nodes=nodes, gpus_per_node=ppn)
+    data = np.cumsum(np.ones((2 * MiB) // 4, dtype=np.float32))
+
+    def rank_fn(comm):
+        out = yield from comm.allgather(data)
+        return len(out)
+
+    return cluster.run(rank_fn, config=config or CompressionConfig.disabled())
+
+
+def test_profile_totals_match_tracer():
+    res = run_traffic()
+    prof = CommProfile.from_result(res)
+    assert prof.elapsed == res.elapsed
+    assert prof.category_time["network"] == pytest.approx(
+        res.tracer.total("network"))
+    assert prof.n_messages > 0
+    assert prof.total_wire_bytes > 0
+
+
+def test_profile_links_and_busiest():
+    res = run_traffic()
+    prof = CommProfile.from_result(res)
+    assert len(prof.links) >= 2  # uplinks/downlinks + NVLink pairs
+    busiest = prof.busiest_link
+    assert busiest is not None
+    assert 0 < busiest.utilization(prof.elapsed) <= 1.0
+
+
+def test_profile_histogram_buckets():
+    res = run_traffic()
+    prof = CommProfile.from_result(res)
+    assert sum(prof.size_histogram.values()) == prof.n_messages
+    # 2 MiB payloads -> a bucket at or near 2^21
+    assert any(b >= 20 for b in prof.size_histogram)
+
+
+def test_profile_compression_shrinks_wire_bytes():
+    base = CommProfile.from_result(run_traffic())
+    comp = CommProfile.from_result(run_traffic(CompressionConfig.mpc_opt()))
+    assert comp.total_wire_bytes < base.total_wire_bytes / 2
+
+
+def test_profile_report_renders():
+    prof = CommProfile.from_result(run_traffic(CompressionConfig.mpc_opt()))
+    text = prof.report()
+    assert "time by category" in text
+    assert "link activity" in text
+    assert "wire-size histogram" in text
+    assert "compression_kernel" in text
+
+
+def test_profile_empty_run():
+    cluster = Cluster(machine_preset("ri2"), nodes=1, gpus_per_node=1)
+
+    def rank_fn(comm):
+        yield comm.sim.timeout(1e-6)
+
+    res = cluster.run(rank_fn)
+    prof = CommProfile.from_result(res)
+    assert prof.n_messages == 0
+    assert prof.busiest_link is None
+    assert "0 wire transfers" in prof.report()

@@ -1,0 +1,216 @@
+"""AWP mini-app: grid, solver numerics, runner metrics."""
+
+import numpy as np
+import pytest
+
+from repro.apps.awp import ProcessGrid, WaveSolver, run_awp, weak_scaling
+from repro.apps.awp.solver import HALO
+from repro.apps.awp.surrogate import SurrogateSolver
+from repro.core import CompressionConfig
+from repro.errors import ConfigError
+
+
+# -- grid ---------------------------------------------------------------------
+
+def test_grid_factorization():
+    assert ProcessGrid.for_size(1) == ProcessGrid(1, 1)
+    assert ProcessGrid.for_size(4) == ProcessGrid(2, 2)
+    assert ProcessGrid.for_size(8) == ProcessGrid(2, 4)
+    assert ProcessGrid.for_size(12) == ProcessGrid(3, 4)
+    assert ProcessGrid.for_size(7) == ProcessGrid(1, 7)
+
+
+def test_grid_coords_roundtrip():
+    g = ProcessGrid(3, 4)
+    for r in range(g.size):
+        ix, iy = g.coords(r)
+        assert g.rank_of(ix, iy) == r
+
+
+def test_grid_neighbors_interior():
+    g = ProcessGrid(3, 3)
+    n = g.neighbors(4)  # centre
+    assert n == {"-x": 3, "+x": 5, "-y": 1, "+y": 7}
+
+
+def test_grid_neighbors_boundary():
+    g = ProcessGrid(3, 3)
+    n = g.neighbors(0)
+    assert n["-x"] is None and n["-y"] is None
+    assert n["+x"] == 1 and n["+y"] == 3
+
+
+def test_grid_invalid():
+    with pytest.raises(ConfigError):
+        ProcessGrid(0, 1)
+    with pytest.raises(ConfigError):
+        ProcessGrid(2, 2).coords(4)
+
+
+# -- solver -----------------------------------------------------------------------
+
+def make_solver(shape=(16, 16, 16)):
+    return WaveSolver(shape, rank=0, grid=ProcessGrid(1, 1))
+
+
+def test_solver_shape_validation():
+    with pytest.raises(ConfigError):
+        WaveSolver((2, 16, 16), 0, ProcessGrid(1, 1))
+    with pytest.raises(ConfigError):
+        WaveSolver((16, 16, 16), 0, ProcessGrid(1, 1), dt=1.0)
+
+
+def test_faces_have_expected_size():
+    s = make_solver((8, 12, 16))
+    assert s.face_to_send("-x").size == HALO * 12 * 16
+    assert s.face_to_send("+y").size == HALO * 8 * 16
+    assert s.face_nbytes("-x") == HALO * 12 * 16 * 4
+
+
+def test_face_roundtrip_between_solvers():
+    """What one solver sends lands correctly in its neighbour's halo."""
+    g = ProcessGrid(2, 1)
+    left = WaveSolver((8, 8, 8), 0, g)
+    right = WaveSolver((8, 8, 8), 1, g)
+    left.u[:] = 1.0
+    right.apply_received("-x", left.face_to_send("+x"))
+    assert np.all(right.u[0:HALO, HALO:-HALO, HALO:-HALO] == 1.0)
+
+
+def test_bad_direction():
+    s = make_solver()
+    with pytest.raises(ConfigError):
+        s.face_to_send("+z")
+    with pytest.raises(ConfigError):
+        s.apply_received("?", np.zeros(1, np.float32))
+
+
+def test_source_injection_center_rank_only():
+    g = ProcessGrid(2, 2)
+    owners = []
+    for r in range(4):
+        s = WaveSolver((8, 8, 8), r, g)
+        s.inject_source()
+        owners.append(s.energy() > 0)
+    assert sum(owners) == 1
+
+
+def test_wave_propagates_outward():
+    s = make_solver((24, 24, 24))
+    s.inject_source()
+    e0 = s.energy()
+    for _ in range(10):
+        s.apply_physical_boundaries(ProcessGrid(1, 1).neighbors(0))
+        s.inject_source()
+        s.step_compute()
+    # Energy has been injected and the field spread beyond the centre.
+    assert s.energy() > e0
+    interior = s.interior()
+    c = interior[12, 12, 12]
+    assert np.count_nonzero(np.abs(interior) > 1e-9) > 100
+
+
+def test_stability_over_many_steps():
+    s = make_solver((16, 16, 16))
+    s.inject_source()
+    nbrs = ProcessGrid(1, 1).neighbors(0)
+    for _ in range(50):
+        s.apply_physical_boundaries(nbrs)
+        s.inject_source()
+        s.step_compute()
+    assert np.isfinite(s.interior()).all()
+    assert s.energy() < 1e6  # no blow-up
+
+
+def test_flops_metric():
+    s = make_solver((10, 10, 10))
+    assert s.interior_points == 1000
+    assert s.flops_per_step == pytest.approx(1000 * 33.0)
+
+
+# -- surrogate ---------------------------------------------------------------------
+
+def test_surrogate_faces_match_real_sizes():
+    g = ProcessGrid(2, 2)
+    real = WaveSolver((16, 16, 32), 0, g)
+    sur = SurrogateSolver((16, 16, 32), 0, g)
+    for d in ("-x", "+x", "-y", "+y"):
+        assert sur.face_to_send(d).nbytes == real.face_to_send(d).nbytes
+        assert sur.face_nbytes(d) == real.face_nbytes(d)
+
+
+def test_surrogate_faces_compressible():
+    from repro.compression import MpcCompressor
+
+    sur = SurrogateSolver((32, 32, 64), 0, ProcessGrid(1, 1))
+    face = sur.face_to_send("+x")
+    assert MpcCompressor(1).compress(face).ratio > 2.0
+
+
+def test_surrogate_faces_evolve():
+    sur = SurrogateSolver((16, 16, 16), 0, ProcessGrid(1, 1))
+    f1 = sur.face_to_send("+x").copy()
+    sur.step_compute()
+    f2 = sur.face_to_send("+x")
+    assert not np.array_equal(f1, f2)
+    # but correlated (smooth evolution)
+    assert np.abs(f1 - f2).max() < np.abs(f1).max()
+
+
+# -- runner --------------------------------------------------------------------------
+
+def test_run_awp_baseline_metrics():
+    r = run_awp("frontera-liquid", gpus=4, gpus_per_node=4,
+                local_shape=(16, 16, 32), steps=3)
+    assert r.n_ranks == 4 and r.steps == 3
+    assert r.elapsed > 0
+    assert r.gflops > 0
+    assert 0 < r.comm_fraction < 1
+    assert r.time_per_step == pytest.approx(r.elapsed / 3)
+
+
+def test_run_awp_requires_divisible_gpus():
+    with pytest.raises(ConfigError):
+        run_awp(gpus=6, gpus_per_node=4)
+
+
+def test_awp_lossless_compression_identical_physics():
+    # Faces must exceed the 16 KiB eager threshold so the rendezvous
+    # (compression) path actually runs: 2*32*128*4 = 32 KiB.
+    kw = dict(machine="frontera-liquid", gpus=4, gpus_per_node=2,
+              local_shape=(32, 32, 128), steps=3)
+    base = run_awp(**kw, config=CompressionConfig.disabled())
+    mpc = run_awp(**kw, config=CompressionConfig.mpc_opt(threshold=20 * 1024))
+    assert mpc.energy == pytest.approx(base.energy, rel=1e-12)
+    assert mpc.energy > 0
+
+
+def test_awp_zfp16_small_error_zfp4_large_error():
+    """The paper's accuracy observation: rate 16 tolerable, rate 4
+    'would generate incorrect output'."""
+    kw = dict(machine="frontera-liquid", gpus=4, gpus_per_node=2,
+              local_shape=(32, 32, 128), steps=6)
+    base = run_awp(**kw, config=CompressionConfig.disabled())
+    z16 = run_awp(**kw, config=CompressionConfig.zfp_opt(16, threshold=20 * 1024))
+    z4 = run_awp(**kw, config=CompressionConfig.zfp_opt(4, threshold=20 * 1024))
+    err16 = abs(z16.energy - base.energy) / (abs(base.energy) + 1e-30)
+    err4 = abs(z4.energy - base.energy) / (abs(base.energy) + 1e-30)
+    assert err16 < 1e-2
+    assert err4 > 10 * err16
+
+
+def test_weak_scaling_returns_grid():
+    res = weak_scaling(
+        "frontera-liquid", gpu_counts=[2, 4], gpus_per_node=2,
+        configs=[CompressionConfig.disabled()],
+        local_shape=(16, 16, 32), steps=2,
+    )
+    assert len(res) == 2
+    assert res[0].n_ranks == 2 and res[1].n_ranks == 4
+
+
+def test_surrogate_runner_large_scale():
+    r = run_awp("lassen", gpus=16, gpus_per_node=4,
+                local_shape=(16, 16, 64), steps=2, surrogate=True)
+    assert r.gflops > 0
+    assert r.energy == 0.0  # surrogate has no field

@@ -1,0 +1,59 @@
+"""CLI entry-point tests."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_machines(capsys):
+    assert main(["machines"]) == 0
+    out = capsys.readouterr().out
+    assert "longhorn" in out and "IB-EDR" in out
+
+
+def test_codecs(capsys):
+    assert main(["codecs"]) == 0
+    out = capsys.readouterr().out
+    assert "Proposed MPC-OPT" in out
+
+
+def test_latency(capsys):
+    assert main(["latency", "--sizes", "256K", "--config", "mpc-opt"]) == 0
+    assert "osu_latency" in capsys.readouterr().out
+
+
+def test_latency_intra(capsys):
+    assert main(["latency", "--sizes", "256K", "--intra"]) == 0
+
+
+def test_bcast(capsys):
+    assert main(["bcast", "--nodes", "2", "--ppn", "1", "--size", "256K",
+                 "--dataset", "msg_sp", "--config", "baseline"]) == 0
+    assert "bcast msg_sp" in capsys.readouterr().out
+
+
+def test_awp(capsys):
+    assert main(["awp", "--gpus", "4", "--ppn", "2", "--steps", "2",
+                 "--config", "baseline"]) == 0
+    assert "GFLOP/s" in capsys.readouterr().out
+
+
+def test_dask(capsys):
+    assert main(["dask", "--workers", "2", "--dims", "512", "--chunk", "128"]) == 0
+    assert "aggregate" in capsys.readouterr().out
+
+
+def test_table3(capsys):
+    assert main(["table3", "--scale", "0.01"]) == 0
+    assert "msg_sppm" in capsys.readouterr().out
+
+
+def test_unknown_config():
+    with pytest.raises(SystemExit):
+        main(["latency", "--config", "zstd"])
+
+
+def test_profile(capsys):
+    assert main(["profile", "--nodes", "2", "--ppn", "1", "--size", "512K"]) == 0
+    out = capsys.readouterr().out
+    assert "link activity" in out and "time by category" in out

@@ -1,0 +1,76 @@
+"""Codec memoization cache."""
+
+import numpy as np
+import pytest
+
+from repro.compression import MpcCompressor, ZfpCompressor
+from repro.compression.cache import CodecCache
+
+
+def test_compress_hit_on_equal_bytes(rng):
+    cache = CodecCache()
+    codec = MpcCompressor(1)
+    a = rng.standard_normal(1000).astype(np.float32)
+    b = a.copy()  # different object, same bytes
+    c1 = cache.compress(codec, a)
+    c2 = cache.compress(codec, b)
+    assert cache.hits == 1 and cache.misses == 1
+    assert c1 is c2
+
+
+def test_different_params_miss(rng):
+    cache = CodecCache()
+    a = rng.standard_normal(1000).astype(np.float32)
+    cache.compress(MpcCompressor(1), a)
+    cache.compress(MpcCompressor(2), a)
+    assert cache.misses == 2
+
+
+def test_different_codec_miss(rng):
+    cache = CodecCache()
+    a = rng.standard_normal(1000).astype(np.float32)
+    cache.compress(MpcCompressor(1), a)
+    cache.compress(ZfpCompressor(16), a)
+    assert cache.misses == 2
+
+
+def test_decompress_returns_fresh_copy(rng):
+    cache = CodecCache()
+    codec = MpcCompressor(1)
+    a = rng.standard_normal(1000).astype(np.float32)
+    comp = codec.compress(a)
+    d1 = cache.decompress(codec, comp)
+    d2 = cache.decompress(codec, comp)
+    assert cache.hits == 1
+    assert np.array_equal(d1, d2)
+    d1[0] = 999.0  # mutating one must not poison the other
+    d3 = cache.decompress(codec, comp)
+    assert d3[0] != 999.0
+
+
+def test_lru_eviction(rng):
+    cache = CodecCache(max_bytes=10_000)
+    codec = MpcCompressor(1)
+    arrays = [rng.standard_normal(2000).astype(np.float32) for _ in range(8)]
+    for a in arrays:
+        cache.compress(codec, a)
+    cache.compress(codec, arrays[0])  # early entry was evicted
+    assert cache.misses == 9
+    assert cache._bytes <= 10_000
+
+
+def test_clear(rng):
+    cache = CodecCache()
+    cache.compress(MpcCompressor(1), rng.standard_normal(100).astype(np.float32))
+    cache.clear()
+    assert cache.hits == cache.misses == 0
+    assert len(cache._store) == 0
+
+
+def test_cache_correctness_under_mpc_roundtrip(rng):
+    cache = CodecCache()
+    codec = MpcCompressor(2)
+    x = np.cumsum(rng.standard_normal(5000)).astype(np.float32)
+    comp = cache.compress(codec, x)
+    y = cache.decompress(codec, comp)
+    assert np.array_equal(x.view(np.uint32), y.view(np.uint32))

@@ -1,0 +1,222 @@
+"""Unit + property tests for the MPC codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import MpcCompressor
+from repro.compression.mpc import bit_transpose
+from repro.errors import CompressionError
+
+from tests.conftest import smooth_f32
+
+
+def bits_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Bit-exact comparison (NaN-safe)."""
+    u = np.uint32 if a.dtype == np.float32 else np.uint64
+    return a.shape == b.shape and np.array_equal(a.view(u), b.view(u))
+
+
+# -- bit transpose ------------------------------------------------------------
+
+def test_bit_transpose_involution_u32(rng):
+    w = rng.integers(0, 1 << 32, 320, dtype=np.uint64).astype(np.uint32)
+    assert np.array_equal(bit_transpose(bit_transpose(w)), w)
+
+
+def test_bit_transpose_involution_u64(rng):
+    w = rng.integers(0, 1 << 62, 128, dtype=np.uint64)
+    assert np.array_equal(bit_transpose(bit_transpose(w)), w)
+
+
+def test_bit_transpose_zero_block():
+    z = np.zeros(32, dtype=np.uint32)
+    assert np.array_equal(bit_transpose(z), z)
+
+
+def test_bit_transpose_low_bits_give_zero_words():
+    """Words with only 8 low bits set must transpose to <= 8 non-zero
+    words — the property zero elimination relies on."""
+    rng = np.random.default_rng(0)
+    w = rng.integers(0, 1 << 8, 64, dtype=np.uint64).astype(np.uint32)
+    t = bit_transpose(w)
+    assert np.count_nonzero(t) <= 16  # 8 bit-rows per 32-word block x 2 blocks
+
+
+def test_bit_transpose_bad_dtype():
+    with pytest.raises(CompressionError):
+        bit_transpose(np.zeros(32, dtype=np.int32))
+
+
+def test_bit_transpose_bad_length():
+    with pytest.raises(CompressionError):
+        bit_transpose(np.zeros(31, dtype=np.uint32))
+
+
+def test_bit_transpose_empty():
+    out = bit_transpose(np.empty(0, dtype=np.uint32))
+    assert out.size == 0
+
+
+# -- round trips -----------------------------------------------------------------
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+@pytest.mark.parametrize("n", [0, 1, 2, 31, 32, 33, 63, 64, 65, 1000, 4097])
+@pytest.mark.parametrize("dim", [1, 2, 3, 8])
+def test_roundtrip_shapes(dtype, n, dim, rng):
+    x = np.cumsum(rng.standard_normal(n)).astype(dtype)
+    codec = MpcCompressor(dim)
+    assert bits_equal(codec.decompress(codec.compress(x)), x)
+
+
+def test_roundtrip_special_values():
+    x = np.array(
+        [np.nan, np.inf, -np.inf, -0.0, 0.0, 1e-45, 1e-40, 3.4e38, -3.4e38],
+        dtype=np.float32,
+    )
+    codec = MpcCompressor(2)
+    assert bits_equal(codec.decompress(codec.compress(x)), x)
+
+
+def test_roundtrip_float64_specials():
+    x = np.array([np.nan, np.inf, -0.0, 5e-324, 1.7e308], dtype=np.float64)
+    codec = MpcCompressor(1)
+    assert bits_equal(codec.decompress(codec.compress(x)), x)
+
+
+def test_roundtrip_2d_input_flattened(rng):
+    x = rng.standard_normal((10, 10)).astype(np.float32)
+    codec = MpcCompressor(1)
+    out = codec.decompress(codec.compress(x))
+    assert bits_equal(out, x.reshape(-1))
+
+
+# -- ratio behaviour ------------------------------------------------------------
+
+def test_constant_data_high_ratio():
+    x = np.full(100_000, 3.14, dtype=np.float32)
+    # Paper Sec VII-A: MPC ratio "as high as 31" on duplicated data.
+    assert MpcCompressor(1).compress(x).ratio > 20
+
+
+def test_smooth_better_than_random(rng):
+    smooth = smooth_f32(50_000)
+    random = rng.standard_normal(50_000).astype(np.float32)
+    c = MpcCompressor(1)
+    assert c.compress(smooth).ratio > c.compress(random).ratio
+
+
+def test_random_data_bounded_expansion(rng):
+    x = rng.standard_normal(50_000).astype(np.float32)
+    ratio = MpcCompressor(1).compress(x).ratio
+    assert ratio > 0.9  # worst case: ~3% expansion from the bitmap
+
+
+def test_interleaved_data_prefers_matching_dimensionality(rng):
+    a = smooth_f32(4096, seed=1)
+    b = smooth_f32(4096, seed=2) * 100
+    interleaved = np.stack([a, b], axis=1).reshape(-1)
+    r1 = MpcCompressor(1).compress(interleaved).ratio
+    r2 = MpcCompressor(2).compress(interleaved).ratio
+    assert r2 > r1
+
+
+def test_best_dimensionality_finds_stride(rng):
+    a = smooth_f32(4096, seed=3)
+    b = smooth_f32(4096, seed=4) * 77
+    c = smooth_f32(4096, seed=5) * 0.01
+    interleaved = np.stack([a, b, c], axis=1).reshape(-1)
+    assert MpcCompressor.best_dimensionality(interleaved, range(1, 5)) == 3
+
+
+def test_ratio_for_helper(smooth_signal):
+    c = MpcCompressor(1)
+    assert c.ratio_for(smooth_signal) == pytest.approx(c.compress(smooth_signal).ratio)
+
+
+# -- headers / params ---------------------------------------------------------------
+
+def test_compressed_data_metadata(smooth_signal):
+    comp = MpcCompressor(3).compress(smooth_signal)
+    assert comp.algorithm == "mpc"
+    assert comp.params == {"dimensionality": 3}
+    assert comp.n_elements == smooth_signal.size
+    assert comp.meta["compressed_bytes"] == comp.nbytes
+    assert comp.original_nbytes == smooth_signal.nbytes
+
+
+def test_decompress_with_mismatched_instance_uses_params(smooth_signal):
+    """A receiver constructed with a different default dimensionality
+    must honour the header's dimensionality."""
+    comp = MpcCompressor(4).compress(smooth_signal)
+    out = MpcCompressor(1).decompress(comp)
+    assert bits_equal(out, smooth_signal)
+
+
+def test_invalid_dimensionality():
+    with pytest.raises(CompressionError):
+        MpcCompressor(0)
+
+
+def test_wrong_algorithm_payload_rejected(smooth_signal):
+    from repro.compression import ZfpCompressor
+
+    comp = ZfpCompressor(16).compress(smooth_signal)
+    with pytest.raises(CompressionError):
+        MpcCompressor(1).decompress(comp)
+
+
+def test_truncated_payload_rejected(smooth_signal):
+    comp = MpcCompressor(1).compress(smooth_signal)
+    comp.payload = comp.payload[: comp.payload.size // 2]
+    with pytest.raises(CompressionError):
+        MpcCompressor(1).decompress(comp)
+
+
+def test_unsupported_dtype_rejected():
+    with pytest.raises(CompressionError):
+        MpcCompressor(1).compress(np.arange(10, dtype=np.int32))
+
+
+def test_non_array_rejected():
+    with pytest.raises(CompressionError):
+        MpcCompressor(1).compress([1.0, 2.0])
+
+
+# -- property-based -----------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(width=32, allow_nan=True, allow_infinity=True),
+        min_size=0, max_size=300,
+    ),
+    dim=st.integers(min_value=1, max_value=9),
+)
+def test_property_lossless_roundtrip_f32(data, dim):
+    x = np.array(data, dtype=np.float32)
+    codec = MpcCompressor(dim)
+    assert bits_equal(codec.decompress(codec.compress(x)), x)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.lists(st.floats(allow_nan=False, allow_infinity=False),
+                  min_size=1, max_size=200),
+    dim=st.integers(min_value=1, max_value=4),
+)
+def test_property_lossless_roundtrip_f64(data, dim):
+    x = np.array(data, dtype=np.float64)
+    codec = MpcCompressor(dim)
+    assert bits_equal(codec.decompress(codec.compress(x)), x)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=2000))
+def test_property_compressed_size_bound(n):
+    """Compressed size never exceeds the engine's worst-case bound."""
+    rng = np.random.default_rng(n)
+    x = rng.standard_normal(n).astype(np.float32)
+    comp = MpcCompressor(1).compress(x)
+    assert comp.nbytes <= x.nbytes + x.nbytes // 16 + 4096

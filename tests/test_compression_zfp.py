@@ -1,0 +1,255 @@
+"""Unit + property tests for the fixed-rate ZFP codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import ZfpCompressor
+from repro.compression.zfp import forward_lift, inverse_lift, plan_bit_allocation
+from repro.errors import CompressionError
+
+
+# -- lifting transform ---------------------------------------------------------
+
+def test_lift_near_invertible(rng):
+    q = rng.integers(-(1 << 29), 1 << 29, size=(100, 4), dtype=np.int64)
+    back = inverse_lift(forward_lift(q))
+    # The >>1 steps drop at most a few ulps (matching upstream zfp).
+    assert np.abs(back - q).max() <= 4
+
+
+def test_lift_zero_block():
+    z = np.zeros((3, 4), dtype=np.int64)
+    assert np.array_equal(forward_lift(z), z)
+    assert np.array_equal(inverse_lift(z), z)
+
+
+def test_lift_constant_block_concentrates_dc():
+    q = np.full((1, 4), 1000, dtype=np.int64)
+    c = forward_lift(q)
+    assert abs(c[0, 0]) > 0
+    assert np.abs(c[0, 1:]).max() <= 2  # AC coefficients ~0 for constants
+
+
+def test_lift_smooth_block_decays():
+    q = np.array([[1000, 1010, 1020, 1030]], dtype=np.int64)
+    c = np.abs(forward_lift(q))
+    assert c[0, 0] > c[0, 2]
+    assert c[0, 0] > c[0, 3]
+
+
+# -- bit allocation ----------------------------------------------------------------
+
+@pytest.mark.parametrize("rate", [3, 4, 8, 16, 24, 32])
+def test_allocation_sums_to_budget_f32(rate):
+    kept = plan_bit_allocation(rate, 32)
+    assert sum(kept) == 4 * rate - 12
+    assert all(0 <= k <= 32 for k in kept)
+
+
+@pytest.mark.parametrize("rate", [3, 16, 48, 64])
+def test_allocation_sums_to_budget_f64(rate):
+    kept = plan_bit_allocation(rate, 64)
+    assert sum(kept) == 4 * rate - 12
+    assert all(0 <= k <= 64 for k in kept)
+
+
+def test_allocation_favours_low_frequency():
+    kept = plan_bit_allocation(8, 32)
+    assert kept[0] >= kept[1] >= kept[2] >= kept[3]
+
+
+def test_allocation_rate_too_small():
+    with pytest.raises(CompressionError):
+        plan_bit_allocation(2, 32)
+
+
+# -- fixed-rate size ---------------------------------------------------------------
+
+@pytest.mark.parametrize("rate", [4, 8, 16])
+@pytest.mark.parametrize("n", [1, 3, 4, 5, 100, 1001])
+def test_compressed_size_exactly_predictable(rate, n, rng):
+    """The property ZFP-OPT exploits to skip the size copy."""
+    codec = ZfpCompressor(rate)
+    x = rng.standard_normal(n).astype(np.float32)
+    comp = codec.compress(x)
+    assert comp.nbytes == codec.expected_compressed_bytes(n, 4)
+
+
+def test_rate16_halves_f32():
+    codec = ZfpCompressor(16)
+    # Paper Sec II: "16 bits/value for 32-bit single-precision ...
+    # can yield a compression ratio of 2".
+    assert codec.expected_compressed_bytes(4096, 4) == 4096 * 2
+
+
+@pytest.mark.parametrize("rate,cr", [(4, 8.0), (8, 4.0), (16, 2.0)])
+def test_fixed_ratio(rate, cr, rng):
+    x = rng.standard_normal(1 << 12).astype(np.float32)
+    assert ZfpCompressor(rate).compress(x).ratio == pytest.approx(cr, rel=0.01)
+
+
+# -- accuracy ------------------------------------------------------------------
+
+@pytest.mark.parametrize("rate", [8, 16, 24, 32])
+def test_error_within_bound_smooth(rate):
+    x = np.sin(np.linspace(0, 20, 4001)).astype(np.float32)
+    codec = ZfpCompressor(rate)
+    y = codec.decompress(codec.compress(x))
+    assert np.abs(x - y).max() <= codec.max_abs_error_bound(x)
+
+
+@pytest.mark.parametrize("rate", [8, 16, 32])
+def test_error_within_bound_rough(rate, rng):
+    x = rng.standard_normal(2048).astype(np.float32)
+    codec = ZfpCompressor(rate)
+    y = codec.decompress(codec.compress(x))
+    assert np.abs(x - y).max() <= codec.max_abs_error_bound(x)
+
+
+def test_higher_rate_more_accurate():
+    x = np.sin(np.linspace(0, 20, 4000)).astype(np.float32)
+    errs = []
+    for rate in (4, 8, 16, 24):
+        codec = ZfpCompressor(rate)
+        errs.append(np.abs(x - codec.decompress(codec.compress(x))).max())
+    assert errs == sorted(errs, reverse=True)
+    assert errs[-1] < 1e-4
+
+
+def test_rate4_very_lossy():
+    """The paper's AWP observation: rate 4 'exceeds the lowest
+    precision AWP-ODC can tolerate'."""
+    x = np.sin(np.linspace(0, 20, 4000)).astype(np.float32)
+    codec = ZfpCompressor(4)
+    err = np.abs(x - codec.decompress(codec.compress(x))).max()
+    assert err > 1e-2
+
+
+def test_zero_array_exact():
+    x = np.zeros(1000, dtype=np.float32)
+    codec = ZfpCompressor(8)
+    assert np.array_equal(codec.decompress(codec.compress(x)), x)
+
+
+def test_constant_array_close():
+    x = np.full(1000, 7.25, dtype=np.float32)
+    codec = ZfpCompressor(16)
+    y = codec.decompress(codec.compress(x))
+    assert np.abs(x - y).max() < 0.01
+
+
+def test_denormal_inputs_survive():
+    x = np.full(16, 1e-42, dtype=np.float32)
+    codec = ZfpCompressor(16)
+    y = codec.decompress(codec.compress(x))
+    assert np.all(np.isfinite(y))
+    assert np.abs(x - y).max() <= codec.max_abs_error_bound(x)
+
+
+def test_float64_roundtrip():
+    x = np.sin(np.linspace(0, 20, 997))
+    codec = ZfpCompressor(16)
+    comp = codec.compress(x)
+    y = codec.decompress(comp)
+    assert y.dtype == np.float64
+    assert np.abs(x - y).max() < 1e-2
+    assert comp.ratio == pytest.approx(4.0, rel=0.02)
+
+
+def test_negative_values_symmetric():
+    """Negabinary truncation is not exactly odd-symmetric, but both
+    polarities must stay inside the codec's error bound."""
+    x = np.linspace(-5, 5, 2000, dtype=np.float32)
+    codec = ZfpCompressor(16)
+    bound = codec.max_abs_error_bound(x)
+    y = codec.decompress(codec.compress(x))
+    ny = codec.decompress(codec.compress(-x))
+    assert np.abs(x - y).max() <= bound
+    assert np.abs(x + ny).max() <= bound
+    assert np.allclose(y, -ny, atol=2 * bound)
+
+
+# -- validation --------------------------------------------------------------------
+
+def test_nan_rejected():
+    with pytest.raises(CompressionError, match="finite"):
+        ZfpCompressor(8).compress(np.array([1.0, np.nan], dtype=np.float32))
+
+
+def test_inf_rejected():
+    with pytest.raises(CompressionError, match="finite"):
+        ZfpCompressor(8).compress(np.array([np.inf], dtype=np.float32))
+
+
+@pytest.mark.parametrize("rate", [0, 1, 2, 65])
+def test_invalid_rate(rate):
+    with pytest.raises(CompressionError):
+        ZfpCompressor(rate)
+
+
+def test_rate_above_width_rejected(rng):
+    codec = ZfpCompressor(48)  # fine for f64
+    with pytest.raises(CompressionError):
+        codec.compress(rng.standard_normal(8).astype(np.float32))
+
+
+def test_empty_array():
+    codec = ZfpCompressor(8)
+    comp = codec.compress(np.empty(0, dtype=np.float32))
+    assert comp.nbytes == 0
+    assert codec.decompress(comp).size == 0
+
+
+def test_header_param_roundtrip(rng):
+    """Receiver with a different default rate must use the payload's."""
+    x = rng.standard_normal(512).astype(np.float32)
+    comp = ZfpCompressor(8).compress(x)
+    y = ZfpCompressor(16).decompress(comp)
+    assert y.size == x.size
+    assert np.abs(x - y).max() <= ZfpCompressor(8).max_abs_error_bound(x)
+
+
+def test_truncated_payload_rejected(rng):
+    x = rng.standard_normal(512).astype(np.float32)
+    comp = ZfpCompressor(8).compress(x)
+    comp.payload = comp.payload[:10]
+    with pytest.raises(CompressionError):
+        ZfpCompressor(8).decompress(comp)
+
+
+# -- property-based ---------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=-1.0e18, max_value=1.0e18, allow_nan=False,
+                  allow_infinity=False,
+                  allow_subnormal=False).map(np.float32),
+        min_size=1, max_size=200,
+    ),
+    rate=st.sampled_from([4, 8, 16, 24, 32]),
+)
+def test_property_error_bound_and_size(data, rate):
+    x = np.array(data, dtype=np.float32)
+    codec = ZfpCompressor(rate)
+    comp = codec.compress(x)
+    assert comp.nbytes == codec.expected_compressed_bytes(x.size, 4)
+    y = codec.decompress(comp)
+    assert y.shape == x.shape
+    assert np.abs(x - y).max() <= codec.max_abs_error_bound(x)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=500), st.sampled_from([8, 16]))
+def test_property_idempotent_recompression(n, rate):
+    """Compressing an already-decompressed signal must not drift much
+    further (energy stays bounded)."""
+    rng = np.random.default_rng(n)
+    x = np.cumsum(rng.standard_normal(n)).astype(np.float32)
+    codec = ZfpCompressor(rate)
+    y1 = codec.decompress(codec.compress(x))
+    y2 = codec.decompress(codec.compress(y1))
+    bound = codec.max_abs_error_bound(x)
+    assert np.abs(y2 - y1).max() <= 2 * bound + 1e-12

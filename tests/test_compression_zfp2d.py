@@ -1,0 +1,116 @@
+"""ZFP 2-D mode tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import ZfpCompressor, get_compressor
+from repro.compression.zfp2d import Zfp2dCompressor, plan_bit_allocation_2d
+from repro.errors import CompressionError
+
+
+def smooth_field(rows, cols, seed=0):
+    x, y = np.meshgrid(np.linspace(0, 5, cols), np.linspace(0, 3, rows))
+    rng = np.random.default_rng(seed)
+    a, b = rng.uniform(0.5, 2.0, 2)
+    return (np.sin(a * x) * np.cos(b * y)).astype(np.float32)
+
+
+@pytest.mark.parametrize("rate", [1, 2, 4, 8, 16, 32])
+def test_allocation_budget(rate):
+    kept = plan_bit_allocation_2d(rate)
+    assert kept.sum() == 16 * rate - 12
+    assert (kept >= 0).all() and (kept <= 32).all()
+
+
+def test_allocation_favours_low_sequency():
+    kept = plan_bit_allocation_2d(8)
+    grid = kept.reshape(4, 4)
+    assert grid[0, 0] == kept.max()     # DC gets the most bits
+    assert grid[3, 3] == kept.min()     # highest sequency the least
+
+
+@pytest.mark.parametrize("shape", [(4, 4), (5, 7), (16, 16), (127, 101), (1, 1)])
+@pytest.mark.parametrize("rate", [4, 8, 16])
+def test_roundtrip_shapes(shape, rate):
+    img = smooth_field(*shape)
+    codec = Zfp2dCompressor(rate)
+    out = codec.decompress(codec.compress(img))
+    assert out.shape == img.shape
+    assert np.isfinite(out).all()
+
+
+@pytest.mark.parametrize("rate", [4, 8, 16])
+def test_2d_beats_1d_on_smooth_fields(rate):
+    """The point of the 2-D mode: lower error at equal rate."""
+    img = smooth_field(128, 96, seed=3)
+    c2 = Zfp2dCompressor(rate)
+    err2 = np.abs(c2.decompress(c2.compress(img)) - img).max()
+    c1 = ZfpCompressor(rate)
+    flat = c1.decompress(c1.compress(img.reshape(-1))).reshape(img.shape)
+    err1 = np.abs(flat - img).max()
+    assert err2 < err1 / 2
+
+
+def test_fixed_rate_size():
+    img = smooth_field(64, 64)
+    comp = Zfp2dCompressor(8).compress(img)
+    # 16x16 blocks x 16 values x 8 bits = exactly nbytes/4
+    assert comp.nbytes == 64 * 64 * 8 // 8
+
+
+def test_padding_edges_accurate():
+    img = smooth_field(9, 6)  # heavy padding (to 12x8)
+    codec = Zfp2dCompressor(16)
+    out = codec.decompress(codec.compress(img))
+    assert np.abs(out - img).max() < 1e-2
+
+
+def test_zero_field_exact():
+    z = np.zeros((8, 8), dtype=np.float32)
+    codec = Zfp2dCompressor(8)
+    assert np.array_equal(codec.decompress(codec.compress(z)), z)
+
+
+def test_validation():
+    codec = Zfp2dCompressor(8)
+    with pytest.raises(CompressionError):
+        codec.compress(np.zeros(16, dtype=np.float32))      # 1-D
+    with pytest.raises(CompressionError):
+        codec.compress(np.zeros((4, 4), dtype=np.float64))  # f64
+    with pytest.raises(CompressionError):
+        codec.compress(np.full((4, 4), np.nan, dtype=np.float32))
+    with pytest.raises(CompressionError):
+        Zfp2dCompressor(0)
+
+
+def test_truncated_payload():
+    codec = Zfp2dCompressor(8)
+    comp = codec.compress(smooth_field(16, 16))
+    comp.payload = comp.payload[:4]
+    with pytest.raises(CompressionError):
+        codec.decompress(comp)
+
+
+def test_registry():
+    codec = get_compressor("zfp2d", rate=4)
+    assert codec.rate == 4
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=40),
+    cols=st.integers(min_value=1, max_value=40),
+    rate=st.sampled_from([4, 8, 16]),
+    seed=st.integers(min_value=0, max_value=20),
+)
+def test_property_shape_and_finite(rows, cols, rate, seed):
+    rng = np.random.default_rng(seed)
+    img = rng.uniform(-100, 100, size=(rows, cols)).astype(np.float32)
+    codec = Zfp2dCompressor(rate)
+    out = codec.decompress(codec.compress(img))
+    assert out.shape == img.shape
+    assert np.isfinite(out).all()
+    # error bounded by block max magnitude (rough fixed-rate sanity)
+    assert np.abs(out - img).max() <= np.abs(img).max() * 2 + 1e-6

@@ -1,0 +1,104 @@
+"""Adaptive policy (future-work feature) unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionConfig
+from repro.core.adaptive import AdaptivePolicy
+from repro.utils.units import GBps, MiB
+
+from tests.conftest import smooth_f32
+
+
+def test_bucketing():
+    assert AdaptivePolicy.bucket_of(1) == 0
+    assert AdaptivePolicy.bucket_of(1024) == 10
+    assert AdaptivePolicy.bucket_of(1025) == 11
+    assert AdaptivePolicy.bucket_of(1 << 20) == 20
+
+
+def test_explores_until_min_samples():
+    p = AdaptivePolicy(min_samples=3)
+    assert p.should_compress(1 * MiB, GBps(100))  # would clearly lose, but explore
+    p.record(1 * MiB, ratio=1.1, t_compr=1e-3, t_decompr=1e-3)
+    p.record(1 * MiB, ratio=1.1, t_compr=1e-3, t_decompr=1e-3)
+    assert p.should_compress(1 * MiB, GBps(100))
+    p.record(1 * MiB, ratio=1.1, t_compr=1e-3, t_decompr=1e-3)
+    # Now informed: 1 MiB over 100 GB/s is ~10us raw; compression costs
+    # ~2ms — must decline.
+    assert not p.should_compress(1 * MiB, GBps(100))
+
+
+def test_accepts_wins_on_slow_link():
+    p = AdaptivePolicy(min_samples=1)
+    # Big ratio, cheap kernels, slow link: a clear win.
+    p.record(8 * MiB, ratio=10.0, t_compr=50e-6, t_decompr=50e-6)
+    assert p.should_compress(8 * MiB, GBps(6.8))
+
+
+def test_declines_marginal_under_hysteresis():
+    p = AdaptivePolicy(min_samples=1, hysteresis=1.5)
+    # Ratio 2 on a link where kernels eat most of the gain.
+    nbytes = 8 * MiB
+    bw = GBps(12.5)
+    t_raw = nbytes / bw
+    p.record(nbytes, ratio=2.0, t_compr=t_raw * 0.24, t_decompr=t_raw * 0.24)
+    # compressed: 0.5 t_raw + 0.48 t_raw = 0.98 t_raw -> <1.5x speedup
+    assert not p.should_compress(nbytes, bw)
+
+
+def test_ewma_adapts_to_data_change():
+    p = AdaptivePolicy(min_samples=1, alpha=0.5)
+    p.record(1 * MiB, ratio=30.0, t_compr=10e-6, t_decompr=10e-6)
+    assert p.stats(1 * MiB).ratio == pytest.approx(30.0)
+    for _ in range(8):
+        p.record(1 * MiB, ratio=1.0, t_compr=10e-6, t_decompr=10e-6)
+    assert p.stats(1 * MiB).ratio < 1.5
+
+
+def test_zero_bandwidth_defaults_to_configured():
+    p = AdaptivePolicy(min_samples=0)
+    assert p.should_compress(1024, 0.0)
+
+
+def test_snapshot():
+    p = AdaptivePolicy()
+    p.record(100, 2.0, 1e-6, 1e-6)
+    snap = p.snapshot()
+    assert len(snap) == 1
+    assert list(snap.values())[0].samples == 1
+
+
+def test_adaptive_config_enables_policy():
+    from repro.core.engine import CompressionEngine
+    from repro.gpu.device import Device
+    from repro.gpu.spec import V100
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    eng = CompressionEngine(sim, Device(sim, V100, 0),
+                            CompressionConfig.mpc_opt().with_(adaptive=True))
+    assert eng.adaptive_policy is not None
+    eng2 = CompressionEngine(sim, Device(sim, V100, 1), CompressionConfig.mpc_opt())
+    assert eng2.adaptive_policy is None
+
+
+def test_adaptive_end_to_end_skips_losing_compression(two_node_cluster):
+    """On NVLink-fast links with incompressible data the adaptive
+    engine should learn to stop compressing (paper Sec IX)."""
+    rng = np.random.default_rng(5)
+    data = rng.integers(0, 1 << 32, 500_000, dtype=np.uint64).astype(np.uint32).view(np.float32)
+
+    def rank_fn(comm):
+        for _ in range(6):
+            if comm.rank == 0:
+                yield from comm.send(data, 1)
+            else:
+                yield from comm.recv(0)
+        return comm.now
+
+    cfg_fixed = CompressionConfig.mpc_opt()
+    cfg_adaptive = cfg_fixed.with_(adaptive=True)
+    fixed = two_node_cluster.run(rank_fn, config=cfg_fixed)
+    adaptive = two_node_cluster.run(rank_fn, config=cfg_adaptive)
+    assert adaptive.elapsed <= fixed.elapsed

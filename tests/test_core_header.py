@@ -1,0 +1,102 @@
+"""Unit + property tests for the RTS-piggybacked compression header."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.header import CompressionHeader
+from repro.errors import HeaderError
+
+
+def test_uncompressed_header():
+    h = CompressionHeader.uncompressed(4096)
+    assert not h.compressed
+    assert h.wire_bytes == 4096
+    assert h.original_nbytes == 4096
+
+
+def test_for_message():
+    h = CompressionHeader.for_message("mpc", np.float32, 1000, 3, (800, 810))
+    assert h.compressed
+    assert h.algorithm == "mpc"
+    assert h.n_partitions == 2
+    assert h.wire_bytes == 1610
+    assert h.original_nbytes == 4000
+    assert h.codec_params() == {"dimensionality": 3}
+
+
+def test_zfp_codec_params():
+    h = CompressionHeader.for_message("zfp", np.float32, 10, 8, (20,))
+    assert h.codec_params() == {"rate": 8}
+
+
+def test_null_codec_params():
+    assert CompressionHeader.uncompressed(10).codec_params() == {}
+
+
+def test_pack_unpack_roundtrip():
+    h = CompressionHeader.for_message("zfp", np.float64, 123456, 16, (1000, 2000, 3000))
+    h2 = CompressionHeader.unpack(h.pack())
+    assert h2 == h
+
+
+def test_pack_unpack_uncompressed():
+    h = CompressionHeader.uncompressed(999)
+    assert CompressionHeader.unpack(h.pack()) == h
+
+
+def test_header_nbytes_matches_pack():
+    h = CompressionHeader.for_message("mpc", np.float32, 10, 1, (1, 2, 3, 4))
+    assert len(h.pack()) == h.nbytes
+
+
+def test_header_small():
+    """The header must stay small enough to piggyback on the RTS."""
+    h = CompressionHeader.for_message("mpc", np.float32, 1 << 23, 1, tuple(range(8)))
+    assert h.nbytes < 128
+
+
+def test_bad_magic():
+    raw = bytearray(CompressionHeader.uncompressed(10).pack())
+    raw[0] = 0x00
+    with pytest.raises(HeaderError, match="magic"):
+        CompressionHeader.unpack(bytes(raw))
+
+
+def test_truncated():
+    raw = CompressionHeader.for_message("mpc", np.float32, 10, 1, (1, 2)).pack()
+    with pytest.raises(HeaderError, match="truncated"):
+        CompressionHeader.unpack(raw[:8])
+    with pytest.raises(HeaderError, match="truncated"):
+        CompressionHeader.unpack(raw[:-2])
+
+
+def test_unknown_algorithm_pack():
+    h = CompressionHeader(compressed=True, algorithm="zstd", n_elements=1,
+                          partition_sizes=(4,))
+    with pytest.raises(HeaderError):
+        h.pack()
+
+
+def test_too_many_partitions():
+    h = CompressionHeader(compressed=True, algorithm="mpc", n_elements=1,
+                          partition_sizes=tuple(range(70000)))
+    with pytest.raises(HeaderError):
+        h.pack()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    algorithm=st.sampled_from(["null", "mpc", "zfp", "fpc"]),
+    dtype=st.sampled_from(["float32", "float64"]),
+    n=st.integers(min_value=0, max_value=1 << 48),
+    param=st.integers(min_value=0, max_value=1 << 31),
+    sizes=st.lists(st.integers(min_value=0, max_value=1 << 31), min_size=1, max_size=16),
+)
+def test_property_header_roundtrip(algorithm, dtype, n, param, sizes):
+    h = CompressionHeader(
+        compressed=True, algorithm=algorithm, dtype_name=dtype,
+        n_elements=n, param=param, partition_sizes=tuple(sizes),
+    )
+    assert CompressionHeader.unpack(h.pack()) == h

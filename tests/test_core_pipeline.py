@@ -1,0 +1,114 @@
+"""Pipelined rendezvous (extension) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionConfig
+from repro.core.header import CompressionHeader
+from repro.mpi.cluster import Cluster
+from repro.network.presets import machine_preset
+from repro.utils.units import MiB
+
+from tests.conftest import smooth_f32
+
+
+def _pingpong(comm, data):
+    if comm.rank == 0:
+        yield from comm.send(data, 1)
+        back = yield from comm.recv(1)
+        return back
+    got = yield from comm.recv(0)
+    yield from comm.send(got, 0)
+    return None
+
+
+@pytest.fixture
+def fdr_pair():
+    return Cluster(machine_preset("frontera-liquid"), nodes=2, gpus_per_node=1)
+
+
+def test_header_pipelined_flag_roundtrip():
+    h = CompressionHeader.for_message("zfp", np.float32, 100, 8, (50, 50),
+                                      pipelined=True)
+    h2 = CompressionHeader.unpack(h.pack())
+    assert h2.pipelined
+    h3 = CompressionHeader.for_message("zfp", np.float32, 100, 8, (100,))
+    assert not CompressionHeader.unpack(h3.pack()).pipelined
+
+
+def test_pipelined_mpc_lossless(fdr_pair):
+    data = smooth_f32((4 * MiB) // 4)
+    cfg = CompressionConfig.mpc_opt(partitions=4).with_(pipeline=True)
+    res = fdr_pair.run(_pingpong, config=cfg, args=(data,))
+    assert np.array_equal(res.values[0].view(np.uint32), data.view(np.uint32))
+
+
+def test_pipelined_zfp_error_bounded(fdr_pair):
+    from repro.compression import ZfpCompressor
+
+    data = smooth_f32((4 * MiB) // 4)
+    cfg = CompressionConfig.zfp_opt(16).with_(pipeline=True, partitions=4)
+    res = fdr_pair.run(_pingpong, config=cfg, args=(data,))
+    bound = ZfpCompressor(16).max_abs_error_bound(data)
+    assert np.abs(res.values[0] - data).max() <= bound
+
+
+def test_pipelined_faster_than_combined(fdr_pair):
+    data = smooth_f32((8 * MiB) // 4)
+    combined = CompressionConfig.mpc_opt(partitions=8)
+    piped = combined.with_(pipeline=True)
+    t_combined = fdr_pair.run(_pingpong, config=combined, args=(data,)).elapsed
+    t_piped = fdr_pair.run(_pingpong, config=piped, args=(data,)).elapsed
+    assert t_piped < t_combined
+
+
+def test_pipelined_overlaps_kernel_and_wire(fdr_pair):
+    """With pipelining, compression kernels and wire time overlap —
+    total elapsed must be less than their sum."""
+    data = smooth_f32((8 * MiB) // 4)
+    cfg = CompressionConfig.mpc_opt(partitions=8).with_(pipeline=True)
+    res = fdr_pair.run(_pingpong, config=cfg, args=(data,))
+    tr = res.tracer
+    serial_sum = (tr.busy("compression_kernel") + tr.busy("network")
+                  + tr.busy("decompression_kernel"))
+    assert res.elapsed < serial_sum
+
+
+def test_pipelined_small_message_falls_back(fdr_pair):
+    """Below the partition threshold the pipelined path must defer to
+    the ordinary rendezvous (single partition)."""
+    data = smooth_f32(80_000)  # 320 KB -> 1 partition
+    cfg = CompressionConfig.mpc_opt().with_(pipeline=True)
+    res = fdr_pair.run(_pingpong, config=cfg, args=(data,))
+    assert np.array_equal(res.values[0], data)
+
+
+def test_pipelined_incompressible_falls_back(fdr_pair, rng):
+    data = rng.integers(0, 1 << 32, (2 * MiB) // 4,
+                        dtype=np.uint64).astype(np.uint32).view(np.float32)
+    cfg = CompressionConfig.mpc_opt(partitions=4).with_(pipeline=True)
+    res = fdr_pair.run(_pingpong, config=cfg, args=(data,))
+    assert np.array_equal(res.values[0].view(np.uint32), data.view(np.uint32))
+
+
+def test_pipelined_deterministic(fdr_pair):
+    data = smooth_f32((4 * MiB) // 4)
+    cfg = CompressionConfig.zfp_opt(8).with_(pipeline=True, partitions=4)
+    e1 = fdr_pair.run(_pingpong, config=cfg, args=(data,)).elapsed
+    e2 = fdr_pair.run(_pingpong, config=cfg, args=(data,)).elapsed
+    assert e1 == e2
+
+
+def test_pipelined_in_collective(fdr_pair):
+    """Pipelining under a bcast tree delivers exact data everywhere."""
+    cluster = Cluster(machine_preset("frontera-liquid"), nodes=4, gpus_per_node=1)
+    data = smooth_f32((2 * MiB) // 4)
+    cfg = CompressionConfig.mpc_opt(partitions=4).with_(pipeline=True)
+
+    def rank_fn(comm):
+        payload = data if comm.rank == 0 else None
+        out = yield from comm.bcast(payload, root=0)
+        return np.array_equal(np.asarray(out), data)
+
+    res = cluster.run(rank_fn, config=cfg)
+    assert all(res.values)

@@ -1,0 +1,252 @@
+"""Matching engine, requests and cluster runner internals."""
+
+import numpy as np
+import pytest
+
+from repro.core.header import CompressionHeader
+from repro.errors import MpiError
+from repro.mpi import Cluster
+from repro.mpi.matching import ANY, MatchingEngine
+from repro.mpi.message import CONTROL_PACKET_BYTES, Packet, PacketKind
+from repro.mpi.request import Request, waitall
+from repro.network.presets import machine_preset
+from repro.sim import Simulator
+
+
+def pkt(src=0, dst=1, tag=0, seq=1, kind=PacketKind.RTS, header=None):
+    return Packet(kind, src, dst, tag, seq, header=header)
+
+
+# -- packets ---------------------------------------------------------------
+
+def test_control_bytes_include_header():
+    h = CompressionHeader.for_message("mpc", np.float32, 100, 1, (50, 50))
+    p = pkt(header=h)
+    assert p.control_bytes() == CONTROL_PACKET_BYTES + h.nbytes
+    assert pkt().control_bytes() == CONTROL_PACKET_BYTES
+
+
+# -- matching ---------------------------------------------------------------
+
+def test_posted_recv_matches_later_arrival(sim):
+    m = MatchingEngine(sim, 1)
+    ev = m.post_recv(0, 7)
+    assert not ev.triggered
+    m.deliver_envelope(pkt(tag=7))
+    assert ev.triggered and ev.value.tag == 7
+
+
+def test_unexpected_then_post(sim):
+    m = MatchingEngine(sim, 1)
+    m.deliver_envelope(pkt(tag=7))
+    assert m.unexpected_count == 1
+    ev = m.post_recv(0, 7)
+    assert ev.triggered
+    assert m.unexpected_count == 0
+
+
+def test_fifo_among_equal_matches(sim):
+    m = MatchingEngine(sim, 1)
+    p1, p2 = pkt(seq=1), pkt(seq=2)
+    m.deliver_envelope(p1)
+    m.deliver_envelope(p2)
+    assert m.post_recv(0, 0).value.seq == 1
+    assert m.post_recv(0, 0).value.seq == 2
+
+
+def test_wildcards(sim):
+    m = MatchingEngine(sim, 1)
+    m.deliver_envelope(pkt(src=3, tag=9))
+    assert m.post_recv(ANY, ANY).triggered
+
+
+def test_no_match_on_wrong_tag(sim):
+    m = MatchingEngine(sim, 1)
+    m.deliver_envelope(pkt(tag=1))
+    ev = m.post_recv(0, 2)
+    assert not ev.triggered
+    assert m.pending_recvs == 1
+
+
+def test_no_match_on_wrong_source(sim):
+    m = MatchingEngine(sim, 1)
+    m.deliver_envelope(pkt(src=2))
+    assert not m.post_recv(3, ANY).triggered
+
+
+def test_cts_routing_by_seq(sim):
+    m = MatchingEngine(sim, 0)
+    ev = m.expect_cts(42)
+    m.deliver_cts(pkt(kind=PacketKind.CTS, seq=42))
+    assert ev.triggered
+
+
+def test_early_data_buffered(sim):
+    """DATA arriving before the waiter registers must not be lost."""
+    m = MatchingEngine(sim, 0)
+    m.deliver_data(pkt(kind=PacketKind.DATA, seq=9))
+    ev = m.expect_data(9)
+    assert ev.triggered and ev.value.seq == 9
+
+
+def test_duplicate_waiter_rejected(sim):
+    m = MatchingEngine(sim, 0)
+    m.expect_cts(1)
+    with pytest.raises(MpiError):
+        m.expect_cts(1)
+
+
+# -- requests -----------------------------------------------------------------
+
+def test_request_complete_then_wait(sim):
+    req = Request(sim)
+    req.complete("hello")
+
+    def proc(sim, req):
+        val = yield from req.wait()
+        return val
+
+    assert sim.run_process(proc(sim, req)) == "hello"
+
+
+def test_request_wait_then_complete(sim):
+    req = Request(sim)
+
+    def waiter(sim, req):
+        val = yield from req.wait()
+        return val
+
+    def completer(sim, req):
+        yield sim.timeout(1.0)
+        req.complete(123)
+
+    p = sim.process(waiter(sim, req))
+    sim.process(completer(sim, req))
+    sim.run()
+    assert p.value == 123
+
+
+def test_request_double_complete(sim):
+    req = Request(sim)
+    req.complete(1)
+    with pytest.raises(MpiError):
+        req.complete(2)
+
+
+def test_request_failure_propagates(sim):
+    req = Request(sim)
+
+    def waiter(sim, req):
+        yield from req.wait()
+
+    p = sim.process(waiter(sim, req))
+    req.fail(RuntimeError("transport error"))
+    with pytest.raises(RuntimeError, match="transport error"):
+        sim.run()
+
+
+def test_request_test_raises_failure(sim):
+    req = Request(sim)
+    req.fail(ValueError("x"))
+    with pytest.raises(ValueError):
+        req.test()
+
+
+def test_waitall_order(sim):
+    reqs = [Request(sim) for _ in range(3)]
+
+    def proc(sim, reqs):
+        vals = yield from waitall(reqs)
+        return vals
+
+    p = sim.process(proc(sim, reqs))
+    # complete out of order
+    reqs[2].complete("c")
+    reqs[0].complete("a")
+    reqs[1].complete("b")
+    sim.run()
+    assert p.value == ["a", "b", "c"]
+
+
+def test_multiple_waiters_one_request(sim):
+    req = Request(sim)
+    results = []
+
+    def waiter(sim, req):
+        val = yield from req.wait()
+        results.append(val)
+
+    sim.process(waiter(sim, req))
+    sim.process(waiter(sim, req))
+    req.complete("shared")
+    sim.run()
+    assert results == ["shared", "shared"]
+
+
+# -- cluster runner -------------------------------------------------------------
+
+def test_cluster_returns_rank_values(two_node_cluster):
+    def rank_fn(comm):
+        yield comm.sim.timeout(0)
+        return comm.rank * 10
+
+    res = two_node_cluster.run(rank_fn)
+    assert res.values == [0, 10]
+
+
+def test_cluster_nprocs_capped(two_node_cluster):
+    def rank_fn(comm):
+        yield comm.sim.timeout(0)
+
+    with pytest.raises(MpiError):
+        two_node_cluster.run(rank_fn, nprocs=3)
+
+
+def test_cluster_rank_exception_surfaces(two_node_cluster):
+    def rank_fn(comm):
+        yield comm.sim.timeout(0)
+        if comm.rank == 1:
+            raise ValueError("rank 1 crashed")
+
+    with pytest.raises(ValueError, match="rank 1 crashed"):
+        two_node_cluster.run(rank_fn)
+
+
+def test_cluster_runs_independent(two_node_cluster):
+    def rank_fn(comm):
+        yield comm.sim.timeout(1e-3)
+        return comm.now
+
+    r1 = two_node_cluster.run(rank_fn)
+    r2 = two_node_cluster.run(rank_fn)
+    assert r1.elapsed == r2.elapsed  # fresh simulator each run
+
+
+def test_cluster_from_string_preset():
+    c = Cluster("ri2", nodes=2, gpus_per_node=1)
+    assert c.preset.name == "ri2"
+    assert c.n_gpus == 2
+
+
+def test_quick_cluster_top_level():
+    from repro import quick_cluster
+
+    c = quick_cluster("lassen", nodes=2, gpus_per_node=4)
+    assert c.n_gpus == 8
+
+
+def test_cluster_determinism(two_node_cluster):
+    data = np.cumsum(np.ones(200_000, dtype=np.float32))
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, 1)
+        else:
+            yield from comm.recv(0)
+        return comm.now
+
+    from repro.core import CompressionConfig
+
+    e1 = two_node_cluster.run(rank_fn, config=CompressionConfig.mpc_opt()).elapsed
+    e2 = two_node_cluster.run(rank_fn, config=CompressionConfig.mpc_opt()).elapsed
+    assert e1 == e2

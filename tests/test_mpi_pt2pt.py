@@ -1,0 +1,261 @@
+"""Point-to-point MPI semantics on the simulated cluster."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionConfig
+from repro.errors import DeadlockError, MpiError
+from repro.mpi import ANY_SOURCE, ANY_TAG
+from repro.mpi.comm import EAGER_THRESHOLD
+from repro.mpi.request import waitall
+from repro.utils.units import KiB, MiB
+
+from tests.conftest import smooth_f32
+
+
+def test_basic_send_recv(two_node_cluster):
+    data = smooth_f32(1000)
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, 1, tag=5)
+            return None
+        got = yield from comm.recv(0, tag=5)
+        return got
+
+    res = two_node_cluster.run(rank_fn)
+    assert np.array_equal(res.values[1], data)
+
+
+def test_large_message_rendezvous(two_node_cluster):
+    data = smooth_f32((1 * MiB) // 4)
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, 1)
+            return None
+        return (yield from comm.recv(0))
+
+    res = two_node_cluster.run(rank_fn)
+    assert np.array_equal(res.values[1], data)
+    # rendezvous wire time dominated by EDR serialization
+    assert res.elapsed > 1 * MiB / 12.5e9
+
+
+def test_eager_below_threshold_faster_setup(two_node_cluster):
+    small = smooth_f32(64)  # 256 B, eager
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(small, 1)
+        else:
+            yield from comm.recv(0)
+        return comm.now
+
+    res = two_node_cluster.run(rank_fn)
+    assert res.elapsed < 50e-6  # no handshake round trips
+
+
+def test_tag_matching_out_of_order(two_node_cluster):
+    a, b = smooth_f32(100, seed=1), smooth_f32(100, seed=2)
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(a, 1, tag=1)
+            yield from comm.send(b, 1, tag=2)
+            return None
+        # Receive in reverse tag order.
+        got_b = yield from comm.recv(0, tag=2)
+        got_a = yield from comm.recv(0, tag=1)
+        return got_a, got_b
+
+    res = two_node_cluster.run(rank_fn)
+    got_a, got_b = res.values[1]
+    assert np.array_equal(got_a, a) and np.array_equal(got_b, b)
+
+
+def test_any_source_any_tag(two_node_cluster):
+    data = smooth_f32(50)
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, 1, tag=77)
+            return None
+        return (yield from comm.recv(ANY_SOURCE, ANY_TAG))
+
+    res = two_node_cluster.run(rank_fn)
+    assert np.array_equal(res.values[1], data)
+
+
+def test_isend_irecv_overlap(two_node_cluster):
+    x, y = smooth_f32(80_000, seed=3), smooth_f32(80_000, seed=4)
+
+    def rank_fn(comm):
+        peer = 1 - comm.rank
+        mine = x if comm.rank == 0 else y
+        sreq = comm.isend(mine, peer, tag=9)
+        rreq = comm.irecv(peer, tag=9)
+        got = yield from rreq.wait()
+        yield from sreq.wait()
+        return got
+
+    res = two_node_cluster.run(rank_fn)
+    assert np.array_equal(res.values[0], y)
+    assert np.array_equal(res.values[1], x)
+
+
+def test_sendrecv(two_node_cluster):
+    def rank_fn(comm):
+        peer = 1 - comm.rank
+        mine = np.full(100, float(comm.rank), dtype=np.float32)
+        got = yield from comm.sendrecv(mine, peer, peer)
+        return float(got[0])
+
+    res = two_node_cluster.run(rank_fn)
+    assert res.values == [1.0, 0.0]
+
+
+def test_self_send(two_node_cluster):
+    data = smooth_f32(100)
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            req = comm.isend(data, 0, tag=3)
+            got = yield from comm.recv(0, tag=3)
+            yield from req.wait()
+            return got
+        yield from comm.barrier() if False else iter(())
+        return None
+
+    res = two_node_cluster.run(rank_fn)
+    assert np.array_equal(res.values[0], data)
+
+
+def test_multiple_outstanding_requests(two_node_cluster):
+    msgs = [smooth_f32(10_000, seed=i) for i in range(6)]
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            reqs = [comm.isend(m, 1, tag=i) for i, m in enumerate(msgs)]
+            yield from waitall(reqs)
+            return None
+        reqs = [comm.irecv(0, tag=i) for i in range(6)]
+        got = yield from waitall(reqs)
+        return got
+
+    res = two_node_cluster.run(rank_fn)
+    for m, g in zip(msgs, res.values[1]):
+        assert np.array_equal(m, g)
+
+
+def test_bad_rank_rejected(two_node_cluster):
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(np.zeros(4, np.float32), 5)
+        return None
+
+    with pytest.raises(MpiError):
+        two_node_cluster.run(rank_fn)
+
+
+def test_unmatched_recv_deadlocks(two_node_cluster):
+    def rank_fn(comm):
+        if comm.rank == 1:
+            yield from comm.recv(0, tag=1)
+        else:
+            yield from comm.barrier() if False else iter(())
+        return None
+
+    with pytest.raises(DeadlockError):
+        two_node_cluster.run(rank_fn)
+
+
+def test_request_test_and_done(two_node_cluster):
+    def rank_fn(comm):
+        if comm.rank == 0:
+            req = comm.isend(smooth_f32(100), 1)
+            before = req.test()
+            yield from req.wait()
+            return before, req.test()
+        got = yield from comm.recv(0)
+        return None
+
+    res = two_node_cluster.run(rank_fn)
+    before, after = res.values[0]
+    assert after is True
+
+
+# -- compression interplay -------------------------------------------------------
+
+@pytest.mark.parametrize("cfg_name,check", [
+    ("mpc", "exact"),
+    ("zfp", "close"),
+])
+def test_compressed_pt2pt_correctness(two_node_cluster, cfg_name, check):
+    data = smooth_f32((2 * MiB) // 4)
+    cfg = (CompressionConfig.mpc_opt() if cfg_name == "mpc"
+           else CompressionConfig.zfp_opt(16))
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, 1)
+            return None
+        return (yield from comm.recv(0))
+
+    res = two_node_cluster.run(rank_fn, config=cfg)
+    got = res.values[1]
+    if check == "exact":
+        assert np.array_equal(got, data)
+    else:
+        assert np.abs(got - data).max() < 1e-2
+
+
+def test_compression_reduces_wire_bytes(two_node_cluster):
+    data = np.full((4 * MiB) // 4, 1.5, dtype=np.float32)
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, 1)
+            return None
+        return (yield from comm.recv(0))
+
+    base = two_node_cluster.run(rank_fn, config=CompressionConfig.disabled())
+    comp = two_node_cluster.run(rank_fn, config=CompressionConfig.mpc_opt())
+    base_net = base.tracer.total("network")
+    comp_net = comp.tracer.total("network")
+    assert comp_net < base_net / 5  # constant data: huge ratio
+    assert comp.elapsed < base.elapsed  # and it wins end to end
+
+
+def test_naive_integration_slower_than_baseline(two_node_cluster):
+    """Figure 5's core observation."""
+    data = smooth_f32((1 * MiB) // 4)
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, 1)
+            return None
+        return (yield from comm.recv(0))
+
+    base = two_node_cluster.run(rank_fn, config=CompressionConfig.disabled())
+    naive = two_node_cluster.run(rank_fn, config=CompressionConfig.naive_zfp(16))
+    assert naive.elapsed > 2 * base.elapsed
+
+
+def test_compressed_header_piggyback_no_extra_messages(two_node_cluster):
+    """Compression must not add control messages: the RTS carries the
+    header (count network spans: eager=1, rndv = data only since
+    control rides latency-only)."""
+    data = smooth_f32((1 * MiB) // 4)
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, 1)
+            return None
+        return (yield from comm.recv(0))
+
+    base = two_node_cluster.run(rank_fn, config=CompressionConfig.disabled())
+    comp = two_node_cluster.run(rank_fn, config=CompressionConfig.mpc_opt())
+    n_base = len([r for r in base.tracer.records if r.category == "network"])
+    n_comp = len([r for r in comp.tracer.records if r.category == "network"])
+    assert n_comp == n_base

@@ -1,0 +1,231 @@
+"""Unit tests for links, presets and topology."""
+
+import pytest
+
+from repro.errors import ConfigError, NetworkError
+from repro.network import (
+    IB_EDR,
+    IB_FDR,
+    IB_HDR,
+    NVLINK3,
+    PCIE3_X16,
+    Link,
+    LinkSpec,
+    Topology,
+    machine_preset,
+)
+from repro.network.presets import MACHINES
+from repro.sim import Simulator, Tracer
+from repro.utils.units import GBps, MiB, us
+
+
+# -- specs ---------------------------------------------------------------------
+
+def test_paper_bandwidths():
+    """Figure 1 / Section I numbers."""
+    assert IB_EDR.bandwidth == pytest.approx(GBps(12.5))
+    assert IB_HDR.bandwidth == pytest.approx(GBps(25.0))
+    assert NVLINK3.bandwidth == pytest.approx(GBps(75.0))
+    assert NVLINK3.bandwidth / IB_EDR.bandwidth == pytest.approx(6.0)  # the disparity
+
+
+def test_serialization_time():
+    t = IB_EDR.serialization_time(32 * MiB)
+    assert t == pytest.approx(IB_EDR.latency + 32 * MiB / GBps(12.5))
+
+
+def test_invalid_link_spec():
+    with pytest.raises(NetworkError):
+        LinkSpec("bad", latency=-1, bandwidth=1e9)
+    with pytest.raises(NetworkError):
+        LinkSpec("bad", latency=0, bandwidth=0)
+
+
+def test_machine_presets_exist():
+    for name in ("longhorn", "frontera-liquid", "lassen", "ri2", "sierra"):
+        p = machine_preset(name)
+        assert p.max_gpus_per_node >= 1
+        assert "GB/s" in p.description()
+    with pytest.raises(ConfigError):
+        machine_preset("summit")
+
+
+def test_frontera_is_fdr_rtx():
+    p = machine_preset("frontera-liquid")
+    assert p.inter_link is IB_FDR
+    assert p.device.name == "RTX5000"
+    assert p.intra_shared  # PCIe host bridge
+
+
+def test_longhorn_is_nvlink_edr_v100():
+    p = machine_preset("longhorn")
+    assert p.inter_link is IB_EDR
+    assert p.intra_link is NVLINK3
+    assert not p.intra_shared
+
+
+# -- link contention -----------------------------------------------------------------
+
+def test_link_transfer_charges_time(sim):
+    link = Link(sim, IB_EDR)
+
+    def proc(sim, link):
+        yield from link.transfer(1 * MiB)
+
+    sim.run_process(proc(sim, link))
+    assert sim.now == pytest.approx(IB_EDR.serialization_time(1 * MiB))
+
+
+def test_link_serializes_concurrent_transfers(sim):
+    link = Link(sim, IB_EDR)
+    ends = []
+
+    def proc(sim, link):
+        yield from link.transfer(1 * MiB)
+        ends.append(sim.now)
+
+    sim.process(proc(sim, link))
+    sim.process(proc(sim, link))
+    sim.run()
+    one = IB_EDR.serialization_time(1 * MiB)
+    assert ends[0] == pytest.approx(one)
+    assert ends[1] == pytest.approx(2 * one)
+
+
+def test_link_negative_size(sim):
+    link = Link(sim, IB_EDR)
+
+    def proc(sim, link):
+        yield from link.transfer(-1)
+
+    with pytest.raises(NetworkError):
+        sim.run_process(proc(sim, link))
+
+
+# -- topology ----------------------------------------------------------------------
+
+def _topo(machine="longhorn", nodes=2, gpn=2):
+    sim = Simulator()
+    Tracer(sim)
+    return sim, Topology(sim, machine_preset(machine), nodes, gpn)
+
+
+def test_topology_shape():
+    sim, topo = _topo(nodes=3, gpn=2)
+    assert topo.n_gpus == 6
+    assert topo.node_of(0) == 0
+    assert topo.node_of(5) == 2
+    assert topo.same_node(0, 1)
+    assert not topo.same_node(1, 2)
+
+
+def test_topology_limits():
+    sim = Simulator()
+    with pytest.raises(NetworkError):
+        Topology(sim, machine_preset("longhorn"), nodes=0, gpus_per_node=1)
+    with pytest.raises(NetworkError):
+        Topology(sim, machine_preset("ri2"), nodes=2, gpus_per_node=2)  # RI2 has 1 GPU/node
+
+
+def test_route_intra_vs_inter():
+    sim, topo = _topo()
+    intra = topo.route(0, 1)
+    inter = topo.route(0, 2)
+    assert len(intra) == 1 and intra[0].spec is NVLINK3
+    assert len(inter) == 2  # uplink + downlink
+
+
+def test_route_self_empty():
+    sim, topo = _topo()
+    assert topo.route(3, 3) == []
+    assert topo.path_bandwidth(3, 3) == float("inf")
+
+
+def test_path_bandwidth_bottleneck():
+    sim, topo = _topo()
+    assert topo.path_bandwidth(0, 1) == pytest.approx(GBps(75.0))
+    assert topo.path_bandwidth(0, 2) == pytest.approx(GBps(12.5))
+
+
+def test_transfer_times_inter_vs_intra():
+    sim, topo = _topo()
+
+    def proc(sim, topo, a, b):
+        t0 = sim.now
+        yield from topo.transfer(a, b, 8 * MiB)
+        return sim.now - t0
+
+    t_intra = sim.run_process(proc(sim, topo, 0, 1))
+    sim2, topo2 = _topo()
+    t_inter = sim2.run_process(proc(sim2, topo2, 0, 2))
+    assert t_inter > 4 * t_intra  # EDR vs NVLink disparity
+
+
+def test_shared_pcie_contends():
+    """Frontera-style intra-node bus serializes concurrent transfers."""
+    sim, topo = _topo("frontera-liquid", nodes=1, gpn=4)
+    ends = []
+
+    def proc(sim, topo, a, b):
+        yield from topo.transfer(a, b, 4 * MiB)
+        ends.append(sim.now)
+
+    sim.process(proc(sim, topo, 0, 1))
+    sim.process(proc(sim, topo, 2, 3))
+    sim.run()
+    one = PCIE3_X16.serialization_time(4 * MiB)
+    assert max(ends) == pytest.approx(2 * one)
+
+
+def test_nvlink_pairs_independent():
+    """Longhorn NVLink pairs do not contend with each other."""
+    sim, topo = _topo("longhorn", nodes=1, gpn=4)
+    ends = []
+
+    def proc(sim, topo, a, b):
+        yield from topo.transfer(a, b, 4 * MiB)
+        ends.append(sim.now)
+
+    sim.process(proc(sim, topo, 0, 1))
+    sim.process(proc(sim, topo, 2, 3))
+    sim.run()
+    one = NVLINK3.serialization_time(4 * MiB)
+    assert max(ends) == pytest.approx(one)
+
+
+def test_hca_contention_inter_node():
+    """Two ranks on one node sending off-node share the HCA uplink."""
+    sim, topo = _topo("longhorn", nodes=2, gpn=2)
+    ends = []
+
+    def proc(sim, topo, a, b):
+        yield from topo.transfer(a, b, 4 * MiB)
+        ends.append(sim.now)
+
+    sim.process(proc(sim, topo, 0, 2))
+    sim.process(proc(sim, topo, 1, 3))
+    sim.run()
+    one = IB_EDR.serialization_time(0) + 4 * MiB / IB_EDR.bandwidth
+    assert max(ends) > 1.9 * (4 * MiB / IB_EDR.bandwidth)
+
+
+def test_zero_byte_transfer():
+    sim, topo = _topo()
+
+    def proc(sim, topo):
+        yield from topo.transfer(0, 2, 0)
+
+    sim.run_process(proc(sim, topo))
+    assert sim.now == pytest.approx(2 * IB_EDR.latency)
+
+
+def test_graph_structure():
+    sim, topo = _topo(nodes=2, gpn=2)
+    g = topo.graph()
+    kinds = {d["kind"] for _, d in g.nodes(data=True)}
+    assert kinds == {"switch", "node", "gpu"}
+    assert g.number_of_nodes() == 1 + 2 + 4
+    # Fig 1 disparity readable from the graph annotations:
+    bw_gpu = g.edges["gpu0", "node0"]["bandwidth"]
+    bw_ib = g.edges["node0", "switch"]["bandwidth"]
+    assert bw_gpu / bw_ib == pytest.approx(6.0)

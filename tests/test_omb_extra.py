@@ -1,0 +1,94 @@
+"""Additional OMB coverage: dataset payloads across sizes, warmup
+semantics, SZ/GFC transport configs, breakdown completeness."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionConfig
+from repro.omb import make_payload, osu_bcast, osu_latency
+from repro.utils.units import KiB, MiB
+
+
+@pytest.mark.parametrize("name", ["msg_bt", "msg_sppm", "num_plasma"])
+def test_dataset_payload_all_sizes(name):
+    for nbytes in (64 * KiB, 1 * MiB):
+        p = make_payload(f"dataset:{name}", nbytes)
+        assert p.nbytes == nbytes
+        assert np.isfinite(p).all()
+
+
+def test_dataset_payload_preserves_compressibility():
+    """Slicing/tiling a dataset to a payload size must keep its ratio
+    in the same band (the property Fig 11 depends on)."""
+    from repro.compression import MpcCompressor
+
+    small = make_payload("dataset:msg_sppm", 256 * KiB)
+    big = make_payload("dataset:msg_sppm", 2 * MiB)
+    r_small = MpcCompressor(1).compress(small).ratio
+    r_big = MpcCompressor(1).compress(big).ratio
+    assert r_small > 3 and r_big > 3
+
+
+def test_warmup_excludes_first_message_effects():
+    """With warmup, ZFP-OPT's one-time attribute query must not appear
+    in the measured latency: warm and cold runs of the *measured*
+    iteration agree."""
+    cfg = CompressionConfig.zfp_opt(8)
+    warm = osu_latency("longhorn", sizes=[1 * MiB], config=cfg, warmup=1)[0]
+    warmer = osu_latency("longhorn", sizes=[1 * MiB], config=cfg, warmup=3)[0]
+    assert warm.latency == pytest.approx(warmer.latency, rel=1e-9)
+
+
+def test_sz_transport_correct_and_bounded():
+    cfg = CompressionConfig(enabled=True, algorithm="sz", sz_error_bound=1e-3)
+    data_rows = osu_latency("frontera-liquid", sizes=[1 * MiB], config=cfg,
+                            payload="wave")
+    assert data_rows[0].latency > 0
+
+
+def test_sz_transport_roundtrip_bound():
+    from repro.mpi.cluster import Cluster
+    from repro.network.presets import machine_preset
+
+    data = make_payload("wave", 1 * MiB)
+    cfg = CompressionConfig(enabled=True, algorithm="sz", sz_error_bound=1e-2)
+    cluster = Cluster(machine_preset("ri2"), nodes=2, gpus_per_node=1)
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, 1)
+            return None
+        return (yield from comm.recv(0))
+
+    res = cluster.run(rank_fn, config=cfg)
+    got = np.asarray(res.values[1])
+    assert np.abs(got.astype(np.float64) - data.astype(np.float64)).max() <= 1e-2
+
+
+def test_gfc_transport_float64_lossless_float32_passthrough():
+    from repro.mpi.cluster import Cluster
+    from repro.network.presets import machine_preset
+
+    cfg = CompressionConfig(enabled=True, algorithm="gfc")
+    cluster = Cluster(machine_preset("ri2"), nodes=2, gpus_per_node=1)
+    d64 = np.cumsum(np.ones(200_000)) * 1e-3
+    d32 = d64.astype(np.float32)
+
+    def rank_fn(comm, payload):
+        if comm.rank == 0:
+            yield from comm.send(payload, 1)
+            return None
+        return (yield from comm.recv(0))
+
+    r64 = cluster.run(rank_fn, config=cfg, args=(d64,))
+    assert np.array_equal(np.asarray(r64.values[1]).view(np.uint64), d64.view(np.uint64))
+    # float32 is unsupported by GFC: must pass through raw, still exact.
+    r32 = cluster.run(rank_fn, config=cfg, args=(d32,))
+    assert np.array_equal(np.asarray(r32.values[1]), d32)
+
+
+def test_bcast_breakdown_has_kernels_when_compressed():
+    r = osu_bcast(nodes=2, ppn=2, nbytes=1 * MiB, payload="dataset:msg_sppm",
+                  config=CompressionConfig.mpc_opt())
+    assert "compression_kernel" in r.breakdown
+    assert r.breakdown["network"] > 0

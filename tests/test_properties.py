@@ -1,0 +1,143 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CompressionConfig
+from repro.mpi.cluster import Cluster
+from repro.network.presets import machine_preset
+from repro.sim import Simulator
+
+
+# -- simulator determinism over random process graphs --------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False), min_size=1, max_size=30),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_sim_schedule_deterministic(delays, seed):
+    def run_once():
+        sim = Simulator()
+        log = []
+
+        def worker(sim, i, d):
+            yield sim.timeout(d)
+            log.append((i, sim.now))
+
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(delays))
+        for i in order:
+            sim.process(worker(sim, int(i), delays[int(i)]))
+        sim.run()
+        return log
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+                min_size=1, max_size=20))
+def test_sim_clock_monotone(delays):
+    sim = Simulator()
+    stamps = []
+
+    def worker(sim, d):
+        yield sim.timeout(d)
+        stamps.append(sim.now)
+
+    for d in delays:
+        sim.process(worker(sim, d))
+    sim.run()
+    assert stamps == sorted(stamps)
+    assert sim.now == pytest.approx(max(delays))
+
+
+# -- transport invariants ----------------------------------------------------------
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=200_000),
+    algo=st.sampled_from(["mpc", "none"]),
+    seed=st.integers(min_value=0, max_value=99),
+)
+def test_pt2pt_delivery_bit_exact(n, algo, seed):
+    """Whatever the size (eager/rendezvous/compressed), lossless
+    transport must deliver bit-exact data."""
+    rng = np.random.default_rng(seed)
+    data = np.cumsum(rng.standard_normal(n)).astype(np.float32)
+    cfg = (CompressionConfig.mpc_opt(threshold=64 * 1024)
+           if algo == "mpc" else CompressionConfig.disabled())
+    cluster = Cluster(machine_preset("longhorn"), nodes=2, gpus_per_node=1)
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, 1)
+            return None
+        got = yield from comm.recv(0)
+        return got
+
+    res = cluster.run(rank_fn, config=cfg)
+    got = np.asarray(res.values[1])
+    assert np.array_equal(got.view(np.uint32), data.view(np.uint32))
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    nprocs=st.integers(min_value=1, max_value=6),
+    root=st.integers(min_value=0, max_value=5),
+    n=st.integers(min_value=1, max_value=5000),
+)
+def test_bcast_delivers_to_all(nprocs, root, n):
+    root = root % nprocs
+    payload = np.arange(n, dtype=np.float32)
+    cluster = Cluster(machine_preset("frontera-liquid"),
+                      nodes=max(1, -(-nprocs // 2)), gpus_per_node=2)
+
+    def rank_fn(comm):
+        data = payload if comm.rank == root else None
+        out = yield from comm.bcast(data, root=root)
+        return np.array_equal(np.asarray(out), payload)
+
+    res = cluster.run(rank_fn, nprocs=nprocs)
+    assert all(res.values)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    nprocs=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_allreduce_agrees_with_numpy(nprocs, seed):
+    rng = np.random.default_rng(seed)
+    contributions = [rng.standard_normal(100).astype(np.float32)
+                     for _ in range(nprocs)]
+    expected = np.sum(contributions, axis=0)
+    cluster = Cluster(machine_preset("lassen"),
+                      nodes=max(1, -(-nprocs // 4)), gpus_per_node=4)
+
+    def rank_fn(comm):
+        out = yield from comm.allreduce(contributions[comm.rank])
+        return out
+
+    res = cluster.run(rank_fn, nprocs=nprocs)
+    for out in res.values:
+        # allreduce algorithms may differ in summation order per rank
+        assert np.allclose(np.asarray(out), expected, atol=1e-3)
+
+
+# -- latency sanity properties ------------------------------------------------------
+
+@settings(max_examples=10, deadline=None)
+@given(nbytes=st.integers(min_value=1, max_value=1 << 22))
+def test_latency_bounded_below_by_wire_model(nbytes):
+    """No message can beat the physics: latency >= size / bandwidth."""
+    nbytes = (nbytes // 4) * 4 or 4
+    from repro.omb import osu_latency
+
+    row = osu_latency("longhorn", sizes=[nbytes], warmup=0)[0]
+    wire_floor = nbytes / 12.5e9
+    assert row.latency >= wire_floor * 0.999

@@ -1,0 +1,43 @@
+"""Scorecard machinery (fast claims only — the full set is a bench)."""
+
+import pytest
+
+from repro.analysis.scorecard import (
+    CLAIMS,
+    Claim,
+    ClaimResult,
+    render_scorecard,
+    run_scorecard,
+)
+
+
+def test_claims_cover_headlines():
+    ids = {c.claim_id for c in CLAIMS}
+    assert {"fig5", "fig6", "table3", "fig9a", "fig9b", "fig9c",
+            "fig11a", "fig12", "fig14"} <= ids
+
+
+def test_claim_result_verdicts():
+    up = Claim("x", "d", 10.0, "%", lambda: 0.0, ok_threshold=5.0)
+    assert not ClaimResult(up, 4.9).shape_ok
+    assert ClaimResult(up, 5.0).shape_ok
+    down = Claim("y", "d", 0.0, "%", lambda: 0.0, ok_threshold=2.0,
+                 higher_is_better=False)
+    assert ClaimResult(down, -50.0).shape_ok
+    assert not ClaimResult(down, 3.0).shape_ok
+
+
+def test_run_scorecard_subset_and_render():
+    fast = [c for c in CLAIMS if c.claim_id in ("table3",)]
+    results = run_scorecard(fast)
+    assert len(results) == 1
+    assert results[0].shape_ok
+    text = render_scorecard(results)
+    assert "msg_sppm" in text and "shape-ok" in text
+
+
+def test_fig9c_claim_is_inverted():
+    """The NVLink claim passes when compression loses — guard the
+    higher_is_better flag."""
+    claim = next(c for c in CLAIMS if c.claim_id == "fig9c")
+    assert not claim.higher_is_better

