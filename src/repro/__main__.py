@@ -10,12 +10,14 @@ Commands
 ``dask``                  the transpose-sum benchmark
 ``table3``                dataset compression survey
 ``profile``               INAM-style communication profile of a run
+``trace``                 export a Chrome-trace JSON of one workload
 
 Examples::
 
     python -m repro latency --machine longhorn --config zfp8 --sizes 1M,8M
     python -m repro bcast --dataset msg_sppm --config mpc-opt
     python -m repro awp --gpus 16 --config zfp8
+    python -m repro trace latency --codec mpc --out trace.json
 """
 
 from __future__ import annotations
@@ -148,6 +150,50 @@ def cmd_profile(args) -> None:
     print(CommProfile.from_result(res).report())
 
 
+# Codec shorthands for `repro trace`; full _CONFIGS names also work.
+_CODECS = {"mpc": "mpc-opt", "zfp": "zfp8", "none": "baseline"}
+
+
+def cmd_trace(args) -> None:
+    from repro.analysis import write_chrome_trace
+    from repro.mpi.cluster import Cluster
+    from repro.network.presets import machine_preset
+    from repro.omb.payload import make_payload
+
+    config = _config(_CODECS.get(args.codec, args.codec))
+    nbytes = parse_size(args.size)
+    data = make_payload(args.payload, nbytes, seed=1)
+
+    if args.workload == "latency":
+        cluster = Cluster(machine_preset(args.machine), nodes=2, gpus_per_node=1)
+
+        def rank_fn(comm):
+            if comm.rank == 0:
+                yield from comm.send(data, dest=1, tag=7)
+                return nbytes
+            received = yield from comm.recv(source=0, tag=7)
+            return received.nbytes
+    else:
+        cluster = Cluster(machine_preset(args.machine), nodes=2, gpus_per_node=2)
+
+        def rank_fn(comm):
+            if args.workload == "bcast":
+                out = yield from comm.bcast(data, root=0)
+                return out.nbytes
+            out = yield from comm.allgather(data)
+            return len(out)
+
+    res = cluster.run(rank_fn, config=config)
+    try:
+        write_chrome_trace(res.tracer, args.out, elapsed=res.elapsed)
+    except OSError as exc:
+        raise SystemExit(f"cannot write {args.out}: {exc}")
+    n_spans = len(res.tracer.records)
+    print(f"wrote {args.out}: {n_spans} spans, "
+          f"{res.elapsed * 1e6:.1f} us simulated "
+          f"[{args.workload}, {args.codec}, {args.machine}]")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -195,6 +241,15 @@ def main(argv=None) -> int:
     p.add_argument("--size", default="2M")
     p.add_argument("--config", default="mpc-opt")
 
+    p = sub.add_parser("trace")
+    p.add_argument("workload", choices=("latency", "bcast", "allgather"))
+    p.add_argument("--codec", default="mpc",
+                   help="mpc | zfp | none, or any config name")
+    p.add_argument("--machine", default="longhorn")
+    p.add_argument("--size", default="1M")
+    p.add_argument("--payload", default="omb")
+    p.add_argument("--out", default="trace.json")
+
     args = parser.parse_args(argv)
     {
         "machines": cmd_machines,
@@ -206,6 +261,7 @@ def main(argv=None) -> int:
         "dask": cmd_dask,
         "table3": cmd_table3,
         "profile": cmd_profile,
+        "trace": cmd_trace,
     }[args.command](args)
     return 0
 

@@ -1,5 +1,7 @@
-"""Experiment records, reporting helpers and INAM-style profiling."""
+"""Experiment records, reporting helpers, metrics and INAM-style profiling."""
 
+from repro.analysis.export import to_chrome_trace, write_chrome_trace
+from repro.analysis.metrics import HistogramStat, MetricsRegistry
 from repro.analysis.profile import CommProfile, LinkStats
 from repro.analysis.report import ExperimentRecord, comparison_table, reduction_pct
 
@@ -9,4 +11,8 @@ __all__ = [
     "reduction_pct",
     "CommProfile",
     "LinkStats",
+    "MetricsRegistry",
+    "HistogramStat",
+    "to_chrome_trace",
+    "write_chrome_trace",
 ]

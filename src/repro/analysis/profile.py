@@ -3,8 +3,15 @@
 The paper's future work leans on "a real-time monitor like OSU INAM"
 to drive adaptive decisions.  :class:`CommProfile` distils a run's
 tracer into the quantities such a monitor exposes: per-category time,
-per-link busy fraction and moved bytes, and a message-size histogram —
-and renders them as a report.
+per-link busy fraction and moved bytes, a message-size histogram, and
+per-rank pipeline time — and renders them as a report.
+
+The profile is computed from *structured* trace records: wire activity
+is any span whose ``track`` is a ``link:`` lane (equivalently, whose
+meta carries a ``links`` tuple), never by matching label strings.  A
+multi-hop cut-through span (e.g. HCA→HCA across the switch) names every
+constituent link in ``meta["links"]`` and is attributed to each of
+them, so per-link utilization stays within [0, 1].
 
 Usage::
 
@@ -21,6 +28,19 @@ from repro.utils.tables import format_table
 from repro.utils.units import fmt_bytes, fmt_time
 
 __all__ = ["CommProfile", "LinkStats"]
+
+
+def _is_wire(rec) -> bool:
+    return (rec.track or "").startswith("link:") or "links" in rec.meta
+
+
+def _wire_links(rec) -> tuple:
+    links = rec.meta.get("links")
+    if links:
+        return tuple(links)
+    if rec.track and rec.track.startswith("link:"):
+        return (rec.track[5:],)
+    return (rec.meta.get("link", rec.label),)
 
 
 @dataclass
@@ -44,24 +64,34 @@ class CommProfile:
     category_time: dict = field(default_factory=dict)
     links: dict = field(default_factory=dict)
     size_histogram: dict = field(default_factory=dict)  # log2 bucket -> count
+    rank_pipeline_time: dict = field(default_factory=dict)  # rank -> seconds
     total_wire_bytes: int = 0
     n_messages: int = 0
 
     @classmethod
     def from_result(cls, result) -> "CommProfile":
         """Build from a :class:`~repro.mpi.cluster.ClusterResult`."""
-        prof = cls(elapsed=result.elapsed)
-        for rec in result.tracer.records:
+        return cls.from_tracer(result.tracer, result.elapsed)
+
+    @classmethod
+    def from_tracer(cls, tracer, elapsed: float) -> "CommProfile":
+        """Build from any tracer plus the run's elapsed simulated time."""
+        prof = cls(elapsed=elapsed)
+        for rec in tracer.records:
             prof.category_time[rec.category] = (
                 prof.category_time.get(rec.category, 0.0) + rec.duration
             )
-            if rec.category == "network":
-                link = rec.meta.get("link", rec.label)
-                st = prof.links.setdefault(link, LinkStats(link))
+            if rec.category == "pipeline" and rec.rank is not None:
+                prof.rank_pipeline_time[rec.rank] = (
+                    prof.rank_pipeline_time.get(rec.rank, 0.0) + rec.duration
+                )
+            if _is_wire(rec):
                 nbytes = int(rec.meta.get("nbytes", 0))
-                st.busy_time += rec.duration
-                st.bytes_moved += nbytes
-                st.transfers += 1
+                for link in _wire_links(rec):
+                    st = prof.links.setdefault(link, LinkStats(link))
+                    st.busy_time += rec.duration
+                    st.bytes_moved += nbytes
+                    st.transfers += 1
                 prof.total_wire_bytes += nbytes
                 prof.n_messages += 1
                 bucket = max(0, (max(nbytes, 1) - 1).bit_length())
@@ -97,6 +127,11 @@ class CommProfile:
             sections.append(format_table(
                 ["link", "transfers", "MB", "utilization %"], rows,
                 title="link activity"))
+        if self.rank_pipeline_time:
+            rows = [[f"rank {r}", t * 1e6]
+                    for r, t in sorted(self.rank_pipeline_time.items())]
+            sections.append(format_table(
+                ["rank", "pipeline time_us"], rows, title="pipeline time by rank"))
         if self.size_histogram:
             rows = [[f"<=2^{b}", n] for b, n in sorted(self.size_histogram.items())]
             sections.append(format_table(

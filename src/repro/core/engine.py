@@ -263,11 +263,13 @@ class CompressionEngine:
         if payload.nbytes >= nbytes:
             # Incompressible: fall back to the raw message (the kernel
             # time was still spent — that is the price of trying).
+            self._record_compression("mpc", nbytes, payload.nbytes, fallback=True)
             yield from self._release(resources)
             return SendPlan(
                 header=CompressionHeader.uncompressed(nbytes),
                 payload=data, wire_nbytes=nbytes,
             )
+        self._record_compression("mpc", nbytes, payload.nbytes)
         comp_buf.write(payload)
         header = CompressionHeader.for_message(
             "mpc", data.dtype, data.size, cfg.mpc_dimensionality, sizes
@@ -291,7 +293,20 @@ class CompressionEngine:
         t0 = self.sim.now
         yield self.sim.timeout(_ZFP_STREAM_FIELD_TIME)
         if self.sim.tracer is not None:
-            self.sim.tracer.span(t0, self.sim.now, "zfp_stream_field", "create")
+            self.sim.tracer.span(t0, self.sim.now, "zfp_stream_field", "create",
+                                 rank=self.device.device_id, track="main")
+
+    def _record_compression(self, codec_name: str, bytes_in: int,
+                            bytes_out: int, fallback: bool = False) -> None:
+        """Feed the compression-ratio metrics (CR = bytes_in/bytes_out)."""
+        tracer = self.sim.tracer
+        if tracer is None:
+            return
+        if fallback:
+            tracer.metrics.inc("compress.fallback", codec=codec_name)
+        else:
+            tracer.metrics.inc("compress.bytes_in", bytes_in, codec=codec_name)
+            tracer.metrics.inc("compress.bytes_out", bytes_out, codec=codec_name)
 
     def _send_zfp(self, data: np.ndarray):
         cfg = self.config
@@ -321,6 +336,7 @@ class CompressionEngine:
                 nbytes, nbytes / max(1, comp.nbytes),
                 self.sim.now - t_prepare_start, est_decompr,
             )
+        self._record_compression("zfp", nbytes, comp.nbytes)
         comp_buf.write(comp.payload)
         header = CompressionHeader.for_message(
             "zfp", data.dtype, data.size, cfg.zfp_rate, (comp.nbytes,)
@@ -365,11 +381,14 @@ class CompressionEngine:
         else:
             yield from self.device.memcpy_d2h(4, "compressed_size")
         if comp.nbytes >= nbytes:
+            self._record_compression(cfg.algorithm, nbytes, comp.nbytes,
+                                     fallback=True)
             yield from self._release(resources)
             return SendPlan(
                 header=CompressionHeader.uncompressed(nbytes),
                 payload=data, wire_nbytes=nbytes,
             )
+        self._record_compression(cfg.algorithm, nbytes, comp.nbytes)
         comp_buf.write(comp.payload)
         header = CompressionHeader.for_message(
             cfg.algorithm, data.dtype, data.size, param, (comp.nbytes,)
@@ -410,6 +429,7 @@ class CompressionEngine:
         sizes = [c.nbytes for c in comps]
         if sum(sizes) >= nbytes:
             return None  # incompressible: take the raw fallback path
+        self._record_compression(cfg.algorithm, nbytes, sum(sizes))
 
         resources = []
         bound = nbytes + nbytes // 16 + 4096

@@ -47,10 +47,12 @@ class Device:
     def allocated_bytes(self) -> int:
         return self._allocated
 
-    def _trace(self, t0: float, category: str, label: str = "", **meta) -> None:
+    def _trace(self, t0: float, category: str, label: str = "",
+               track: str = "gpu", **meta) -> None:
         tracer = self.sim.tracer
         if tracer is not None:
-            tracer.span(t0, self.sim.now, category, label, device=self.device_id, **meta)
+            tracer.span(t0, self.sim.now, category, label, rank=self.device_id,
+                        track=track, device=self.device_id, **meta)
 
     # -- memory management ------------------------------------------------
     def malloc(self, nbytes: int, label: str = ""):
@@ -143,7 +145,8 @@ class Device:
         return value
 
     # -- kernels -----------------------------------------------------------
-    def run_kernel(self, duration: float, blocks: int, category: str, label: str = ""):
+    def run_kernel(self, duration: float, blocks: int, category: str, label: str = "",
+                   track: Optional[str] = None):
         """Execute a kernel of known ``duration`` using ``blocks``
         thread blocks (generator subroutine).
 
@@ -151,6 +154,9 @@ class Device:
         kernels on different streams therefore run in parallel when the
         device has capacity and queue otherwise — the mechanism behind
         MPC-OPT's multi-stream kernel decomposition.
+
+        ``track`` names the trace lane (streams pass ``stream<k>`` so
+        each CUDA stream renders as its own track).
         """
         if blocks < 1 or blocks > self.spec.sm_count:
             raise GpuError(
@@ -163,7 +169,7 @@ class Device:
             yield self.sim.timeout(duration)
         finally:
             self.sms.release(blocks)
-        self._trace(t0, category, label, blocks=blocks)
+        self._trace(t0, category, label, track=track or "gpu", blocks=blocks)
 
     def new_stream(self):
         """Create a CUDA stream on this device."""

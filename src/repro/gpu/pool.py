@@ -79,18 +79,27 @@ class BufferPool:
             raise BufferPoolExhaustedError(
                 f"request of {nbytes}B exceeds pool buffer size {self.buffer_bytes}B"
             )
+        tracer = self.device.sim.tracer
         if self._free:
             # Claim before yielding: a concurrent acquire across the
             # bookkeeping timeout must not steal the same buffer.
             buf = self._free.popleft()
+            t0 = self.device.sim.now
             yield self.device.sim.timeout(_POOL_OP_TIME)
             buf.label = label
+            if tracer is not None:
+                tracer.span(t0, self.device.sim.now, "pool", "hit",
+                            rank=self.device.device_id, track="gpu",
+                            nbytes=nbytes, capacity=self.buffer_bytes)
+                tracer.metrics.inc("pool.hit", device=self.device.device_id)
             return buf
         if not self.growable:
             raise BufferPoolExhaustedError(
                 f"pool of {self._total} x {self.buffer_bytes}B buffers exhausted"
             )
         # Grow: one cudaMalloc now, reused forever after.
+        if tracer is not None:
+            tracer.metrics.inc("pool.miss", device=self.device.device_id)
         buf = yield from self.device.malloc(self.buffer_bytes, label=label)
         buf.pooled = True
         self._total += 1
@@ -100,9 +109,15 @@ class BufferPool:
         """Return a buffer to the pool (generator subroutine)."""
         if not buf.pooled or buf.device is not self.device:
             raise GpuError("releasing a buffer that does not belong to this pool")
+        t0 = self.device.sim.now
         yield self.device.sim.timeout(_POOL_OP_TIME)
         buf.clear()
         self._free.append(buf)
+        tracer = self.device.sim.tracer
+        if tracer is not None:
+            tracer.span(t0, self.device.sim.now, "pool", "release",
+                        rank=self.device.device_id, track="gpu",
+                        capacity=self.buffer_bytes)
 
 
 class SizeClassBufferPool:

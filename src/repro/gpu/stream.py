@@ -27,7 +27,9 @@ class Stream:
         req = self._order.request()
         yield req
         try:
-            yield from self.device.run_kernel(duration, blocks, category, label)
+            yield from self.device.run_kernel(
+                duration, blocks, category, label, track=f"stream{self.stream_id}"
+            )
         finally:
             self._order.release(req)
 

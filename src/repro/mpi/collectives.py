@@ -23,11 +23,13 @@ Internal messages use a high tag base to stay clear of user tags.
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Callable, Optional
 
 import numpy as np
 
 from repro.errors import MpiError
+from repro.sim.trace import trace_scope
 
 __all__ = [
     "bcast", "gather", "scatter", "allgather", "reduce", "allreduce",
@@ -48,6 +50,21 @@ def _default_op(op: Optional[Callable]) -> Callable:
     return np.add if op is None else op
 
 
+def _traced(fn):
+    """Wrap a collective in a per-rank ``collective`` span; the
+    point-to-point hops it issues nest underneath it in the trace."""
+
+    @functools.wraps(fn)
+    def wrapper(comm, *args, **kwargs):
+        with trace_scope(comm.sim, "collective", fn.__name__,
+                         rank=comm.rank, size=comm.size):
+            result = yield from fn(comm, *args, **kwargs)
+        return result
+
+    return wrapper
+
+
+@_traced
 def bcast(comm, data: Any, root: int = 0):
     """Binomial-tree broadcast; returns the data on every rank."""
     size, rank = comm.size, comm.rank
@@ -78,6 +95,7 @@ def bcast(comm, data: Any, root: int = 0):
     return data
 
 
+@_traced
 def gather(comm, data: Any, root: int = 0):
     """Linear gather; returns the list of contributions at the root,
     ``None`` elsewhere."""
@@ -93,6 +111,7 @@ def gather(comm, data: Any, root: int = 0):
     return None
 
 
+@_traced
 def scatter(comm, chunks, root: int = 0):
     """Linear scatter of ``chunks`` (a list of ``size`` items at the
     root); returns this rank's chunk."""
@@ -108,6 +127,7 @@ def scatter(comm, chunks, root: int = 0):
     return data
 
 
+@_traced
 def allgather(comm, data: Any):
     """Ring allgather; returns the list of all contributions."""
     size, rank = comm.size, comm.rank
@@ -128,6 +148,7 @@ def allgather(comm, data: Any):
     return out
 
 
+@_traced
 def reduce(comm, data: Any, root: int = 0, op: Optional[Callable] = None):
     """Binomial-tree reduction; returns the result at the root,
     ``None`` elsewhere."""
@@ -149,6 +170,7 @@ def reduce(comm, data: Any, root: int = 0, op: Optional[Callable] = None):
     return result
 
 
+@_traced
 def allreduce(comm, data: Any, op: Optional[Callable] = None):
     """Recursive doubling (power-of-two ranks) or reduce+bcast."""
     size, rank = comm.size, comm.rank
@@ -169,6 +191,7 @@ def allreduce(comm, data: Any, op: Optional[Callable] = None):
     return result
 
 
+@_traced
 def alltoall(comm, chunks):
     """Pairwise-exchange alltoall of ``size`` chunks; returns the
     chunks received from each rank."""
@@ -189,6 +212,7 @@ def alltoall(comm, chunks):
 _BARRIER_TOKEN = np.zeros(1, dtype=np.uint8)
 
 
+@_traced
 def barrier(comm):
     """Dissemination barrier (log2(size) rounds of tiny messages)."""
     size, rank = comm.size, comm.rank

@@ -31,9 +31,11 @@ from repro.mpi import collectives as _coll
 from repro.mpi.matching import ANY
 from repro.mpi.message import Packet, PacketKind
 from repro.mpi.request import Request
+from repro.sim.trace import trace_scope
 from repro.utils.units import KiB
 
-__all__ = ["Communicator", "ANY_SOURCE", "ANY_TAG", "EAGER_THRESHOLD"]
+__all__ = ["Communicator", "ANY_SOURCE", "ANY_TAG", "EAGER_THRESHOLD",
+           "PIPELINE_STEPS"]
 
 ANY_SOURCE = ANY
 ANY_TAG = ANY
@@ -43,6 +45,20 @@ EAGER_THRESHOLD = 16 * KiB
 
 #: CPU-side software overhead charged per point-to-point operation
 SETUP_TIME = 1.0e-6
+
+#: The rendezvous pipeline's step spans (category ``"pipeline"``), in
+#: protocol order across both sides — Figure 4's seven stages.  Sender
+#: records sender_prepare / rts / wire_transfer / sender_release;
+#: receiver records receiver_prepare / cts / receiver_complete.
+PIPELINE_STEPS = (
+    "sender_prepare",      # steps 1-3: decide, buffers, kernels, size, combine
+    "rts",                 # step 4a: RTS carrying the piggybacked header
+    "receiver_prepare",    # step 4b: receiver's temporary device buffer
+    "cts",                 # step 5: clear-to-send back to the sender
+    "wire_transfer",       # step 6: (compressed) payload crosses the fabric
+    "receiver_complete",   # step 7: decompression kernels + restore
+    "sender_release",      # post-send: return pooled buffers / temporaries
+)
 
 
 class Communicator:
@@ -116,6 +132,11 @@ class Communicator:
             return int(data.nbytes)
         return len(data)
 
+    def _count_send(self, protocol: str) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.metrics.inc("mpi.sends", protocol=protocol)
+
     def _send_proc(self, data: Any, dest: int, tag: int, req: Request):
         rt = self._rt
         try:
@@ -127,6 +148,7 @@ class Communicator:
                 pkt = Packet(PacketKind.EAGER, self.rank, dest, tag, seq,
                              payload=data, wire_nbytes=nbytes)
                 rt.matching_of(dest).deliver_envelope(pkt)
+                self._count_send("self")
                 req.complete()
                 return
 
@@ -136,33 +158,48 @@ class Communicator:
                 yield from rt.transfer(self.rank, dest, nbytes + pkt.control_bytes(),
                                        label="eager")
                 rt.matching_of(dest).deliver_envelope(pkt)
+                self._count_send("eager")
                 req.complete()
                 return
 
             # Rendezvous with on-the-fly compression.
             engine = rt.engine_of(self.rank)
             if engine.config.enabled and engine.config.pipeline:
-                pplan = yield from engine.sender_prepare_pipelined(
-                    data, path_bandwidth=rt.path_bandwidth(self.rank, dest)
-                )
+                with trace_scope(self.sim, "pipeline", "sender_prepare",
+                                 rank=self.rank, nbytes=nbytes, seq=seq):
+                    pplan = yield from engine.sender_prepare_pipelined(
+                        data, path_bandwidth=rt.path_bandwidth(self.rank, dest)
+                    )
                 if pplan is not None:
                     yield from self._send_pipelined(rt, dest, tag, seq, pplan)
+                    self._count_send("rndv_pipelined")
                     req.complete()
                     return
-            plan = yield from engine.sender_prepare(
-                data, path_bandwidth=rt.path_bandwidth(self.rank, dest)
-            )
+            with trace_scope(self.sim, "pipeline", "sender_prepare",
+                             rank=self.rank, nbytes=nbytes, seq=seq):
+                plan = yield from engine.sender_prepare(
+                    data, path_bandwidth=rt.path_bandwidth(self.rank, dest)
+                )
             rts = Packet(PacketKind.RTS, self.rank, dest, tag, seq,
                          header=plan.header, wire_nbytes=plan.wire_nbytes)
-            yield from rt.control_delay(self.rank, dest, rts.control_bytes())
-            cts_ev = rt.matching_of(self.rank).expect_cts(seq)
-            rt.matching_of(dest).deliver_envelope(rts)
+            with trace_scope(self.sim, "pipeline", "rts", rank=self.rank,
+                             seq=seq, dst=dest):
+                yield from rt.control_delay(self.rank, dest, rts.control_bytes())
+                cts_ev = rt.matching_of(self.rank).expect_cts(seq)
+                rt.matching_of(dest).deliver_envelope(rts)
             yield cts_ev
-            yield from rt.transfer(self.rank, dest, plan.wire_nbytes, label="rndv_data")
+            with trace_scope(self.sim, "pipeline", "wire_transfer",
+                             rank=self.rank, seq=seq,
+                             nbytes=plan.wire_nbytes, dst=dest):
+                yield from rt.transfer(self.rank, dest, plan.wire_nbytes,
+                                       label="rndv_data")
             data_pkt = Packet(PacketKind.DATA, self.rank, dest, tag, seq,
                               payload=plan.payload, wire_nbytes=plan.wire_nbytes)
             rt.matching_of(dest).deliver_data(data_pkt)
-            yield from engine.sender_release(plan)
+            with trace_scope(self.sim, "pipeline", "sender_release",
+                             rank=self.rank, seq=seq):
+                yield from engine.sender_release(plan)
+            self._count_send("rndv")
             req.complete()
         except BaseException as exc:  # surfaced via the request
             req.fail(exc)
@@ -173,15 +210,21 @@ class Communicator:
         total = pplan.header.wire_bytes
         rts = Packet(PacketKind.RTS, self.rank, dest, tag, seq,
                      header=pplan.header, wire_nbytes=total)
-        yield from rt.control_delay(self.rank, dest, rts.control_bytes())
-        cts_ev = rt.matching_of(self.rank).expect_cts(seq)
-        rt.matching_of(dest).deliver_envelope(rts)
+        with trace_scope(self.sim, "pipeline", "rts", rank=self.rank,
+                         seq=seq, dst=dest):
+            yield from rt.control_delay(self.rank, dest, rts.control_bytes())
+            cts_ev = rt.matching_of(self.rank).expect_cts(seq)
+            rt.matching_of(dest).deliver_envelope(rts)
         yield cts_ev
 
         def part_sender(i):
             yield from pplan.kernel_run(i)
             comp = pplan.comps[i]
-            yield from rt.transfer(self.rank, dest, comp.nbytes, label="pipe_data")
+            with trace_scope(self.sim, "pipeline", "wire_transfer",
+                             rank=self.rank, seq=seq, part=i,
+                             nbytes=comp.nbytes, dst=dest):
+                yield from rt.transfer(self.rank, dest, comp.nbytes,
+                                       label="pipe_data")
             rt.matching_of(dest).deliver_data(
                 Packet(PacketKind.DATA, self.rank, dest, tag, seq,
                        payload=comp.payload, wire_nbytes=comp.nbytes, part=i)
@@ -192,26 +235,34 @@ class Communicator:
             for i in range(pplan.n_parts)
         ]
         yield self.sim.all_of(procs)
-        yield from engine.pipelined_release(pplan)
+        with trace_scope(self.sim, "pipeline", "sender_release",
+                         rank=self.rank, seq=seq):
+            yield from engine.pipelined_release(pplan)
 
     def _recv_pipelined(self, rt, pkt, req: Request):
         """Decompress each partition as it lands."""
         engine = rt.engine_of(self.rank)
         header = pkt.header
-        resources = yield from engine.receiver_prepare(header)
+        with trace_scope(self.sim, "pipeline", "receiver_prepare",
+                         rank=self.rank, seq=pkt.seq):
+            resources = yield from engine.receiver_prepare(header)
         data_evs = [
             rt.matching_of(self.rank).expect_data(pkt.seq, part=i)
             for i in range(header.n_partitions)
         ]
         cts = Packet(PacketKind.CTS, self.rank, pkt.src, pkt.tag, pkt.seq)
-        yield from rt.control_delay(self.rank, pkt.src, cts.control_bytes())
-        rt.matching_of(pkt.src).deliver_cts(cts)
+        with trace_scope(self.sim, "pipeline", "cts", rank=self.rank,
+                         seq=pkt.seq, dst=pkt.src):
+            yield from rt.control_delay(self.rank, pkt.src, cts.control_bytes())
+            rt.matching_of(pkt.src).deliver_cts(cts)
 
         def part_receiver(i):
             data_pkt = yield data_evs[i]
-            out = yield from engine.pipelined_receive_part(
-                header, i, data_pkt.payload
-            )
+            with trace_scope(self.sim, "pipeline", "receiver_complete",
+                             rank=self.rank, seq=pkt.seq, part=i):
+                out = yield from engine.pipelined_receive_part(
+                    header, i, data_pkt.payload
+                )
             return out
 
         procs = [
@@ -238,15 +289,21 @@ class Communicator:
                 yield from self._recv_pipelined(rt, pkt, req)
                 return
             engine = rt.engine_of(self.rank)
-            resources = yield from engine.receiver_prepare(pkt.header)
+            with trace_scope(self.sim, "pipeline", "receiver_prepare",
+                             rank=self.rank, seq=pkt.seq):
+                resources = yield from engine.receiver_prepare(pkt.header)
             data_ev = rt.matching_of(self.rank).expect_data(pkt.seq)
             cts = Packet(PacketKind.CTS, self.rank, pkt.src, tag, pkt.seq)
-            yield from rt.control_delay(self.rank, pkt.src, cts.control_bytes())
-            rt.matching_of(pkt.src).deliver_cts(cts)
+            with trace_scope(self.sim, "pipeline", "cts", rank=self.rank,
+                             seq=pkt.seq, dst=pkt.src):
+                yield from rt.control_delay(self.rank, pkt.src, cts.control_bytes())
+                rt.matching_of(pkt.src).deliver_cts(cts)
             data_pkt = yield data_ev
-            data = yield from engine.receiver_complete(
-                pkt.header, data_pkt.payload, resources
-            )
+            with trace_scope(self.sim, "pipeline", "receiver_complete",
+                             rank=self.rank, seq=pkt.seq):
+                data = yield from engine.receiver_complete(
+                    pkt.header, data_pkt.payload, resources
+                )
             req.complete(data)
         except BaseException as exc:
             req.fail(exc)

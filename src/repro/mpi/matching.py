@@ -46,6 +46,10 @@ class MatchingEngine:
         self._data_waiters: dict[int, Event] = {}
         self._early: dict[tuple[str, int], Packet] = {}
 
+    def _metrics(self):
+        tracer = self.sim.tracer
+        return tracer.metrics if tracer is not None else None
+
     # -- envelope path ------------------------------------------------------
     def post_recv(self, source: int, tag: int) -> Event:
         """Post a receive; the returned event fires with the matching
@@ -58,6 +62,9 @@ class MatchingEngine:
                 return ev
         ev = self.sim.event()
         self._posted.append(_PostedRecv(source, tag, ev))
+        m = self._metrics()
+        if m is not None:
+            m.observe("matching.posted_depth", len(self._posted), rank=self.rank)
         return ev
 
     def deliver_envelope(self, pkt: Packet) -> None:
@@ -68,6 +75,11 @@ class MatchingEngine:
                 post.event.succeed(pkt)
                 return
         self._unexpected.append(pkt)
+        m = self._metrics()
+        if m is not None:
+            m.inc("matching.unexpected", rank=self.rank)
+            m.observe("matching.unexpected_depth", len(self._unexpected),
+                      rank=self.rank)
 
     # -- seq-routed path ------------------------------------------------------
     def expect_cts(self, seq: int) -> Event:

@@ -76,11 +76,17 @@ class Link:
             yield self.sim.timeout(self.spec.serialization_time(nbytes))
         finally:
             self._res.release(req)
-        if self.sim.tracer is not None:
-            self.sim.tracer.span(
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.span(
                 t0, self.sim.now, "network", label or self.label,
-                nbytes=nbytes, link=self.label,
+                track=f"link:{self.label}",
+                nbytes=nbytes, link=self.label, links=(self.label,),
             )
+            m = tracer.metrics
+            m.inc("wire.bytes", nbytes, link=self.label)
+            m.inc("wire.transfers", 1, link=self.label)
+            m.inc("wire.busy_seconds", self.sim.now - t0, link=self.label)
 
     def __repr__(self) -> str:
         return f"<Link {self.label} {self.spec.bandwidth / 1e9:.1f}GB/s>"

@@ -127,12 +127,20 @@ class Topology:
         finally:
             for l, r in zip(links, reqs):
                 l._res.release(r)
-        if self.sim.tracer is not None:
-            self.sim.tracer.span(
+        tracer = self.sim.tracer
+        if tracer is not None:
+            route = "+".join(l.label for l in links)
+            tracer.span(
                 t0, self.sim.now, "network", label or f"{src}->{dst}",
+                track=f"link:{route}",
                 nbytes=nbytes, src=src, dst=dst,
-                link="+".join(l.label for l in links),
+                link=route, links=tuple(l.label for l in links),
             )
+            m = tracer.metrics
+            for l in links:
+                m.inc("wire.bytes", nbytes, link=l.label)
+                m.inc("wire.transfers", 1, link=l.label)
+                m.inc("wire.busy_seconds", self.sim.now - t0, link=l.label)
 
     # -- inspection -----------------------------------------------------------
     def graph(self) -> "nx.DiGraph":

@@ -12,7 +12,7 @@ every experiment bit-for-bit deterministic and independent of host speed.
 
 from repro.sim.engine import Simulator, Event, Timeout, Process, AllOf, AnyOf, Interrupt
 from repro.sim.resources import Resource, Store, TokenPool
-from repro.sim.trace import Tracer, TraceRecord
+from repro.sim.trace import SpanHandle, Tracer, TraceRecord, trace_scope
 
 __all__ = [
     "Simulator",
@@ -27,4 +27,6 @@ __all__ = [
     "TokenPool",
     "Tracer",
     "TraceRecord",
+    "SpanHandle",
+    "trace_scope",
 ]

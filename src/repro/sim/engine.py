@@ -319,7 +319,13 @@ class Simulator:
         return Timeout(self, delay, value)
 
     def process(self, gen: Generator, name: str = "") -> Process:
-        return Process(self, gen, name=name)
+        proc = Process(self, gen, name=name)
+        if self.tracer is not None:
+            # Spawned work inherits the spawner's open span as its
+            # parent, keeping kernel/partition workers inside the
+            # pipeline step that launched them.
+            self.tracer._on_process_spawn(proc)
+        return proc
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)

@@ -1,18 +1,49 @@
-"""Lightweight tracing of simulation activity.
+"""Structured tracing of simulation activity.
 
 A :class:`Tracer` attaches to a :class:`~repro.sim.engine.Simulator` and
 records *spans* — named intervals with a category — that the rest of the
 stack uses to produce latency breakdowns (compression kernel time, wire
 time, memory allocation time, ...), mirroring the paper's Figures 6, 8
 and 10.
+
+Spans are **attributed and hierarchical**:
+
+* ``rank`` — which simulated MPI rank (== GPU) the activity belongs to;
+* ``track`` — the lane within that rank ("main" for protocol/CPU work,
+  "gpu" for driver/memory operations, "stream<k>" for kernels) or, for
+  wire activity, ``"link:<label>"``;
+* ``span_id`` / ``parent_id`` — every span knows which open span
+  enclosed it, so a trace is a forest per rank: a ``pipeline`` step
+  contains the kernels, copies and pool operations it caused.
+
+Parenting is inferred from a *span stack per simulated process*: the
+currently-open span of the active :class:`~repro.sim.engine.Process` is
+the parent of anything recorded while it is open.  Processes spawned
+while a span is open inherit it as their base parent (a compression
+kernel launched on a worker process still nests under the
+``sender_prepare`` step that launched it).
+
+Two APIs coexist:
+
+* ``begin()`` / ``end()`` (or the ``open_span()`` context manager) for
+  hierarchical steps that enclose other work across ``yield``\\ s;
+* ``span(t0, t1, ...)`` for retroactive leaf records — the pattern used
+  throughout the device and network layers.
+
+A :class:`~repro.analysis.metrics.MetricsRegistry` rides along on
+``tracer.metrics``; instrumentation sites update both from the same
+measurements, so metrics are provably consistent with the spans (the
+property tests assert exactly that).
 """
 
 from __future__ import annotations
 
+import itertools
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = ["TraceRecord", "Tracer", "SpanHandle", "trace_scope"]
 
 
 @dataclass(frozen=True)
@@ -24,10 +55,34 @@ class TraceRecord:
     category: str
     label: str
     meta: dict = field(default_factory=dict)
+    rank: Optional[int] = None
+    track: Optional[str] = None
+    span_id: int = 0
+    parent_id: Optional[int] = None
 
     @property
     def duration(self) -> float:
         return self.t_end - self.t_start
+
+    def key(self) -> tuple:
+        """Fully-ordered structural identity (for determinism tests)."""
+        return (
+            self.t_start, self.t_end, self.category, self.label,
+            self.rank, self.track, self.span_id, self.parent_id,
+            tuple(sorted((k, repr(v)) for k, v in self.meta.items())),
+        )
+
+
+class SpanHandle:
+    """An open (not yet recorded) span returned by :meth:`Tracer.begin`."""
+
+    __slots__ = ("span_id", "t_start", "category", "label", "rank", "track",
+                 "meta", "parent_id", "open", "_ctx")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.open else "closed"
+        return (f"<SpanHandle #{self.span_id} {self.category}/{self.label} "
+                f"{state} from t={self.t_start:.9f}>")
 
 
 class Tracer:
@@ -39,8 +94,15 @@ class Tracer:
     """
 
     def __init__(self, sim=None):
+        from repro.analysis.metrics import MetricsRegistry  # avoid import cycle
+
         self.records: list[TraceRecord] = []
+        self.metrics = MetricsRegistry()
         self._event_count = 0
+        self._sim = sim
+        self._ids = itertools.count(1)
+        self._stacks: dict[Any, list[SpanHandle]] = {}
+        self._inherited: dict[Any, SpanHandle] = {}
         if sim is not None:
             sim.tracer = self
 
@@ -52,12 +114,111 @@ class Tracer:
     def event_count(self) -> int:
         return self._event_count
 
-    def span(self, t_start: float, t_end: float, category: str, label: str = "", **meta) -> None:
-        """Record a closed interval."""
+    # -- hierarchy machinery ------------------------------------------------
+    def _ctx(self):
+        """The parenting context: the active simulated process."""
+        if self._sim is not None:
+            return self._sim._active_process
+        return None
+
+    def current_span(self) -> Optional[SpanHandle]:
+        """The innermost open span of the active process (or its
+        inherited parent), if any."""
+        ctx = self._ctx()
+        stack = self._stacks.get(ctx)
+        if stack:
+            for h in reversed(stack):
+                if h.open:
+                    return h
+        inherited = self._inherited.get(ctx)
+        if inherited is not None and inherited.open:
+            return inherited
+        return None
+
+    def _on_process_spawn(self, proc) -> None:
+        """Called by :meth:`Simulator.process`: a process spawned while a
+        span is open inherits that span as its base parent."""
+        parent = self.current_span()
+        if parent is not None:
+            self._inherited[proc] = parent
+
+    def _time(self, t: Optional[float]) -> float:
+        if t is not None:
+            return t
+        if self._sim is None:
+            raise ValueError("Tracer is not attached to a Simulator; pass t explicitly")
+        return self._sim.now
+
+    def begin(self, category: str, label: str = "", *, rank: Optional[int] = None,
+              track: Optional[str] = None, t: Optional[float] = None,
+              **meta) -> SpanHandle:
+        """Open a hierarchical span starting now (or at ``t``)."""
+        h = SpanHandle()
+        h.span_id = next(self._ids)
+        h.t_start = self._time(t)
+        h.category = category
+        h.label = label
+        h.rank = rank
+        h.track = track
+        h.meta = meta
+        parent = self.current_span()
+        h.parent_id = parent.span_id if parent is not None else None
+        h.open = True
+        h._ctx = self._ctx()
+        self._stacks.setdefault(h._ctx, []).append(h)
+        return h
+
+    def end(self, handle: Optional[SpanHandle], t: Optional[float] = None,
+            **extra_meta) -> Optional[TraceRecord]:
+        """Close a span opened with :meth:`begin` and record it.
+
+        ``None`` handles are accepted and ignored so call sites can stay
+        unconditional when no tracer was attached at begin time.
+        """
+        if handle is None:
+            return None
+        if not handle.open:
+            raise ValueError(f"span {handle.span_id} already ended")
+        t_end = self._time(t)
+        if t_end < handle.t_start:
+            raise ValueError(
+                f"span ends before it starts: [{handle.t_start}, {t_end}]")
+        handle.open = False
+        stack = self._stacks.get(handle._ctx)
+        if stack and handle in stack:
+            stack.remove(handle)
+        meta = dict(handle.meta)
+        meta.update(extra_meta)
+        rec = TraceRecord(handle.t_start, t_end, handle.category, handle.label,
+                          meta, handle.rank, handle.track, handle.span_id,
+                          handle.parent_id)
+        self.records.append(rec)
+        return rec
+
+    @contextmanager
+    def open_span(self, category: str, label: str = "", **kw):
+        """``with tracer.open_span("pipeline", "rts", rank=0): ...``"""
+        h = self.begin(category, label, **kw)
+        try:
+            yield h
+        finally:
+            if h.open:
+                self.end(h)
+
+    def span(self, t_start: float, t_end: float, category: str, label: str = "",
+             *, rank: Optional[int] = None, track: Optional[str] = None,
+             **meta) -> TraceRecord:
+        """Record a closed interval (leaf span).  The parent is the
+        innermost span still open in the current process."""
         if t_end < t_start:
             raise ValueError(f"span ends before it starts: [{t_start}, {t_end}]")
-        self.records.append(TraceRecord(t_start, t_end, category, label, meta))
+        parent = self.current_span()
+        rec = TraceRecord(t_start, t_end, category, label, meta, rank, track,
+                          next(self._ids), parent.span_id if parent else None)
+        self.records.append(rec)
+        return rec
 
+    # -- aggregation --------------------------------------------------------
     def total(self, category: Optional[str] = None) -> float:
         """Sum of span durations, optionally filtered by category."""
         return sum(
@@ -94,6 +255,26 @@ class Tracer:
             out[r.category] = out.get(r.category, 0.0) + r.duration
         return out
 
+    def by_id(self) -> dict[int, TraceRecord]:
+        """span_id -> record, for walking the hierarchy."""
+        return {r.span_id: r for r in self.records}
+
+    def children_of(self, span_id: int) -> list[TraceRecord]:
+        return [r for r in self.records if r.parent_id == span_id]
+
     def clear(self) -> None:
         self.records.clear()
         self._event_count = 0
+        self._stacks.clear()
+        self._inherited.clear()
+        self.metrics.clear()
+
+
+def trace_scope(sim, category: str, label: str = "", **kw):
+    """Context manager opening a span on ``sim``'s tracer, or a no-op
+    when no tracer is attached — the one-liner instrumentation sites use.
+    """
+    tracer = getattr(sim, "tracer", None)
+    if tracer is None:
+        return nullcontext(None)
+    return tracer.open_span(category, label, **kw)

@@ -1,0 +1,26 @@
+"""Regenerate tests/data/golden_trace_mpc.json.
+
+Run after an *intentional* change to instrumentation::
+
+    PYTHONPATH=src python tests/make_golden_trace.py
+"""
+
+import json
+from pathlib import Path
+
+from test_trace_export import GOLDEN, export_golden_doc
+
+
+def main() -> None:
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    doc = export_golden_doc()
+    GOLDEN.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    n = sum(1 for e in doc["traceEvents"] if e["ph"] == "X")
+    print(f"wrote {GOLDEN} ({n} spans)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    main()

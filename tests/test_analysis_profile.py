@@ -63,6 +63,59 @@ def test_profile_report_renders():
     assert "compression_kernel" in text
 
 
+def test_profile_all_link_utilizations_bounded():
+    """Per-link busy time can never exceed elapsed — in particular the
+    multi-hop cut-through spans must be attributed per constituent
+    link, not double-counted onto one."""
+    for cfg in (None, CompressionConfig.mpc_opt()):
+        prof = CommProfile.from_result(run_traffic(cfg))
+        for st in prof.links.values():
+            assert 0.0 <= st.utilization(prof.elapsed) <= 1.0
+
+
+def test_profile_bytes_match_trace():
+    res = run_traffic(CompressionConfig.mpc_opt())
+    prof = CommProfile.from_result(res)
+    wire = [r for r in res.tracer.records
+            if (r.track or "").startswith("link:")]
+    # total_wire_bytes counts each wire span once ...
+    assert prof.total_wire_bytes == sum(int(r.meta["nbytes"]) for r in wire)
+    assert prof.n_messages == len(wire)
+    # ... per-link bytes_moved attributes a span to each link it holds.
+    per_link = sum(st.bytes_moved for st in prof.links.values())
+    assert per_link == sum(
+        int(r.meta["nbytes"]) * len(r.meta["links"]) for r in wire)
+    assert per_link == res.tracer.metrics.counter_total("wire.bytes")
+
+
+def test_profile_histogram_consistent_with_links():
+    prof = CommProfile.from_result(run_traffic())
+    assert sum(prof.size_histogram.values()) == prof.n_messages
+    assert sum(st.transfers for st in prof.links.values()) >= prof.n_messages
+    assert all(n > 0 for n in prof.size_histogram.values())
+
+
+def test_profile_rank_pipeline_time():
+    res = run_traffic(CompressionConfig.mpc_opt())
+    prof = CommProfile.from_result(res)
+    assert prof.rank_pipeline_time
+    assert set(prof.rank_pipeline_time) <= set(range(4))
+    for t in prof.rank_pipeline_time.values():
+        assert t > 0
+    assert "pipeline time by rank" in prof.report()
+
+
+def test_profile_from_empty_tracer():
+    from repro.sim import Tracer
+
+    prof = CommProfile.from_tracer(Tracer(), elapsed=0.0)
+    assert prof.n_messages == 0
+    assert prof.total_wire_bytes == 0
+    assert prof.links == {} and prof.size_histogram == {}
+    assert prof.busiest_link is None
+    assert "0 wire transfers" in prof.report()  # renders without dividing by 0
+
+
 def test_profile_empty_run():
     cluster = Cluster(machine_preset("ri2"), nodes=1, gpus_per_node=1)
 

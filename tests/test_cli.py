@@ -57,3 +57,34 @@ def test_profile(capsys):
     assert main(["profile", "--nodes", "2", "--ppn", "1", "--size", "512K"]) == 0
     out = capsys.readouterr().out
     assert "link activity" in out and "time by category" in out
+
+
+def test_trace_latency(tmp_path, capsys):
+    import json
+
+    from repro.mpi.comm import PIPELINE_STEPS
+
+    out = tmp_path / "t.json"
+    assert main(["trace", "latency", "--codec", "mpc", "--size", "512K",
+                 "--out", str(out)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert set(PIPELINE_STEPS) <= names
+    assert doc["otherData"]["metrics"]["counters"]
+
+
+def test_trace_collective(tmp_path):
+    import json
+
+    out = tmp_path / "t.json"
+    assert main(["trace", "allgather", "--codec", "none", "--size", "256K",
+                 "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    cats = {e["cat"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert "collective" in cats
+
+
+def test_trace_unknown_codec():
+    with pytest.raises(SystemExit):
+        main(["trace", "latency", "--codec", "lz4"])

@@ -129,6 +129,79 @@ def test_allreduce_agrees_with_numpy(nprocs, seed):
         assert np.allclose(np.asarray(out), expected, atol=1e-3)
 
 
+# -- observability invariants --------------------------------------------------
+
+def _run_traced(n, algo, seed):
+    rng = np.random.default_rng(seed)
+    data = np.cumsum(rng.standard_normal(n)).astype(np.float32)
+    cfg = (CompressionConfig.mpc_opt(threshold=64 * 1024)
+           if algo == "mpc" else CompressionConfig.disabled())
+    cluster = Cluster(machine_preset("longhorn"), nodes=2, gpus_per_node=1)
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, 1)
+            return None
+        got = yield from comm.recv(0)
+        return got
+
+    return cluster.run(rank_fn, config=cfg)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=200_000),
+    algo=st.sampled_from(["mpc", "none"]),
+    seed=st.integers(min_value=0, max_value=99),
+)
+def test_trace_spans_well_formed(n, algo, seed):
+    """Whatever the protocol path taken, spans never have negative
+    duration, children lie within their parents, and merged occupancy
+    never exceeds the raw per-category sum."""
+    tracer = _run_traced(n, algo, seed).tracer
+    by_id = tracer.by_id()
+    eps = 1e-12
+    for rec in tracer.records:
+        assert rec.duration >= 0
+        if rec.parent_id is not None and rec.parent_id in by_id:
+            parent = by_id[rec.parent_id]
+            assert parent.t_start - eps <= rec.t_start
+            assert rec.t_end <= parent.t_end + eps
+    for cat in tracer.categories():
+        assert tracer.busy(cat) <= tracer.total(cat) + eps
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=200_000),
+    algo=st.sampled_from(["mpc", "none"]),
+    seed=st.integers(min_value=0, max_value=99),
+)
+def test_metrics_agree_with_spans(n, algo, seed):
+    """Counters and spans are updated from the same measurements, so
+    each must be derivable from the other."""
+    tracer = _run_traced(n, algo, seed).tracer
+    m = tracer.metrics
+
+    wire = [r for r in tracer.records if (r.track or "").startswith("link:")]
+    span_bytes = sum(int(r.meta["nbytes"]) * len(r.meta["links"]) for r in wire)
+    span_hops = sum(len(r.meta["links"]) for r in wire)
+    assert m.counter_total("wire.bytes") == span_bytes
+    assert m.counter_total("wire.transfers") == span_hops
+
+    pool_hits = sum(1 for r in tracer.records
+                    if r.category == "pool" and r.label == "hit")
+    assert m.counter_total("pool.hit") == pool_hits
+
+    # Every rendezvous send records exactly one sender_prepare step;
+    # eager/self sends never do (pipelined configs may retry, but these
+    # configs are non-pipelined).
+    prepares = sum(1 for r in tracer.records
+                   if r.category == "pipeline" and r.label == "sender_prepare")
+    assert prepares == (m.counter("mpi.sends", protocol="rndv")
+                        + m.counter("mpi.sends", protocol="rndv_pipelined"))
+
+
 # -- latency sanity properties ------------------------------------------------------
 
 @settings(max_examples=10, deadline=None)

@@ -72,3 +72,97 @@ def test_tracer_attaches_to_simulator():
 
     sim.run_process(proc(sim))
     assert tr.event_count > 0
+
+
+# -- hierarchical spans -------------------------------------------------------
+
+def test_begin_end_explicit_times():
+    tr = Tracer()
+    h = tr.begin("pipeline", "rts", rank=2, track="main", t=1.0, seq=5)
+    rec = tr.end(h, t=2.5, dst=1)
+    assert rec.duration == pytest.approx(1.5)
+    assert rec.rank == 2 and rec.track == "main"
+    assert rec.meta == {"seq": 5, "dst": 1}
+    assert rec.parent_id is None
+    assert tr.records == [rec]
+
+
+def test_end_none_is_noop():
+    tr = Tracer()
+    assert tr.end(None) is None
+    assert tr.records == []
+
+
+def test_end_twice_raises():
+    tr = Tracer()
+    h = tr.begin("x", t=0.0)
+    tr.end(h, t=1.0)
+    with pytest.raises(ValueError):
+        tr.end(h, t=2.0)
+
+
+def test_end_before_start_raises():
+    tr = Tracer()
+    h = tr.begin("x", t=5.0)
+    with pytest.raises(ValueError):
+        tr.end(h, t=4.0)
+
+
+def test_detached_tracer_needs_explicit_time():
+    tr = Tracer()
+    with pytest.raises(ValueError):
+        tr.begin("x")
+
+
+def test_retroactive_span_nests_under_open():
+    tr = Tracer()
+    outer = tr.begin("pipeline", "sender_prepare", t=0.0)
+    leaf = tr.span(0.2, 0.5, "kernel", "mpc")
+    inner = tr.begin("pipeline", "inner", t=0.6)
+    leaf2 = tr.span(0.7, 0.8, "kernel", "mpc2")
+    tr.end(inner, t=0.9)
+    tr.end(outer, t=1.0)
+    assert leaf.parent_id == outer.span_id
+    assert leaf2.parent_id == inner.span_id
+    by_id = tr.by_id()
+    assert by_id[inner.span_id].parent_id == outer.span_id
+    assert {r.span_id for r in tr.children_of(outer.span_id)} == {
+        leaf.span_id, inner.span_id}
+
+
+def test_spans_parent_within_sim_processes():
+    """Spans recorded by different processes don't nest into each
+    other; a process spawned under an open span inherits it."""
+    sim = Simulator()
+    tr = Tracer(sim)
+    got = {}
+
+    def child(sim):
+        yield sim.timeout(0.5)
+        got["child_leaf"] = tr.span(sim.now - 0.1, sim.now, "kernel", "k")
+
+    def parent(sim):
+        with tr.open_span("pipeline", "outer", rank=0) as h:
+            got["outer"] = h
+            sim.process(child(sim))
+            yield sim.timeout(2.0)
+
+    def bystander(sim):
+        yield sim.timeout(1.0)
+        got["stranger"] = tr.span(sim.now - 0.1, sim.now, "kernel", "other")
+
+    sim.process(parent(sim))
+    sim.process(bystander(sim))
+    sim.run()
+    assert got["child_leaf"].parent_id == got["outer"].span_id
+    assert got["stranger"].parent_id is None
+
+
+def test_clear_resets_hierarchy_and_metrics():
+    tr = Tracer()
+    tr.begin("x", t=0.0)
+    tr.metrics.inc("wire.bytes", 10, link="l")
+    tr.clear()
+    assert tr.records == []
+    assert tr.current_span() is None
+    assert tr.metrics.counter_total("wire.bytes") == 0

@@ -1,0 +1,119 @@
+"""Chrome-trace export: structure checks and a golden-trace regression.
+
+The golden file (``tests/data/golden_trace_mpc.json``) is the full
+exported trace of a fixed 2-rank rendezvous MPC-OPT send.  The
+comparison is over the trace *skeleton* — span names, categories, track
+assignment and parent nesting — so legitimate performance-model
+recalibration (which shifts timestamps) does not break the test, while
+any change to what is traced or how spans nest does.
+
+Regenerate after an intentional instrumentation change with::
+
+    PYTHONPATH=src python tests/make_golden_trace.py
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import to_chrome_trace
+from repro.analysis.export import NETWORK_PID
+from repro.core import CompressionConfig
+from repro.mpi.cluster import Cluster
+from repro.mpi.comm import PIPELINE_STEPS
+from repro.network.presets import machine_preset
+
+GOLDEN = Path(__file__).parent / "data" / "golden_trace_mpc.json"
+
+
+def run_golden_workload():
+    """2-rank inter-node rendezvous send, 256 KiB float32, MPC-OPT."""
+    cluster = Cluster(machine_preset("longhorn"), nodes=2, gpus_per_node=1)
+    data = np.linspace(0.0, 1.0, 65536, dtype=np.float32)
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, 1, tag=3)
+            return None
+        got = yield from comm.recv(0, tag=3)
+        return np.asarray(got).nbytes
+
+    return cluster.run(rank_fn, config=CompressionConfig.mpc_opt())
+
+
+def export_golden_doc():
+    res = run_golden_workload()
+    return to_chrome_trace(res.tracer, elapsed=res.elapsed)
+
+
+def _threads(doc):
+    return {(e["pid"], e["tid"]): e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"}
+
+
+def _skeleton(doc):
+    """(pid, track, category, name, parent name) for every X event."""
+    threads = _threads(doc)
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    by_id = {e["args"]["span_id"]: e for e in xs}
+    rows = []
+    for e in xs:
+        parent = by_id.get(e["args"].get("parent_id"))
+        rows.append((e["pid"], threads[(e["pid"], e["tid"])], e["cat"],
+                     e["name"], parent["name"] if parent else None))
+    return sorted(rows)
+
+
+def test_chrome_trace_is_valid():
+    doc = export_golden_doc()
+    assert json.loads(json.dumps(doc)) == doc  # JSON-serializable
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert xs
+    for e in xs:
+        assert e["ts"] >= 0 and e["dur"] >= 0
+        assert isinstance(e["args"]["span_id"], int)
+    assert {0, 1} <= {e["pid"] for e in xs}  # one track per rank at least
+    assert any(e["pid"] == NETWORK_PID for e in xs)  # wire lane
+
+
+def test_all_pipeline_steps_exported():
+    doc = export_golden_doc()
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert set(PIPELINE_STEPS) <= names
+
+
+def test_nesting_is_well_formed_in_export():
+    doc = export_golden_doc()
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    by_id = {e["args"]["span_id"]: e for e in xs}
+    for e in xs:
+        parent = by_id.get(e["args"].get("parent_id"))
+        if parent is not None:
+            assert parent["ts"] <= e["ts"]
+            assert e["ts"] + e["dur"] <= parent["ts"] + parent["dur"] + 1e-6
+
+
+def test_matches_golden_trace():
+    golden = json.loads(GOLDEN.read_text())
+    doc = export_golden_doc()
+    assert _skeleton(doc) == _skeleton(golden)
+    assert _threads(doc) == _threads(golden)
+
+
+def test_golden_has_compression_under_sender_prepare():
+    """The MPC kernel must nest (possibly transitively) under the
+    sender_prepare pipeline step — the hierarchy the tentpole adds."""
+    golden = json.loads(GOLDEN.read_text())
+    xs = [e for e in golden["traceEvents"] if e["ph"] == "X"]
+    by_id = {e["args"]["span_id"]: e for e in xs}
+    kernels = [e for e in xs if e["cat"] == "compression_kernel"]
+    assert kernels
+    for k in kernels:
+        names = set()
+        cur = k
+        while cur["args"].get("parent_id") in by_id:
+            cur = by_id[cur["args"]["parent_id"]]
+            names.add(cur["name"])
+        assert "sender_prepare" in names or "receiver_complete" in names
