@@ -11,6 +11,7 @@ Commands
 ``table3``                dataset compression survey
 ``profile``               INAM-style communication profile of a run
 ``trace``                 export a Chrome-trace JSON of one workload
+``chaos``                 fault-injection sweep with bit-exactness checks
 
 Examples::
 
@@ -18,6 +19,7 @@ Examples::
     python -m repro bcast --dataset msg_sppm --config mpc-opt
     python -m repro awp --gpus 16 --config zfp8
     python -m repro trace latency --codec mpc --out trace.json
+    python -m repro chaos --config mpc-opt --corrupt-rate 0.05 --seed 3
 """
 
 from __future__ import annotations
@@ -194,6 +196,33 @@ def cmd_trace(args) -> None:
           f"[{args.workload}, {args.codec}, {args.machine}]")
 
 
+def cmd_chaos(args) -> None:
+    from repro.errors import ResilienceError
+    from repro.faults import FaultPlan
+    from repro.faults.chaos import run_chaos
+
+    plan = FaultPlan(
+        seed=args.seed,
+        corrupt_rate=args.corrupt_rate,
+        drop_rate=args.drop_rate,
+        oom_rate=args.oom_rate,
+        pool_fail_rate=args.pool_fail_rate,
+        compress_fail_rate=args.compress_fail_rate,
+        decompress_corrupt_rate=args.decompress_corrupt_rate,
+    )
+    sizes = tuple(parse_size(s) for s in args.sizes.split(","))
+    try:
+        report = run_chaos(machine=args.machine, sizes=sizes,
+                           config=_config(args.config), plan=plan,
+                           payload=args.payload, iterations=args.iters)
+    except ResilienceError as exc:
+        raise SystemExit(
+            f"chaos run unrecoverable under {plan.describe()}: {exc}")
+    print(report.summary())
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -250,6 +279,20 @@ def main(argv=None) -> int:
     p.add_argument("--payload", default="omb")
     p.add_argument("--out", default="trace.json")
 
+    p = sub.add_parser("chaos")
+    p.add_argument("--machine", default="longhorn")
+    p.add_argument("--config", default="mpc-opt")
+    p.add_argument("--sizes", default="256K,1M")
+    p.add_argument("--payload", default="omb")
+    p.add_argument("--iters", type=int, default=4)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--corrupt-rate", type=float, default=0.05)
+    p.add_argument("--drop-rate", type=float, default=0.0)
+    p.add_argument("--oom-rate", type=float, default=0.0)
+    p.add_argument("--pool-fail-rate", type=float, default=0.0)
+    p.add_argument("--compress-fail-rate", type=float, default=0.0)
+    p.add_argument("--decompress-corrupt-rate", type=float, default=0.0)
+
     args = parser.parse_args(argv)
     {
         "machines": cmd_machines,
@@ -262,6 +305,7 @@ def main(argv=None) -> int:
         "table3": cmd_table3,
         "profile": cmd_profile,
         "trace": cmd_trace,
+        "chaos": cmd_chaos,
     }[args.command](args)
     return 0
 

@@ -28,6 +28,19 @@ name                            kind     emitted by
 ``matching.unexpected{rank}``   counter  :class:`repro.mpi.matching.MatchingEngine`
 ``matching.posted_depth{rank}``     hist observed posted-queue depth
 ``matching.unexpected_depth{rank}`` hist observed unexpected-queue depth
+``faults.injected{kind}``       counter  :class:`repro.faults.FaultInjector` —
+                                         one per fired fault (``corrupt``,
+                                         ``drop``, ``degrade``, ``flap_wait``,
+                                         ``oom``, ``pool_exhausted``,
+                                         ``compress_fail``,
+                                         ``decompress_corrupt``)
+``resilience.<event>``          counter  :class:`repro.mpi.cluster.Runtime` —
+                                         recovery actions (``crc_mismatch``,
+                                         ``decode_error``, ``data_timeout``,
+                                         ``retransmit``, ``retry``,
+                                         ``recovered``, ``fallback``,
+                                         ``breaker_veto``, ``timeout``)
+``resilience.breaker_transitions{state}`` counter circuit-breaker state changes
 ==============================  =======  ====================================
 """
 

@@ -71,6 +71,11 @@ class CodecCache:
 
     def compress(self, codec: Compressor, data: np.ndarray) -> CompressedData:
         """Memoized ``codec.compress(data)``."""
+        if getattr(codec, "cache_unsafe", False):
+            # Fault-wrapped codecs are intentionally non-deterministic
+            # per call; memoizing them would both skip injected faults
+            # and poison the cache for clean codecs of the same name.
+            return codec.compress(data)
         key = self._key("c", codec, self._codec_params(codec),
                         _digest(data) + data.dtype.char.encode())
         cached = self._get(key)
@@ -82,6 +87,8 @@ class CodecCache:
 
     def decompress(self, codec: Compressor, comp: CompressedData) -> np.ndarray:
         """Memoized ``codec.decompress(comp)`` (returns a fresh copy)."""
+        if getattr(codec, "cache_unsafe", False):
+            return codec.decompress(comp)
         key = self._key(
             "d", codec, self._codec_params(codec) + ((comp.n_elements,)),
             _digest(comp.payload) + comp.dtype.char.encode(),

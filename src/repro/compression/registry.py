@@ -21,15 +21,34 @@ from repro.compression.zfp import ZfpCompressor
 from repro.compression.zfp2d import Zfp2dCompressor
 from repro.errors import CompressionError
 
-__all__ = ["register", "get_compressor", "available", "feature_table", "TABLE1_ROWS"]
+__all__ = ["register", "get_compressor", "available", "feature_table",
+           "TABLE1_ROWS", "install_fault_wrapper", "uninstall_fault_wrapper"]
 
 _REGISTRY: Dict[str, Callable[..., Compressor]] = {}
+
+#: optional hook applied to every constructed codec — the fault plane
+#: installs :class:`repro.faults.codec.FlakyCompressor` through this
+_FAULT_WRAPPER: Callable[[Compressor], Compressor] | None = None
 
 
 def register(name: str, factory: Callable[..., Compressor]) -> None:
     """Register a codec factory under ``name`` (overwrites allowed so
     applications can swap in custom codecs)."""
     _REGISTRY[name] = factory
+
+
+def install_fault_wrapper(wrapper: Callable[[Compressor], Compressor]) -> None:
+    """Wrap every codec built by :func:`get_compressor` until
+    :func:`uninstall_fault_wrapper`.  Used by the fault-injection plane;
+    installers must uninstall in a ``finally`` so one chaotic run cannot
+    leak faults into the next."""
+    global _FAULT_WRAPPER
+    _FAULT_WRAPPER = wrapper
+
+
+def uninstall_fault_wrapper() -> None:
+    global _FAULT_WRAPPER
+    _FAULT_WRAPPER = None
 
 
 def get_compressor(name: str, **params) -> Compressor:
@@ -40,7 +59,10 @@ def get_compressor(name: str, **params) -> Compressor:
         raise CompressionError(
             f"unknown compressor {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
-    return factory(**params)
+    codec = factory(**params)
+    if _FAULT_WRAPPER is not None:
+        codec = _FAULT_WRAPPER(codec)
+    return codec
 
 
 def available() -> list[str]:

@@ -306,9 +306,13 @@ class ZfpCompressor(Compressor):
 
         q = inverse_lift(coeffs)
         headroom = width - 2
-        vals = np.ldexp(q.astype(np.float64), (emax - headroom)[:, None])
-        vals[~nonzero_block] = 0.0
-        return vals.reshape(-1)[:n].astype(dtype)
+        # A corrupted stream can carry absurd exponents; let them
+        # saturate to inf silently — the integrity check rejects them.
+        with np.errstate(over="ignore"):
+            vals = np.ldexp(q.astype(np.float64), (emax - headroom)[:, None])
+            vals[~nonzero_block] = 0.0
+            out = vals.reshape(-1)[:n].astype(dtype)
+        return out
 
     def max_abs_error_bound(self, data: np.ndarray) -> float:
         """A conservative per-array absolute error bound.

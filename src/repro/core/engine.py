@@ -44,6 +44,7 @@ from repro.core.tuning import partitions_for_message
 from repro.errors import CompressionError
 from repro.gpu.device import Device
 from repro.gpu.pool import BufferPool, SizeClassBufferPool
+from repro.utils.integrity import payload_crc32
 from repro.utils.units import KiB, MiB
 
 __all__ = ["CompressionEngine", "SendPlan"]
@@ -61,6 +62,10 @@ class SendPlan:
     payload: np.ndarray  # bytes that go on the wire (or the raw array)
     wire_nbytes: int
     resources: list = field(default_factory=list)
+    #: CRC32 of the data the receiver should reconstruct (the clean
+    #: decompression round-trip for compressed sends, the raw bytes
+    #: otherwise); piggybacked on RTS/DATA for integrity checking
+    crc: Optional[int] = None
 
     @property
     def compressed(self) -> bool:
@@ -81,6 +86,7 @@ class PipelinedSendPlan:
     comps: list
     resources: list = field(default_factory=list)
     kernel_run: object = None  # callable(i) -> generator
+    crc: Optional[int] = None  # CRC32 of the reassembled decompressed data
 
     @property
     def n_parts(self) -> int:
@@ -132,6 +138,22 @@ class CompressionEngine:
             and data.nbytes >= cfg.threshold
         )
 
+    def _plan_crc(self, codec, data, comps) -> int:
+        """CRC32 of what the receiver must reconstruct.
+
+        Lossless codecs round-trip to the original bytes, so the raw
+        CRC suffices.  Lossy codecs (zfp/sz) are checked against the
+        *clean* decompression of the wire bytes — computed with the
+        unwrapped codec so an installed fault wrapper can neither
+        corrupt nor draw RNG for the expected value.
+        """
+        clean = getattr(codec, "inner", codec)
+        if clean.lossless:
+            return payload_crc32(data)
+        outs = [GLOBAL_CODEC_CACHE.decompress(clean, c) for c in comps]
+        out = np.concatenate(outs) if len(outs) > 1 else outs[0]
+        return payload_crc32(out)
+
     def _acquire_data_buffer(self, nbytes: int, label: str):
         """Pool hit (cheap) or cudaMalloc (the naive path's cost)."""
         if self.data_pool is not None:
@@ -161,13 +183,16 @@ class CompressionEngine:
         plan.resources = []
 
     # -- sender ---------------------------------------------------------------
-    def sender_prepare(self, data, path_bandwidth: float = 0.0):
+    def sender_prepare(self, data, path_bandwidth: float = 0.0,
+                       force_uncompressed: bool = False):
         """Compress (or not) and produce a :class:`SendPlan`.
 
         ``path_bandwidth`` (bytes/s of the route to the destination)
-        feeds the adaptive policy when enabled.
+        feeds the adaptive policy when enabled.  ``force_uncompressed``
+        skips the compression pipeline entirely — the protocol layer
+        uses it when a peer's compression circuit breaker is open.
         """
-        if self._compressible(data):
+        if not force_uncompressed and self._compressible(data):
             if self.adaptive_policy is None or self.adaptive_policy.should_compress(
                 data.nbytes, path_bandwidth
             ):
@@ -180,7 +205,8 @@ class CompressionEngine:
                 return plan
         nbytes = int(data.nbytes) if isinstance(data, np.ndarray) else len(data)
         header = CompressionHeader.uncompressed(nbytes)
-        return SendPlan(header=header, payload=data, wire_nbytes=nbytes)
+        return SendPlan(header=header, payload=data, wire_nbytes=nbytes,
+                        crc=payload_crc32(data))
 
     def _run_partition_kernels(self, durations: list[float], blocks: int, category: str):
         """Launch one kernel per partition on separate CUDA streams.
@@ -219,47 +245,51 @@ class CompressionEngine:
 
         t_prepare_start = self.sim.now
         resources = []
-        bound = nbytes + nbytes // 16 + 4096  # worst-case MPC expansion
-        comp_buf = yield from self._acquire_data_buffer(bound, "mpc_compressed")
-        resources.append(comp_buf)
-        doff = yield from self._acquire_doff()
-        resources.append(doff)
+        try:
+            bound = nbytes + nbytes // 16 + 4096  # worst-case MPC expansion
+            comp_buf = yield from self._acquire_data_buffer(bound, "mpc_compressed")
+            resources.append(comp_buf)
+            doff = yield from self._acquire_doff()
+            resources.append(doff)
 
-        # Real compression, one partition at a time (memoized host-side;
-        # kernel time is charged below regardless).
-        pieces = np.array_split(data, parts)
-        comps = [GLOBAL_CODEC_CACHE.compress(codec, p) for p in pieces]
-        sizes = [c.nbytes for c in comps]
+            # Real compression, one partition at a time (memoized host-side;
+            # kernel time is charged below regardless).
+            pieces = np.array_split(data, parts)
+            comps = [GLOBAL_CODEC_CACHE.compress(codec, p) for p in pieces]
+            sizes = [c.nbytes for c in comps]
 
-        # Modelled kernel executions (concurrent when partitioned).
-        blocks = max(1, spec.sm_count // parts)
-        durations = [
-            model.compress_time(p.nbytes, blocks, spec.sm_count) for p in pieces
-        ]
-        yield from self._run_partition_kernels(durations, blocks, "compression_kernel")
+            # Modelled kernel executions (concurrent when partitioned).
+            blocks = max(1, spec.sm_count // parts)
+            durations = [
+                model.compress_time(p.nbytes, blocks, spec.sm_count) for p in pieces
+            ]
+            yield from self._run_partition_kernels(durations, blocks, "compression_kernel")
 
-        # Retrieve compressed size(s): GDRCopy (OPT) vs cudaMemcpy (naive).
-        size_bytes = 4 * parts
-        if cfg.use_gdrcopy:
-            yield from self.device.gdrcopy(size_bytes, "compressed_size")
-        else:
-            yield from self.device.memcpy_d2h(size_bytes, "compressed_size")
+            # Retrieve compressed size(s): GDRCopy (OPT) vs cudaMemcpy (naive).
+            size_bytes = 4 * parts
+            if cfg.use_gdrcopy:
+                yield from self.device.gdrcopy(size_bytes, "compressed_size")
+            else:
+                yield from self.device.memcpy_d2h(size_bytes, "compressed_size")
 
-        # Merge partition outputs into one contiguous buffer (fixed
-        # order, Sec. IV); partition 0 is already in place.
-        if parts > 1:
-            yield from self.device.memcpy_d2d(sum(sizes[1:]), "combine")
+            # Merge partition outputs into one contiguous buffer (fixed
+            # order, Sec. IV); partition 0 is already in place.
+            if parts > 1:
+                yield from self.device.memcpy_d2d(sum(sizes[1:]), "combine")
 
-        payload = np.concatenate([c.payload for c in comps]) if parts > 1 else comps[0].payload
-        if self.adaptive_policy is not None:
-            blocks_r = max(1, spec.sm_count // parts)
-            est_decompr = max(
-                model.decompress_time(p.nbytes, blocks_r, spec.sm_count) for p in pieces
-            )
-            self.adaptive_policy.record(
-                nbytes, nbytes / max(1, payload.nbytes),
-                self.sim.now - t_prepare_start, est_decompr,
-            )
+            payload = np.concatenate([c.payload for c in comps]) if parts > 1 else comps[0].payload
+            if self.adaptive_policy is not None:
+                blocks_r = max(1, spec.sm_count // parts)
+                est_decompr = max(
+                    model.decompress_time(p.nbytes, blocks_r, spec.sm_count) for p in pieces
+                )
+                self.adaptive_policy.record(
+                    nbytes, nbytes / max(1, payload.nbytes),
+                    self.sim.now - t_prepare_start, est_decompr,
+                )
+        except BaseException:
+            yield from self._release(resources)
+            raise
         if payload.nbytes >= nbytes:
             # Incompressible: fall back to the raw message (the kernel
             # time was still spent — that is the price of trying).
@@ -267,7 +297,7 @@ class CompressionEngine:
             yield from self._release(resources)
             return SendPlan(
                 header=CompressionHeader.uncompressed(nbytes),
-                payload=data, wire_nbytes=nbytes,
+                payload=data, wire_nbytes=nbytes, crc=payload_crc32(data),
             )
         self._record_compression("mpc", nbytes, payload.nbytes)
         comp_buf.write(payload)
@@ -276,7 +306,7 @@ class CompressionEngine:
         )
         return SendPlan(
             header=header, payload=payload, wire_nbytes=payload.nbytes,
-            resources=resources,
+            resources=resources, crc=self._plan_crc(codec, data, comps),
         )
 
     def _zfp_grid_dims(self):
@@ -316,25 +346,37 @@ class CompressionEngine:
         nbytes = data.nbytes
 
         t_prepare_start = self.sim.now
-        yield from self._zfp_stream_field()
-        yield from self._zfp_grid_dims()
-
-        expected = codec.expected_compressed_bytes(data.size, data.dtype.itemsize)
         resources = []
-        comp_buf = yield from self._acquire_data_buffer(expected, "zfp_compressed")
-        resources.append(comp_buf)
+        try:
+            yield from self._zfp_stream_field()
+            yield from self._zfp_grid_dims()
 
-        comp = GLOBAL_CODEC_CACHE.compress(codec, data)  # real compression
-        duration = model.compress_time(nbytes, spec.sm_count, spec.sm_count)
-        yield from self.streams[0].run_kernel(
-            duration, spec.sm_count, "compression_kernel", "zfp"
-        )
-        # No size copy: ZFP's compressed size is predictable (Sec. III).
-        if self.adaptive_policy is not None:
-            est_decompr = model.decompress_time(nbytes, spec.sm_count, spec.sm_count)
-            self.adaptive_policy.record(
-                nbytes, nbytes / max(1, comp.nbytes),
-                self.sim.now - t_prepare_start, est_decompr,
+            expected = codec.expected_compressed_bytes(data.size, data.dtype.itemsize)
+            comp_buf = yield from self._acquire_data_buffer(expected, "zfp_compressed")
+            resources.append(comp_buf)
+
+            comp = GLOBAL_CODEC_CACHE.compress(codec, data)  # real compression
+            duration = model.compress_time(nbytes, spec.sm_count, spec.sm_count)
+            yield from self.streams[0].run_kernel(
+                duration, spec.sm_count, "compression_kernel", "zfp"
+            )
+            # No size copy: ZFP's compressed size is predictable (Sec. III).
+            if self.adaptive_policy is not None:
+                est_decompr = model.decompress_time(nbytes, spec.sm_count, spec.sm_count)
+                self.adaptive_policy.record(
+                    nbytes, nbytes / max(1, comp.nbytes),
+                    self.sim.now - t_prepare_start, est_decompr,
+                )
+        except BaseException:
+            yield from self._release(resources)
+            raise
+        if comp.nbytes >= nbytes:
+            # CR < 1 at this rate/size: ship raw rather than expand.
+            self._record_compression("zfp", nbytes, comp.nbytes, fallback=True)
+            yield from self._release(resources)
+            return SendPlan(
+                header=CompressionHeader.uncompressed(nbytes),
+                payload=data, wire_nbytes=nbytes, crc=payload_crc32(data),
             )
         self._record_compression("zfp", nbytes, comp.nbytes)
         comp_buf.write(comp.payload)
@@ -343,7 +385,7 @@ class CompressionEngine:
         )
         return SendPlan(
             header=header, payload=comp.payload, wire_nbytes=comp.nbytes,
-            resources=resources,
+            resources=resources, crc=self._plan_crc(codec, data, [comp]),
         )
 
     def _generic_codec(self):
@@ -365,28 +407,32 @@ class CompressionEngine:
         if data.dtype.type not in codec.supported_dtypes:
             return SendPlan(
                 header=CompressionHeader.uncompressed(nbytes),
-                payload=data, wire_nbytes=nbytes,
+                payload=data, wire_nbytes=nbytes, crc=payload_crc32(data),
             )
         resources = []
-        bound = nbytes + nbytes // 4 + 8192
-        comp_buf = yield from self._acquire_data_buffer(bound, f"{cfg.algorithm}_compressed")
-        resources.append(comp_buf)
-        comp = GLOBAL_CODEC_CACHE.compress(codec, data)
-        duration = model.compress_time(nbytes, spec.sm_count, spec.sm_count)
-        yield from self.streams[0].run_kernel(
-            duration, spec.sm_count, "compression_kernel", cfg.algorithm
-        )
-        if cfg.use_gdrcopy:
-            yield from self.device.gdrcopy(4, "compressed_size")
-        else:
-            yield from self.device.memcpy_d2h(4, "compressed_size")
+        try:
+            bound = nbytes + nbytes // 4 + 8192
+            comp_buf = yield from self._acquire_data_buffer(bound, f"{cfg.algorithm}_compressed")
+            resources.append(comp_buf)
+            comp = GLOBAL_CODEC_CACHE.compress(codec, data)
+            duration = model.compress_time(nbytes, spec.sm_count, spec.sm_count)
+            yield from self.streams[0].run_kernel(
+                duration, spec.sm_count, "compression_kernel", cfg.algorithm
+            )
+            if cfg.use_gdrcopy:
+                yield from self.device.gdrcopy(4, "compressed_size")
+            else:
+                yield from self.device.memcpy_d2h(4, "compressed_size")
+        except BaseException:
+            yield from self._release(resources)
+            raise
         if comp.nbytes >= nbytes:
             self._record_compression(cfg.algorithm, nbytes, comp.nbytes,
                                      fallback=True)
             yield from self._release(resources)
             return SendPlan(
                 header=CompressionHeader.uncompressed(nbytes),
-                payload=data, wire_nbytes=nbytes,
+                payload=data, wire_nbytes=nbytes, crc=payload_crc32(data),
             )
         self._record_compression(cfg.algorithm, nbytes, comp.nbytes)
         comp_buf.write(comp.payload)
@@ -394,7 +440,8 @@ class CompressionEngine:
             cfg.algorithm, data.dtype, data.size, param, (comp.nbytes,)
         )
         return SendPlan(header=header, payload=comp.payload,
-                        wire_nbytes=comp.nbytes, resources=resources)
+                        wire_nbytes=comp.nbytes, resources=resources,
+                        crc=self._plan_crc(codec, data, [comp]))
 
     # -- pipelined extension -------------------------------------------------
     def sender_prepare_pipelined(self, data, path_bandwidth: float = 0.0):
@@ -432,15 +479,19 @@ class CompressionEngine:
         self._record_compression(cfg.algorithm, nbytes, sum(sizes))
 
         resources = []
-        bound = nbytes + nbytes // 16 + 4096
-        comp_buf = yield from self._acquire_data_buffer(bound, "pipe_compressed")
-        resources.append(comp_buf)
-        if cfg.algorithm == "mpc":
-            doff = yield from self._acquire_doff()
-            resources.append(doff)
-        else:
-            yield from self._zfp_stream_field()
-            yield from self._zfp_grid_dims()
+        try:
+            bound = nbytes + nbytes // 16 + 4096
+            comp_buf = yield from self._acquire_data_buffer(bound, "pipe_compressed")
+            resources.append(comp_buf)
+            if cfg.algorithm == "mpc":
+                doff = yield from self._acquire_doff()
+                resources.append(doff)
+            else:
+                yield from self._zfp_stream_field()
+                yield from self._zfp_grid_dims()
+        except BaseException:
+            yield from self._release(resources)
+            raise
 
         # Pipelining wants *staggered* completions: chunks run back to
         # back on one stream at half-device width (the paper's "half
@@ -465,7 +516,8 @@ class CompressionEngine:
             cfg.algorithm, data.dtype, data.size, param, sizes, pipelined=True
         )
         return PipelinedSendPlan(
-            header=header, comps=comps, resources=resources, kernel_run=kernel_run
+            header=header, comps=comps, resources=resources, kernel_run=kernel_run,
+            crc=self._plan_crc(codec, data, comps),
         )
 
     def pipelined_release(self, plan: PipelinedSendPlan):
@@ -501,11 +553,15 @@ class CompressionEngine:
         if not header.compressed:
             return []
         resources = []
-        buf = yield from self._acquire_data_buffer(header.wire_bytes, "recv_compressed")
-        resources.append(buf)
-        if header.algorithm == "mpc":
-            doff = yield from self._acquire_doff()
-            resources.append(doff)
+        try:
+            buf = yield from self._acquire_data_buffer(header.wire_bytes, "recv_compressed")
+            resources.append(buf)
+            if header.algorithm == "mpc":
+                doff = yield from self._acquire_doff()
+                resources.append(doff)
+        except BaseException:
+            yield from self._release(resources)
+            raise
         return resources
 
     def receiver_complete(self, header: CompressionHeader, payload, resources: list):

@@ -17,7 +17,17 @@ class SimulationError(ReproError):
 
 class DeadlockError(SimulationError):
     """Raised when the simulator runs out of events while processes are
-    still waiting — e.g. a receive with no matching send."""
+    still waiting — e.g. a receive with no matching send.
+
+    ``diagnostic`` optionally carries a per-rank dump of the matching
+    state (posted receives, unexpected envelopes, in-flight waiters) so
+    a hang can be debugged from the exception alone.
+    """
+
+    def __init__(self, message: str, diagnostic: str = ""):
+        super().__init__(message if not diagnostic
+                         else f"{message}\n{diagnostic}")
+        self.diagnostic = diagnostic
 
 
 class GpuError(ReproError):
@@ -54,3 +64,28 @@ class HeaderError(CompressionError):
 
 class ConfigError(ReproError):
     """Raised for invalid configuration values."""
+
+
+class ResilienceError(MpiError):
+    """Base class for failures of the rendezvous resilience layer."""
+
+
+class RendezvousTimeoutError(ResilienceError):
+    """Raised when a rendezvous handshake (or data delivery) exceeds the
+    configured timeout.  Carries the matching-state diagnostic of both
+    endpoints so the stall is debuggable."""
+
+    def __init__(self, message: str, diagnostic: str = ""):
+        super().__init__(message if not diagnostic
+                         else f"{message}\n{diagnostic}")
+        self.diagnostic = diagnostic
+
+
+class IntegrityError(ResilienceError):
+    """Raised when a delivered payload fails its CRC32 check and no
+    retransmission is possible."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """Raised when a message could not be delivered intact within the
+    configured retransmission budget."""

@@ -1,0 +1,70 @@
+"""Fault-wrapped codecs.
+
+:class:`FlakyCompressor` proxies a real codec while consulting the
+fault injector: ``compress`` can raise a transient
+:class:`~repro.errors.CompressionError` (a kernel launch failure), and
+``decompress`` can silently bit-flip its output (a round-trip mismatch
+that only the CRC32 integrity check downstream can catch).
+
+The proxy sets ``cache_unsafe = True`` so the process-wide
+:data:`~repro.compression.cache.GLOBAL_CODEC_CACHE` bypasses it: its
+outputs are intentionally non-deterministic per *call* (though
+deterministic per seeded run), and a corrupted result memoized under
+the clean codec's key would poison every later clean run in the same
+process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedData, Compressor
+from repro.errors import CompressionError
+
+__all__ = ["FlakyCompressor"]
+
+
+class FlakyCompressor(Compressor):
+    """A codec proxy that injects compressor faults."""
+
+    #: tells CodecCache never to memoize results from this codec
+    cache_unsafe = True
+
+    def __init__(self, inner: Compressor, injector):
+        self.inner = inner
+        self._injector = injector
+
+    # The registry name, Table I flags, and dtype support all mirror the
+    # wrapped codec so headers and feature checks are unaffected.
+    @property
+    def name(self):  # type: ignore[override]
+        return self.inner.name
+
+    @property
+    def lossless(self):  # type: ignore[override]
+        return self.inner.lossless
+
+    @property
+    def supported_dtypes(self):  # type: ignore[override]
+        return self.inner.supported_dtypes
+
+    def __getattr__(self, attr):
+        # Codec knobs (dimensionality, rate, ...) pass through so cache
+        # keys and header round-trips see the real parameters.
+        return getattr(self.inner, attr)
+
+    def compress(self, data: np.ndarray) -> CompressedData:
+        if self._injector.should_fail_compress(self.inner.name):
+            raise CompressionError(
+                f"injected {self.inner.name} compression-kernel failure")
+        return self.inner.compress(data)
+
+    def decompress(self, comp: CompressedData) -> np.ndarray:
+        out = self.inner.decompress(comp)
+        return self._injector.maybe_corrupt_decompressed(self.inner.name, out)
+
+    def expected_compressed_bytes(self, n_elements: int, itemsize: int):
+        return self.inner.expected_compressed_bytes(n_elements, itemsize)
+
+    def __repr__(self) -> str:
+        return f"<FlakyCompressor wrapping {self.inner!r}>"

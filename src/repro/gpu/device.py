@@ -63,6 +63,12 @@ class Device:
                 f"device {self.device_id}: allocating {nbytes}B would exceed "
                 f"capacity {self.spec.mem_capacity}B ({self._allocated}B in use)"
             )
+        faults = self.sim.faults
+        if faults is not None and faults.should_fail_malloc(self.device_id, nbytes):
+            raise OutOfDeviceMemoryError(
+                f"device {self.device_id}: injected transient cudaMalloc "
+                f"failure ({nbytes}B request)"
+            )
         t0 = self.sim.now
         yield self.sim.timeout(self.spec.malloc_time(nbytes))
         self._allocated += nbytes

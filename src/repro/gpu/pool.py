@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque
 
-from repro.errors import BufferPoolExhaustedError, GpuError
+from repro.errors import BufferPoolExhaustedError, ConfigError, GpuError
 from repro.gpu.buffer import DeviceBuffer
 
 __all__ = ["BufferPool", "SizeClassBufferPool"]
@@ -50,6 +50,9 @@ class BufferPool:
     def __init__(self, device, buffer_bytes: int, count: int = 4, growable: bool = True):
         if count < 0:
             raise GpuError(f"pool count must be >= 0, got {count}")
+        if buffer_bytes <= 0:
+            raise ConfigError(
+                f"pool buffer size must be positive, got {buffer_bytes}")
         self.device = device
         self.buffer_bytes = int(buffer_bytes)
         self.growable = growable
@@ -78,6 +81,13 @@ class BufferPool:
         if nbytes > self.buffer_bytes:
             raise BufferPoolExhaustedError(
                 f"request of {nbytes}B exceeds pool buffer size {self.buffer_bytes}B"
+            )
+        faults = self.device.sim.faults
+        if faults is not None and faults.should_fail_pool(
+                self.device.device_id, nbytes):
+            raise BufferPoolExhaustedError(
+                f"injected transient pool exhaustion on device "
+                f"{self.device.device_id} ({nbytes}B request)"
             )
         tracer = self.device.sim.tracer
         if self._free:
@@ -129,6 +139,8 @@ class SizeClassBufferPool:
 
     def __init__(self, device, min_bytes: int = 1 << 16, max_bytes: int = 1 << 25,
                  count_per_class: int = 2, growable: bool = True):
+        if min_bytes <= 0:
+            raise ConfigError(f"min_bytes must be positive, got {min_bytes}")
         if min_bytes > max_bytes:
             raise GpuError("min_bytes must be <= max_bytes")
         self.device = device

@@ -65,6 +65,22 @@ class DeviceSpec:
     def __post_init__(self):
         if self.sm_count < 1:
             raise ConfigError(f"sm_count must be >= 1, got {self.sm_count}")
+        if self.mem_bandwidth <= 0:
+            raise ConfigError(
+                f"mem_bandwidth must be positive, got {self.mem_bandwidth}")
+        if self.mem_capacity <= 0:
+            raise ConfigError(
+                f"mem_capacity must be positive, got {self.mem_capacity}")
+        for attr in ("memcpy_bandwidth", "gdrcopy_bandwidth"):
+            if getattr(self, attr) <= 0:
+                raise ConfigError(
+                    f"{attr} must be positive, got {getattr(self, attr)}")
+        for attr in ("malloc_base", "malloc_per_byte", "free_base",
+                     "memcpy_overhead", "gdrcopy_overhead", "kernel_launch",
+                     "device_props_query", "device_attr_query"):
+            if getattr(self, attr) < 0:
+                raise ConfigError(
+                    f"{attr} must be >= 0, got {getattr(self, attr)}")
 
     def malloc_time(self, nbytes: int) -> float:
         """Duration of a cudaMalloc of ``nbytes``."""

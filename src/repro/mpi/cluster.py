@@ -29,38 +29,170 @@ Example::
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
+from repro.compression.registry import install_fault_wrapper, uninstall_fault_wrapper
 from repro.core.config import CompressionConfig
 from repro.core.engine import CompressionEngine
 from repro.errors import DeadlockError, MpiError
+from repro.faults import DROPPED, FaultInjector, FaultPlan
 from repro.gpu.device import Device
 from repro.mpi.comm import Communicator
 from repro.mpi.matching import MatchingEngine
+from repro.mpi.message import Packet, PacketKind
+from repro.mpi.resilience import CircuitBreaker, ResilienceConfig
 from repro.network.presets import MachinePreset, machine_preset
 from repro.network.topology import Topology
 from repro.sim import Simulator, Tracer
+from repro.sim.trace import trace_scope
 
 __all__ = ["Cluster", "ClusterResult", "Runtime"]
+
+
+@dataclass
+class _RetransmitEntry:
+    """Sender-side state kept while a rendezvous message can still be
+    NACKed — everything needed to push the same wire bytes again."""
+
+    src: int
+    dst: int
+    tag: int
+    header: Any
+    payload: Any
+    wire_nbytes: int
+    crc: Optional[int]
+    compressed: bool
 
 
 class Runtime:
     """Shared per-run state the communicators operate on."""
 
     def __init__(self, sim: Simulator, topology: Topology, devices: list[Device],
-                 config: CompressionConfig):
+                 config: CompressionConfig,
+                 resilience: Optional[ResilienceConfig] = None):
         self.sim = sim
         self.topology = topology
         self.devices = devices
         self.config = config
+        self.resilience = resilience or ResilienceConfig()
+        self.resil_rng = random.Random(self.resilience.seed)
         self._engines = [CompressionEngine(sim, dev, config) for dev in devices]
         self._matching = [MatchingEngine(sim, r) for r in range(len(devices))]
         self._seq = 0
+        self._breakers: dict[tuple[int, int], CircuitBreaker] = {}
+        self._retransmit: dict[int, _RetransmitEntry] = {}
+
+    @property
+    def faults(self):
+        """The run's fault injector, or ``None``."""
+        return self.sim.faults
 
     def next_seq(self) -> int:
         self._seq += 1
         return self._seq
+
+    # -- resilience ------------------------------------------------------
+    def resilience_event(self, kind: str, rank: Optional[int] = None, **meta):
+        """Record one resilience action: a zero-duration span on the
+        ``faults`` track plus a ``resilience.<kind>`` counter.  Only the
+        recovery path calls this — a fault-free run records nothing."""
+        tracer = self.sim.tracer
+        if tracer is not None:
+            now = self.sim.now
+            tracer.span(now, now, "resilience", kind, rank=rank, track="faults",
+                        **meta)
+            tracer.metrics.inc(f"resilience.{kind}")
+
+    def breaker_of(self, rank: int, peer: int) -> CircuitBreaker:
+        """The per-(sender, receiver) compression circuit breaker."""
+        key = (rank, peer)
+        br = self._breakers.get(key)
+        if br is None:
+            def on_transition(old, new, now, _key=key):
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.span(now, now, "resilience", f"breaker_{new}",
+                                rank=_key[0], track="faults", peer=_key[1],
+                                previous=old)
+                    tracer.metrics.inc("resilience.breaker_transitions",
+                                       state=new)
+            br = CircuitBreaker(self.resilience.breaker_threshold,
+                                self.resilience.breaker_cooldown, on_transition)
+            self._breakers[key] = br
+        return br
+
+    def register_retransmit(self, seq: int, src: int, dst: int, tag: int,
+                            header, payload, wire_nbytes: int,
+                            crc: Optional[int], compressed: bool) -> bool:
+        """Retain sender-side wire bytes for possible retransmission.
+        Only active under a fault plane — in a fault-free run nothing is
+        retained and :meth:`retire` is a silent no-op."""
+        if self.sim.faults is None or self.resilience.max_retries <= 0:
+            return False
+        self._retransmit[seq] = _RetransmitEntry(
+            src=src, dst=dst, tag=tag, header=header, payload=payload,
+            wire_nbytes=wire_nbytes, crc=crc, compressed=compressed,
+        )
+        return True
+
+    def retransmit_entry(self, seq: int) -> Optional[_RetransmitEntry]:
+        return self._retransmit.get(seq)
+
+    def retire(self, seq: int, success: bool) -> None:
+        """The receiver finished (or gave up on) a rendezvous message:
+        drop its retransmit entry and update the sender's breaker."""
+        entry = self._retransmit.pop(seq, None)
+        if entry is None:
+            return
+        if entry.compressed:
+            br = self.breaker_of(entry.src, entry.dst)
+            if success:
+                br.record_success(self.sim.now)
+            else:
+                br.record_failure(self.sim.now)
+
+    def notify_nack(self, seq: int) -> None:
+        """A NACK reached the sender: count it against the breaker when
+        the rejected payload was compressed."""
+        entry = self._retransmit.get(seq)
+        if entry is not None and entry.compressed:
+            self.breaker_of(entry.src, entry.dst).record_failure(self.sim.now)
+
+    def spawn_retransmit(self, seq: int, attempt: int) -> bool:
+        """Push a retained payload across the wire again (async sender-
+        side process); the DATA packet is keyed by ``attempt`` so stale
+        deliveries cannot satisfy the retry's waiter."""
+        entry = self._retransmit.get(seq)
+        if entry is None:
+            return False
+
+        def proc():
+            with trace_scope(self.sim, "pipeline", "wire_transfer",
+                             rank=entry.src, seq=seq, nbytes=entry.wire_nbytes,
+                             dst=entry.dst, attempt=attempt):
+                delivered = yield from self.transfer(
+                    entry.src, entry.dst, entry.wire_nbytes,
+                    label="rndv_retry", payload=entry.payload,
+                )
+            self.resilience_event("retransmit", rank=entry.src, seq=seq,
+                                  dst=entry.dst, attempt=attempt)
+            if delivered is DROPPED:
+                return  # the receiver's data timeout will fire again
+            self.matching_of(entry.dst).deliver_data(
+                Packet(PacketKind.DATA, entry.src, entry.dst, entry.tag, seq,
+                       payload=delivered, wire_nbytes=entry.wire_nbytes,
+                       crc=entry.crc, attempt=attempt)
+            )
+
+        self.sim.process(proc(), name=f"retransmit{seq}.{attempt}")
+        return True
+
+    def matching_report(self) -> str:
+        """Per-rank matching diagnostics for deadlock/timeout errors."""
+        parts = [m.diagnostics() for m in self._matching if not m.idle]
+        return "\n".join(parts) if parts else "all ranks idle"
 
     def _gpu_of(self, rank: int) -> int:
         return rank  # ranks map 1:1 onto GPUs, block-assigned to nodes
@@ -77,11 +209,16 @@ class Runtime:
     def path_bandwidth(self, src: int, dst: int) -> float:
         return self.topology.path_bandwidth(self._gpu_of(src), self._gpu_of(dst))
 
-    def transfer(self, src: int, dst: int, nbytes: int, label: str = ""):
-        """Payload transfer over the contended fabric."""
-        yield from self.topology.transfer(
-            self._gpu_of(src), self._gpu_of(dst), nbytes, label=label
+    def transfer(self, src: int, dst: int, nbytes: int, label: str = "",
+                 payload=None):
+        """Payload transfer over the contended fabric.  Returns the
+        delivered payload (possibly faulted — see
+        :meth:`~repro.network.topology.Topology.transfer`)."""
+        delivered = yield from self.topology.transfer(
+            self._gpu_of(src), self._gpu_of(dst), nbytes, label=label,
+            payload=payload,
         )
+        return delivered
 
     def control_delay(self, src: int, dst: int, nbytes: int):
         """Control packets (RTS/CTS) ride the fabric's latency without
@@ -129,6 +266,8 @@ class Cluster:
         config: Optional[CompressionConfig] = None,
         args: tuple = (),
         max_time: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> ClusterResult:
         """Run ``rank_fn(comm, *args)`` as an SPMD job.
 
@@ -144,6 +283,12 @@ class Cluster:
             Compression configuration; defaults to disabled.
         max_time:
             Optional simulated-seconds cap (guards against livelock).
+        faults:
+            Optional :class:`~repro.faults.FaultPlan` — installs a
+            seeded fault injector for this run (chaos testing).
+        resilience:
+            Optional :class:`~repro.mpi.resilience.ResilienceConfig`;
+            defaults to ``ResilienceConfig.for_plan(faults)``.
         """
         config = config or CompressionConfig.disabled()
         nprocs = nprocs or self.n_gpus
@@ -151,25 +296,33 @@ class Cluster:
             raise MpiError(f"{nprocs} ranks > {self.n_gpus} GPUs (one rank per GPU)")
         sim = Simulator()
         tracer = Tracer(sim)
+        injector = FaultInjector(sim, faults) if faults is not None else None
+        resilience = resilience or ResilienceConfig.for_plan(faults)
         topology = Topology(sim, self.preset, self.nodes, self.gpus_per_node)
         devices = [Device(sim, self.preset.device, i) for i in range(self.n_gpus)]
-        runtime = Runtime(sim, topology, devices, config)
+        runtime = Runtime(sim, topology, devices, config, resilience=resilience)
         comms = [Communicator(runtime, r, nprocs) for r in range(nprocs)]
         procs = [
             sim.process(rank_fn(comms[r], *args), name=f"rank{r}") for r in range(nprocs)
         ]
-        sim.run(until=max_time)
+        if injector is not None:
+            install_fault_wrapper(injector.wrap_codec)
+        try:
+            sim.run(until=max_time)
+        finally:
+            if injector is not None:
+                uninstall_fault_wrapper()
+        for p in procs:  # a crashed rank is more diagnosable than the
+            if p.triggered and not p.ok:  # deadlock it leaves behind
+                raise p.value
         incomplete = [p.name for p in procs if not p.triggered]
         if incomplete:
             raise DeadlockError(
                 f"ranks never completed: {incomplete} — unmatched send/recv "
-                f"or a collective not entered by every rank"
+                f"or a collective not entered by every rank",
+                diagnostic=runtime.matching_report(),
             )
-        values = []
-        for p in procs:
-            if not p.ok:
-                raise p.value
-            values.append(p.value)
+        values = [p.value for p in procs]
         return ClusterResult(values=values, elapsed=sim.now, tracer=tracer, runtime=runtime)
 
     def __repr__(self) -> str:

@@ -26,12 +26,22 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.errors import MpiError
+from repro.errors import (
+    BufferPoolExhaustedError,
+    CompressionError,
+    IntegrityError,
+    MpiError,
+    OutOfDeviceMemoryError,
+    RendezvousTimeoutError,
+    RetryExhaustedError,
+)
+from repro.faults import DROPPED
 from repro.mpi import collectives as _coll
 from repro.mpi.matching import ANY
 from repro.mpi.message import Packet, PacketKind
 from repro.mpi.request import Request
 from repro.sim.trace import trace_scope
+from repro.utils.integrity import payload_crc32
 from repro.utils.units import KiB
 
 __all__ = ["Communicator", "ANY_SOURCE", "ANY_TAG", "EAGER_THRESHOLD",
@@ -59,6 +69,10 @@ PIPELINE_STEPS = (
     "receiver_complete",   # step 7: decompression kernels + restore
     "sender_release",      # post-send: return pooled buffers / temporaries
 )
+
+#: transient faults the resilience layer absorbs (retry/fallback); any
+#: other exception still propagates immediately
+_TRANSIENT = (CompressionError, OutOfDeviceMemoryError, BufferPoolExhaustedError)
 
 
 class Communicator:
@@ -164,12 +178,27 @@ class Communicator:
 
             # Rendezvous with on-the-fly compression.
             engine = rt.engine_of(self.rank)
-            if engine.config.enabled and engine.config.pipeline:
+            resil = rt.resilience
+            breaker = None
+            force_uncompressed = False
+            if engine.config.enabled:
+                breaker = rt.breaker_of(self.rank, dest)
+                if not breaker.allow(self.now):
+                    force_uncompressed = True
+                    rt.resilience_event("breaker_veto", rank=self.rank,
+                                        dst=dest, seq=seq)
+            if engine.config.enabled and engine.config.pipeline \
+                    and not force_uncompressed:
+                pplan = None
                 with trace_scope(self.sim, "pipeline", "sender_prepare",
                                  rank=self.rank, nbytes=nbytes, seq=seq):
-                    pplan = yield from engine.sender_prepare_pipelined(
-                        data, path_bandwidth=rt.path_bandwidth(self.rank, dest)
-                    )
+                    try:
+                        pplan = yield from engine.sender_prepare_pipelined(
+                            data, path_bandwidth=rt.path_bandwidth(self.rank, dest)
+                        )
+                    except _TRANSIENT as exc:
+                        self._compression_failed(rt, breaker, dest, seq, exc)
+                        force_uncompressed = True
                 if pplan is not None:
                     yield from self._send_pipelined(rt, dest, tag, seq, pplan)
                     self._count_send("rndv_pipelined")
@@ -177,25 +206,41 @@ class Communicator:
                     return
             with trace_scope(self.sim, "pipeline", "sender_prepare",
                              rank=self.rank, nbytes=nbytes, seq=seq):
-                plan = yield from engine.sender_prepare(
-                    data, path_bandwidth=rt.path_bandwidth(self.rank, dest)
-                )
+                try:
+                    plan = yield from engine.sender_prepare(
+                        data, path_bandwidth=rt.path_bandwidth(self.rank, dest),
+                        force_uncompressed=force_uncompressed,
+                    )
+                except _TRANSIENT as exc:
+                    self._compression_failed(rt, breaker, dest, seq, exc)
+                    plan = yield from engine.sender_prepare(
+                        data, force_uncompressed=True
+                    )
+            crc = plan.crc if resil.integrity else None
             rts = Packet(PacketKind.RTS, self.rank, dest, tag, seq,
-                         header=plan.header, wire_nbytes=plan.wire_nbytes)
+                         header=plan.header, wire_nbytes=plan.wire_nbytes,
+                         crc=crc)
             with trace_scope(self.sim, "pipeline", "rts", rank=self.rank,
                              seq=seq, dst=dest):
                 yield from rt.control_delay(self.rank, dest, rts.control_bytes())
                 cts_ev = rt.matching_of(self.rank).expect_cts(seq)
                 rt.matching_of(dest).deliver_envelope(rts)
-            yield cts_ev
+            yield from self._await_cts(rt, cts_ev, dest, seq)
+            rt.register_retransmit(seq, self.rank, dest, tag, plan.header,
+                                   plan.payload, plan.wire_nbytes, crc,
+                                   plan.compressed)
             with trace_scope(self.sim, "pipeline", "wire_transfer",
                              rank=self.rank, seq=seq,
                              nbytes=plan.wire_nbytes, dst=dest):
-                yield from rt.transfer(self.rank, dest, plan.wire_nbytes,
-                                       label="rndv_data")
-            data_pkt = Packet(PacketKind.DATA, self.rank, dest, tag, seq,
-                              payload=plan.payload, wire_nbytes=plan.wire_nbytes)
-            rt.matching_of(dest).deliver_data(data_pkt)
+                delivered = yield from rt.transfer(
+                    self.rank, dest, plan.wire_nbytes,
+                    label="rndv_data", payload=plan.payload,
+                )
+            if delivered is not DROPPED:
+                data_pkt = Packet(PacketKind.DATA, self.rank, dest, tag, seq,
+                                  payload=delivered,
+                                  wire_nbytes=plan.wire_nbytes, crc=crc)
+                rt.matching_of(dest).deliver_data(data_pkt)
             with trace_scope(self.sim, "pipeline", "sender_release",
                              rank=self.rank, seq=seq):
                 yield from engine.sender_release(plan)
@@ -204,18 +249,54 @@ class Communicator:
         except BaseException as exc:  # surfaced via the request
             req.fail(exc)
 
+    def _compression_failed(self, rt, breaker, dest: int, seq: int, exc) -> None:
+        """Host-side bookkeeping for a transient sender-side compression
+        failure: feed the breaker, record the uncompressed fallback."""
+        if breaker is not None:
+            breaker.record_failure(self.now)
+        rt.resilience_event("fallback", rank=self.rank, dst=dest, seq=seq,
+                            error=type(exc).__name__)
+
+    def _await_cts(self, rt, cts_ev, dest: int, seq: int):
+        """Wait for the CTS, optionally under the handshake timeout."""
+        t = rt.resilience.handshake_timeout
+        if t is None:
+            yield cts_ev
+            return
+        timer = self.sim.timeout(t)
+        yield self.sim.any_of([cts_ev, timer])
+        if not cts_ev.triggered:
+            rt.resilience_event("timeout", rank=self.rank, seq=seq,
+                                dst=dest, phase="cts")
+            raise RendezvousTimeoutError(
+                f"rank {self.rank}: no CTS from rank {dest} for seq {seq} "
+                f"within {t}s",
+                diagnostic=rt.matching_report(),
+            )
+        timer.cancel()
+
     def _send_pipelined(self, rt, dest: int, tag: int, seq: int, pplan):
         """Stream each partition as its compression kernel completes."""
         engine = rt.engine_of(self.rank)
+        crc = pplan.crc if rt.resilience.integrity else None
         total = pplan.header.wire_bytes
         rts = Packet(PacketKind.RTS, self.rank, dest, tag, seq,
-                     header=pplan.header, wire_nbytes=total)
+                     header=pplan.header, wire_nbytes=total, crc=crc)
         with trace_scope(self.sim, "pipeline", "rts", rank=self.rank,
                          seq=seq, dst=dest):
             yield from rt.control_delay(self.rank, dest, rts.control_bytes())
             cts_ev = rt.matching_of(self.rank).expect_cts(seq)
             rt.matching_of(dest).deliver_envelope(rts)
-        yield cts_ev
+        yield from self._await_cts(rt, cts_ev, dest, seq)
+        if rt.faults is not None:
+            # Retain the full concatenated wire image: a NACKed
+            # pipelined message is retransmitted as one un-pipelined
+            # DATA packet (the header's partition table still applies).
+            rt.register_retransmit(
+                seq, self.rank, dest, tag, pplan.header,
+                np.concatenate([c.payload for c in pplan.comps]),
+                total, crc, True,
+            )
 
         def part_sender(i):
             yield from pplan.kernel_run(i)
@@ -223,11 +304,15 @@ class Communicator:
             with trace_scope(self.sim, "pipeline", "wire_transfer",
                              rank=self.rank, seq=seq, part=i,
                              nbytes=comp.nbytes, dst=dest):
-                yield from rt.transfer(self.rank, dest, comp.nbytes,
-                                       label="pipe_data")
+                delivered = yield from rt.transfer(
+                    self.rank, dest, comp.nbytes,
+                    label="pipe_data", payload=comp.payload,
+                )
+            if delivered is DROPPED:
+                return
             rt.matching_of(dest).deliver_data(
                 Packet(PacketKind.DATA, self.rank, dest, tag, seq,
-                       payload=comp.payload, wire_nbytes=comp.nbytes, part=i)
+                       payload=delivered, wire_nbytes=comp.nbytes, part=i)
             )
 
         procs = [
@@ -240,12 +325,18 @@ class Communicator:
             yield from engine.pipelined_release(pplan)
 
     def _recv_pipelined(self, rt, pkt, req: Request):
-        """Decompress each partition as it lands."""
+        """Decompress each partition as it lands.
+
+        A failed partition (timeout, decode error) or a whole-message
+        CRC mismatch falls back to the un-pipelined recovery loop: one
+        NACK, one full retransmission of the concatenated wire image.
+        """
         engine = rt.engine_of(self.rank)
+        resil = rt.resilience
         header = pkt.header
-        with trace_scope(self.sim, "pipeline", "receiver_prepare",
-                         rank=self.rank, seq=pkt.seq):
-            resources = yield from engine.receiver_prepare(header)
+        resources = yield from self._receiver_prepare_resilient(
+            rt, engine, header, pkt.seq
+        )
         data_evs = [
             rt.matching_of(self.rank).expect_data(pkt.seq, part=i)
             for i in range(header.n_partitions)
@@ -256,13 +347,24 @@ class Communicator:
             yield from rt.control_delay(self.rank, pkt.src, cts.control_bytes())
             rt.matching_of(pkt.src).deliver_cts(cts)
 
+        failures: list = []
+
         def part_receiver(i):
-            data_pkt = yield data_evs[i]
+            data_pkt = yield from self._await_data(rt, data_evs[i])
+            if data_pkt is None:
+                failures.append(("data_timeout", None))
+                return None
             with trace_scope(self.sim, "pipeline", "receiver_complete",
                              rank=self.rank, seq=pkt.seq, part=i):
-                out = yield from engine.pipelined_receive_part(
-                    header, i, data_pkt.payload
-                )
+                try:
+                    out = yield from engine.pipelined_receive_part(
+                        header, i, data_pkt.payload
+                    )
+                except Exception as exc:
+                    if rt.retransmit_entry(pkt.seq) is None:
+                        raise
+                    failures.append(("decode_error", exc))
+                    return None
             return out
 
         procs = [
@@ -270,9 +372,22 @@ class Communicator:
             for i in range(header.n_partitions)
         ]
         results = yield self.sim.all_of(procs)
-        parts = [results[i] for i in range(header.n_partitions)]
-        yield from engine._release(resources)
-        req.complete(np.concatenate(parts))
+        if not failures:
+            parts = [results[i] for i in range(header.n_partitions)]
+            data = np.concatenate(parts)
+            crc = pkt.crc if resil.integrity else None
+            if crc is None or payload_crc32(data) == crc:
+                yield from engine._release(resources)
+                rt.retire(pkt.seq, True)
+                req.complete(data)
+                return
+            failures.append(("crc_mismatch", None))
+        kind, exc = failures[0]
+        data = yield from self._complete_with_retries(
+            rt, engine, pkt, None, resources,
+            initial_failure=kind, initial_exc=exc,
+        )
+        req.complete(data)
 
     def _recv_proc(self, source: int, tag: int, req: Request):
         rt = self._rt
@@ -289,24 +404,145 @@ class Communicator:
                 yield from self._recv_pipelined(rt, pkt, req)
                 return
             engine = rt.engine_of(self.rank)
-            with trace_scope(self.sim, "pipeline", "receiver_prepare",
-                             rank=self.rank, seq=pkt.seq):
-                resources = yield from engine.receiver_prepare(pkt.header)
+            resources = yield from self._receiver_prepare_resilient(
+                rt, engine, pkt.header, pkt.seq
+            )
             data_ev = rt.matching_of(self.rank).expect_data(pkt.seq)
             cts = Packet(PacketKind.CTS, self.rank, pkt.src, tag, pkt.seq)
             with trace_scope(self.sim, "pipeline", "cts", rank=self.rank,
                              seq=pkt.seq, dst=pkt.src):
                 yield from rt.control_delay(self.rank, pkt.src, cts.control_bytes())
                 rt.matching_of(pkt.src).deliver_cts(cts)
-            data_pkt = yield data_ev
-            with trace_scope(self.sim, "pipeline", "receiver_complete",
-                             rank=self.rank, seq=pkt.seq):
-                data = yield from engine.receiver_complete(
-                    pkt.header, data_pkt.payload, resources
-                )
+            data_pkt = yield from self._await_data(rt, data_ev)
+            data = yield from self._complete_with_retries(
+                rt, engine, pkt, data_pkt, resources
+            )
             req.complete(data)
         except BaseException as exc:
             req.fail(exc)
+
+    # -- resilient receiver machinery ------------------------------------------
+    def _receiver_prepare_resilient(self, rt, engine, header, seq: int):
+        """``receiver_prepare`` with bounded retry on transient
+        allocation faults (injected OOM / pool exhaustion)."""
+        resil = rt.resilience
+        attempt = 0
+        while True:
+            extra = {"attempt": attempt} if attempt else {}
+            err = None
+            with trace_scope(self.sim, "pipeline", "receiver_prepare",
+                             rank=self.rank, seq=seq, **extra):
+                try:
+                    resources = yield from engine.receiver_prepare(header)
+                    return resources
+                except _TRANSIENT as exc:
+                    if rt.faults is None or attempt >= resil.max_retries:
+                        raise
+                    err = exc
+            attempt += 1
+            rt.resilience_event("retry", rank=self.rank, seq=seq,
+                                stage="receiver_prepare",
+                                error=type(err).__name__)
+            yield from self._backoff(rt, attempt, seq, "receiver_prepare")
+
+    def _backoff(self, rt, attempt: int, seq: int, reason: str):
+        """Exponential backoff + jitter on the simulated clock."""
+        delay = rt.resilience.backoff_delay(attempt, rt.resil_rng)
+        with trace_scope(self.sim, "resilience", "backoff", rank=self.rank,
+                         track="faults", seq=seq, attempt=attempt,
+                         reason=reason):
+            yield self.sim.timeout(delay)
+
+    def _await_data(self, rt, data_ev):
+        """Wait for a DATA packet; ``None`` signals a delivery timeout
+        (only possible when the resilience config arms one)."""
+        t = rt.resilience.data_timeout
+        if t is None:
+            pkt = yield data_ev
+            return pkt
+        timer = self.sim.timeout(t)
+        yield self.sim.any_of([data_ev, timer])
+        if not data_ev.triggered:
+            return None
+        timer.cancel()
+        return data_ev.value
+
+    def _complete_with_retries(self, rt, engine, pkt, data_pkt, resources,
+                               initial_failure: Optional[str] = None,
+                               initial_exc: Optional[BaseException] = None):
+        """Decompress + integrity-check, NACKing for retransmission on
+        failure (CRC mismatch, decode error, or delivery timeout) until
+        the message survives or the retry budget is spent."""
+        resil = rt.resilience
+        header = pkt.header
+        seq = pkt.seq
+        attempt = 0
+        last_exc = initial_exc
+        failure = initial_failure
+        while True:
+            if failure is None:
+                if data_pkt is None:
+                    failure = "data_timeout"
+                else:
+                    extra = {"attempt": attempt} if attempt else {}
+                    with trace_scope(self.sim, "pipeline", "receiver_complete",
+                                     rank=self.rank, seq=seq, **extra):
+                        try:
+                            data = yield from engine.receiver_complete(
+                                header, data_pkt.payload, resources
+                            )
+                        except Exception as exc:
+                            # A corrupted stream can raise anything from
+                            # the codec; keep the original for re-raise.
+                            failure = "decode_error"
+                            last_exc = exc
+                    if failure is None:
+                        resources = []  # released by receiver_complete
+                        crc = data_pkt.crc if resil.integrity else None
+                        if crc is not None and payload_crc32(data) != crc:
+                            failure = "crc_mismatch"
+                        else:
+                            rt.retire(seq, True)
+                            if attempt:
+                                rt.resilience_event("recovered", rank=self.rank,
+                                                    seq=seq, attempts=attempt)
+                            return data
+            attempt += 1
+            entry = rt.retransmit_entry(seq)
+            rt.resilience_event(failure, rank=self.rank, seq=seq,
+                                src=pkt.src, attempt=attempt)
+            if entry is None or attempt > resil.max_retries:
+                rt.retire(seq, False)
+                if resources:
+                    yield from engine._release(resources)
+                retries = attempt - 1
+                msg = (f"rank {self.rank}: message seq {seq} from rank "
+                       f"{pkt.src} failed ({failure}) after {retries} "
+                       f"retransmission(s)")
+                if failure == "data_timeout":
+                    raise RendezvousTimeoutError(
+                        msg, diagnostic=rt.matching_report())
+                if entry is None and last_exc is not None:
+                    raise last_exc  # no resilience active: original error
+                if failure == "crc_mismatch":
+                    raise IntegrityError(msg)
+                raise RetryExhaustedError(msg) from last_exc
+            yield from self._backoff(rt, attempt, seq, failure)
+            if not resources and header.compressed:
+                resources = yield from self._receiver_prepare_resilient(
+                    rt, engine, header, seq
+                )
+            nack = Packet(PacketKind.CTS, self.rank, pkt.src, pkt.tag, seq)
+            with trace_scope(self.sim, "resilience", "nack", rank=self.rank,
+                             track="faults", seq=seq, dst=pkt.src,
+                             attempt=attempt):
+                yield from rt.control_delay(self.rank, pkt.src,
+                                            nack.control_bytes())
+            rt.notify_nack(seq)
+            data_ev = rt.matching_of(self.rank).expect_data(seq, 0, attempt)
+            rt.spawn_retransmit(seq, attempt)
+            data_pkt = yield from self._await_data(rt, data_ev)
+            failure = None
 
     # -- collectives --------------------------------------------------------------
     def bcast(self, data, root: int = 0):

@@ -85,8 +85,10 @@ class MatchingEngine:
     def expect_cts(self, seq: int) -> Event:
         return self._expect("cts", (seq, 0), self._cts_waiters)
 
-    def expect_data(self, seq: int, part: int = 0) -> Event:
-        return self._expect("data", (seq, part), self._data_waiters)
+    def expect_data(self, seq: int, part: int = 0, attempt: int = 0) -> Event:
+        """Wait for a DATA packet.  ``attempt`` keys retransmissions so
+        a late original delivery cannot satisfy a retry's waiter."""
+        return self._expect("data", (seq, part, attempt), self._data_waiters)
 
     def _expect(self, kind: str, key: tuple, table: dict[tuple, Event]) -> Event:
         early = self._early.pop((kind, key), None)
@@ -103,7 +105,8 @@ class MatchingEngine:
         self._route("cts", (pkt.seq, 0), pkt, self._cts_waiters)
 
     def deliver_data(self, pkt: Packet) -> None:
-        self._route("data", (pkt.seq, pkt.part), pkt, self._data_waiters)
+        self._route("data", (pkt.seq, pkt.part, pkt.attempt), pkt,
+                    self._data_waiters)
 
     def _route(self, kind: str, key: tuple, pkt: Packet,
                table: dict[tuple, Event]) -> None:
@@ -121,3 +124,37 @@ class MatchingEngine:
     @property
     def unexpected_count(self) -> int:
         return len(self._unexpected)
+
+    @property
+    def idle(self) -> bool:
+        """True when no receive, envelope, or in-flight handshake is
+        outstanding on this rank."""
+        return not (self._posted or self._unexpected or self._cts_waiters
+                    or self._data_waiters or self._early)
+
+    def diagnostics(self) -> str:
+        """Multi-line dump of the matching state, used to explain hangs
+        (:class:`~repro.errors.DeadlockError`) and rendezvous timeouts."""
+        def name(v: int) -> str:
+            return "ANY" if v == ANY else str(v)
+
+        lines = []
+        for post in self._posted:
+            lines.append(
+                f"  posted recv: source={name(post.source)} tag={name(post.tag)}")
+        for pkt in self._unexpected:
+            lines.append(f"  unexpected envelope: {pkt!r}")
+        if self._cts_waiters:
+            lines.append(
+                f"  awaiting CTS for seq(s) "
+                f"{sorted(k[0] for k in self._cts_waiters)}")
+        if self._data_waiters:
+            lines.append(
+                "  awaiting DATA for (seq, part, attempt) "
+                f"{sorted(self._data_waiters)}")
+        if self._early:
+            lines.append(
+                f"  early packets never claimed: {sorted(self._early)}")
+        if not lines:
+            lines.append("  idle (no posted receives or pending packets)")
+        return f"rank {self.rank}:\n" + "\n".join(lines)

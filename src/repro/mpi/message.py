@@ -45,6 +45,12 @@ class Packet:
     wire_nbytes: int = 0
     #: partition index for pipelined DATA packets (0 otherwise)
     part: int = 0
+    #: CRC32 the delivered (decompressed) data must match, carried on
+    #: RTS/DATA packets when integrity checking is on.  Rides existing
+    #: control fields, so it does not change control_bytes()/wire time.
+    crc: Optional[int] = None
+    #: retransmission attempt this DATA packet answers (0 = original)
+    attempt: int = 0
 
     def control_bytes(self) -> int:
         """Bytes this packet occupies as a control message."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import NetworkError
+from repro.errors import ConfigError, NetworkError
 from repro.sim import Resource, Simulator
 
 __all__ = ["LinkSpec", "Link"]
@@ -40,8 +40,15 @@ class LinkSpec:
     lanes: int = 1
 
     def __post_init__(self):
-        if self.latency < 0 or self.bandwidth <= 0 or self.lanes < 1:
-            raise NetworkError(f"invalid link spec: {self}")
+        if self.bandwidth <= 0:
+            raise ConfigError(
+                f"link {self.name!r}: bandwidth must be positive, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ConfigError(
+                f"link {self.name!r}: latency must be >= 0, got {self.latency}")
+        if self.lanes < 1:
+            raise ConfigError(
+                f"link {self.name!r}: lanes must be >= 1, got {self.lanes}")
 
     def serialization_time(self, nbytes: int) -> float:
         """Time for ``nbytes`` to cross the wire, excluding queueing."""
@@ -73,7 +80,13 @@ class Link:
         yield req
         t0 = self.sim.now
         try:
-            yield self.sim.timeout(self.spec.serialization_time(nbytes))
+            duration = self.spec.serialization_time(nbytes)
+            faults = self.sim.faults
+            if faults is not None:
+                # Flap outages and degradation stretch the time the
+                # transfer holds the link (queueing everything behind it).
+                duration += faults.extra_wire_delay((self.label,), duration)
+            yield self.sim.timeout(duration)
         finally:
             self._res.release(req)
         tracer = self.sim.tracer

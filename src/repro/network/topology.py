@@ -20,6 +20,7 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.errors import NetworkError
+from repro.faults.injector import DROPPED
 from repro.network.links import Link
 from repro.network.presets import MachinePreset
 from repro.sim import Simulator
@@ -99,7 +100,8 @@ class Topology:
         return sum(l.spec.latency for l in self.route(src, dst))
 
     # -- data movement ------------------------------------------------------
-    def transfer(self, src: int, dst: int, nbytes: int, label: str = ""):
+    def transfer(self, src: int, dst: int, nbytes: int, label: str = "",
+                 payload=None):
         """Move ``nbytes`` from GPU ``src`` to GPU ``dst`` (generator
         subroutine).
 
@@ -107,13 +109,23 @@ class Topology:
         intra link; inter-node transfers hold both HCA links for the
         bottleneck serialization time (cut-through, not
         store-and-forward).
+
+        When ``payload`` is given, the wire may fault it: the return
+        value is the delivered payload — the original object, a
+        bit-corrupted copy, or the :data:`~repro.faults.injector.DROPPED`
+        sentinel when the packet was lost (wire time is still charged:
+        the bytes were sent, they just did not survive).  Without a
+        payload the return value is ``None``.
         """
         links = self.route(src, dst)
-        if not links:
-            return
-        if len(links) == 1:
-            yield from links[0].transfer(nbytes, label=label)
-            return
+        if links:
+            if len(links) == 1:
+                yield from links[0].transfer(nbytes, label=label)
+            else:
+                yield from self._cut_through(links, src, dst, nbytes, label)
+        return self._deliver(src, dst, nbytes, payload)
+
+    def _cut_through(self, links, src: int, dst: int, nbytes: int, label: str):
         # Cut-through across both HCAs: hold them together for
         # total-latency + bottleneck-serialization.
         bw = min(l.spec.bandwidth for l in links)
@@ -123,7 +135,12 @@ class Topology:
             yield r
         t0 = self.sim.now
         try:
-            yield self.sim.timeout(lat + nbytes / bw)
+            duration = lat + nbytes / bw
+            faults = self.sim.faults
+            if faults is not None:
+                duration += faults.extra_wire_delay(
+                    tuple(l.label for l in links), duration)
+            yield self.sim.timeout(duration)
         finally:
             for l, r in zip(links, reqs):
                 l._res.release(r)
@@ -141,6 +158,20 @@ class Topology:
                 m.inc("wire.bytes", nbytes, link=l.label)
                 m.inc("wire.transfers", 1, link=l.label)
                 m.inc("wire.busy_seconds", self.sim.now - t0, link=l.label)
+
+    def _deliver(self, src: int, dst: int, nbytes: int, payload):
+        """Apply wire faults to a payload at its delivery point."""
+        if payload is None:
+            return None
+        faults = self.sim.faults
+        if faults is None or src == dst:
+            return payload
+        outcome = faults.transfer_outcome(src, dst, nbytes)
+        if outcome == "drop":
+            return DROPPED
+        if outcome == "corrupt":
+            return faults.corrupt_payload(payload)
+        return payload
 
     # -- inspection -----------------------------------------------------------
     def graph(self) -> "nx.DiGraph":

@@ -44,7 +44,8 @@ class Event:
     when the simulator pops the event off the schedule.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused",
+                 "_cancelled")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -53,6 +54,7 @@ class Event:
         self._ok: Optional[bool] = None
         self._scheduled = False
         self._defused = False
+        self._cancelled = False
 
     # -- state ---------------------------------------------------------
     @property
@@ -109,6 +111,19 @@ class Event:
         """Mark a failed event as handled so the simulator will not
         re-raise its exception at the end of the run."""
         self._defused = True
+
+    def cancel(self) -> None:
+        """Discard a scheduled-but-unprocessed event.
+
+        A cancelled event is silently dropped from the schedule:
+        its callbacks never run and — crucially — popping it does *not*
+        advance the clock, so an unused guard timer (e.g. a rendezvous
+        timeout that never fired) leaves the timeline bit-identical to a
+        run that never created it.  Cancelling an event something still
+        waits on would strand that waiter; only cancel events whose
+        outcome is no longer needed.
+        """
+        self._cancelled = True
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Run ``fn(event)`` when the event is processed.  If the event
@@ -299,6 +314,7 @@ class Simulator:
         self._active_process: Optional[Process] = None
         self._failed_events: list[Event] = []
         self.tracer = None  # attached by repro.sim.trace.Tracer
+        self.faults = None  # attached by repro.faults.FaultInjector
 
     # -- clock ---------------------------------------------------------
     @property
@@ -337,12 +353,20 @@ class Simulator:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         heapq.heappush(self._heap, (self._now + delay, next(self._counter), event))
 
+    def _drain_cancelled(self) -> None:
+        """Drop cancelled events from the head of the schedule without
+        touching the clock."""
+        while self._heap and self._heap[0][2]._cancelled:
+            heapq.heappop(self._heap)
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
+        self._drain_cancelled()
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
+        self._drain_cancelled()
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
         t, _, event = heapq.heappop(self._heap)
@@ -361,7 +385,10 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
-        while self._heap:
+        while True:
+            self._drain_cancelled()
+            if not self._heap:
+                break
             if until is not None and self._heap[0][0] > until:
                 self._now = until
                 break

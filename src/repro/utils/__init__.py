@@ -14,9 +14,12 @@ from repro.utils.units import (
     fmt_time,
     parse_size,
 )
+from repro.utils.integrity import flip_bit, payload_crc32
 from repro.utils.tables import format_table
 
 __all__ = [
+    "flip_bit",
+    "payload_crc32",
     "GB",
     "GiB",
     "KB",

@@ -88,3 +88,17 @@ def test_trace_collective(tmp_path):
 def test_trace_unknown_codec():
     with pytest.raises(SystemExit):
         main(["trace", "latency", "--codec", "lz4"])
+
+
+def test_chaos(capsys):
+    assert main(["chaos", "--sizes", "256K", "--iters", "2",
+                 "--corrupt-rate", "0.2", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos sweep" in out and "all payloads verified" in out
+
+
+def test_chaos_with_drops(capsys):
+    assert main(["chaos", "--sizes", "256K", "--iters", "2", "--seed", "2",
+                 "--corrupt-rate", "0.1", "--drop-rate", "0.1",
+                 "--config", "zfp8"]) == 0
+    assert "all payloads verified" in capsys.readouterr().out

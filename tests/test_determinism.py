@@ -18,7 +18,7 @@ from repro.network.presets import machine_preset
 from repro.omb.payload import make_payload
 
 
-def run_pt2pt(seed=7):
+def run_pt2pt(seed=7, faults=None):
     """Figure 9-style pt2pt: one rendezvous MPC-OPT send across nodes."""
     cluster = Cluster(machine_preset("longhorn"), nodes=2, gpus_per_node=1)
     data = make_payload("omb", 1 << 20, seed=seed)
@@ -30,7 +30,8 @@ def run_pt2pt(seed=7):
         got = yield from comm.recv(0, tag=9)
         return np.asarray(got).nbytes
 
-    return cluster.run(rank_fn, config=CompressionConfig.mpc_opt())
+    return cluster.run(rank_fn, config=CompressionConfig.mpc_opt(),
+                       faults=faults)
 
 
 def run_collective(seed=7):
@@ -62,6 +63,40 @@ def test_pt2pt_trace_deterministic():
 def test_collective_trace_deterministic():
     a, b = _fingerprint(run_collective()), _fingerprint(run_collective())
     assert a == b
+
+
+def test_zero_rate_fault_plan_is_trace_identical():
+    """Installing the fault plane with a zero-rate plan must not perturb
+    the run at all: same spans, same exported JSON, same metrics, same
+    elapsed time as no fault plane whatsoever."""
+    from repro.faults import FaultPlan
+
+    without = _fingerprint(run_pt2pt())
+    with_zero = _fingerprint(run_pt2pt(faults=FaultPlan(seed=3)))
+    assert without == with_zero
+
+
+def test_faulted_run_trace_deterministic():
+    """Same seed + same fault plan => bit-identical fault sequence,
+    recovery actions, and Chrome-trace export."""
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan(seed=11, corrupt_rate=0.3, drop_rate=0.1,
+                     compress_fail_rate=0.2)
+    a, b = _fingerprint(run_pt2pt(faults=plan)), _fingerprint(run_pt2pt(faults=plan))
+    assert a == b
+    # the plan actually fired (this is a chaotic run, not a no-op)
+    injected = sum(v for k, v in a[2]["counters"].items()
+                   if k.startswith("faults.injected"))
+    assert injected > 0
+
+
+def test_different_fault_seed_changes_fault_sequence():
+    from repro.faults import FaultPlan
+
+    a = _fingerprint(run_pt2pt(faults=FaultPlan(seed=1, corrupt_rate=0.5)))
+    b = _fingerprint(run_pt2pt(faults=FaultPlan(seed=2, corrupt_rate=0.5)))
+    assert a != b
 
 
 def test_different_seed_changes_payload_not_structure():

@@ -1,0 +1,448 @@
+"""Fault-injection plane + resilient rendezvous.
+
+Covers the chaos stack end to end: plan/spec validation, injector
+determinism, per-fault-class recovery (bit-exact delivery plus the
+spans/counters that make recovery auditable), retry exhaustion,
+circuit-breaker mechanics, timeout/deadlock diagnostics, and the
+CR >= 1 uncompressed-fallback property across every registered codec.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionConfig
+from repro.errors import (
+    ConfigError,
+    DeadlockError,
+    IntegrityError,
+    RendezvousTimeoutError,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.chaos import run_chaos
+from repro.gpu.pool import BufferPool, SizeClassBufferPool
+from repro.gpu.spec import DeviceSpec
+from repro.mpi.cluster import Cluster
+from repro.mpi.resilience import CircuitBreaker, ResilienceConfig
+from repro.network.presets import machine_preset
+from repro.omb.payload import make_payload
+from repro.sim import Simulator
+
+MPC = CompressionConfig.mpc_opt()
+
+
+def run_pt2pt(config=MPC, faults=None, resilience=None, payloads=None,
+              nbytes=1 << 18, iterations=3, max_time=120.0):
+    """Rank 0 streams distinct payloads to rank 1; returns
+    (ClusterResult, sent payloads) — ``res.values[1]`` is the list of
+    received arrays."""
+    cluster = Cluster(machine_preset("longhorn"), nodes=2, gpus_per_node=1)
+    if payloads is None:
+        payloads = [make_payload("omb", nbytes, seed=i)
+                    for i in range(iterations)]
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            for i, p in enumerate(payloads):
+                yield from comm.send(p, 1, tag=i)
+            return None
+        got = []
+        for i in range(len(payloads)):
+            r = yield from comm.recv(0, tag=i)
+            got.append(r)
+        return got
+
+    res = cluster.run(rank_fn, config=config, faults=faults,
+                      resilience=resilience, max_time=max_time)
+    return res, payloads
+
+
+def assert_bit_exact(res, payloads):
+    received = res.values[1]
+    assert len(received) == len(payloads)
+    for sent, got in zip(payloads, received):
+        assert got.dtype == sent.dtype and got.shape == sent.shape
+        assert got.tobytes() == sent.tobytes()  # NaN-safe bit equality
+
+
+# ---------------------------------------------------------------------------
+# plan + spec validation (satellite: config validation -> ConfigError)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("kwargs", [
+    dict(corrupt_rate=1.5),
+    dict(drop_rate=-0.1),
+    dict(decompress_corrupt_rate=2.0),
+    dict(degrade_factor=0.5),
+    dict(flap_down=1.0),                    # flap_down without a period
+    dict(flap_period=1.0, flap_down=1.0),   # down >= period: never recovers
+    dict(active_after=-1.0),
+    dict(active_after=2.0, active_until=1.0),
+])
+def test_fault_plan_validation(kwargs):
+    with pytest.raises(ConfigError):
+        FaultPlan(**kwargs)
+
+
+def test_fault_plan_predicates():
+    assert FaultPlan().is_zero
+    assert not FaultPlan().can_lose_data
+    plan = FaultPlan(seed=3, corrupt_rate=0.1)
+    assert not plan.is_zero and not plan.can_lose_data
+    assert FaultPlan(drop_rate=0.01).can_lose_data
+    assert "corrupt_rate=0.1" in plan.describe()
+    assert "seed=3" in plan.describe()
+
+
+_SPEC_OK = dict(sm_count=80, mem_bandwidth=9e11, mem_capacity=16 << 30)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(sm_count=0),
+    dict(mem_bandwidth=0.0),
+    dict(mem_capacity=-1),
+    dict(memcpy_bandwidth=-2.0),
+    dict(kernel_launch=-1e-6),
+])
+def test_device_spec_validation(kwargs):
+    with pytest.raises(ConfigError):
+        DeviceSpec(name="bad", **{**_SPEC_OK, **kwargs})
+
+
+def test_pool_validation():
+    sim = Simulator()
+    from repro.gpu.device import Device
+
+    dev = Device(sim, DeviceSpec(name="ok", **_SPEC_OK), 0)
+    with pytest.raises(ConfigError):
+        BufferPool(dev, buffer_bytes=0)
+    with pytest.raises(ConfigError):
+        SizeClassBufferPool(dev, min_bytes=0)
+
+
+def test_resilience_config_validation():
+    with pytest.raises(ConfigError):
+        ResilienceConfig(max_retries=-1)
+    with pytest.raises(ConfigError):
+        ResilienceConfig(jitter=1.5)
+    with pytest.raises(ConfigError):
+        ResilienceConfig(handshake_timeout=0.0)
+    with pytest.raises(ConfigError):
+        ResilienceConfig(backoff_factor=0.5)
+
+
+def test_resilience_for_plan_arms_timeouts_only_on_loss():
+    assert ResilienceConfig.for_plan(None).data_timeout is None
+    assert ResilienceConfig.for_plan(FaultPlan(corrupt_rate=0.5)).data_timeout is None
+    armed = ResilienceConfig.for_plan(FaultPlan(drop_rate=0.1))
+    assert armed.data_timeout is not None and armed.handshake_timeout is not None
+
+
+# ---------------------------------------------------------------------------
+# injector determinism
+# ---------------------------------------------------------------------------
+
+def _decision_sequence(seed):
+    sim = Simulator()
+    inj = FaultInjector(sim, FaultPlan(
+        seed=seed, corrupt_rate=0.3, drop_rate=0.1, oom_rate=0.2,
+        pool_fail_rate=0.15, compress_fail_rate=0.25))
+    out = []
+    for _ in range(300):
+        out.append(inj.transfer_outcome(0, 1, 4096))
+        out.append(inj.should_fail_malloc(0, 1024))
+        out.append(inj.should_fail_pool(0, 1024))
+        out.append(inj.should_fail_compress("mpc"))
+    return out
+
+
+def test_injector_same_seed_same_decisions():
+    assert _decision_sequence(5) == _decision_sequence(5)
+
+
+def test_injector_seed_changes_decisions():
+    assert _decision_sequence(5) != _decision_sequence(6)
+
+
+def test_injector_inactive_window_never_fires():
+    sim = Simulator()
+    inj = FaultInjector(sim, FaultPlan(
+        seed=1, corrupt_rate=1.0, drop_rate=1.0, active_after=1e9))
+    assert all(inj.transfer_outcome(0, 1, 64) == "ok" for _ in range(50))
+
+
+def test_backoff_delay_deterministic_and_bounded():
+    import random
+
+    cfg = ResilienceConfig()
+    a = [cfg.backoff_delay(i, random.Random(0)) for i in range(1, 9)]
+    b = [cfg.backoff_delay(i, random.Random(0)) for i in range(1, 9)]
+    assert a == b
+    for attempt, d in enumerate(a, start=1):
+        base = min(cfg.backoff_max,
+                   cfg.backoff_base * cfg.backoff_factor ** (attempt - 1))
+        assert base <= d <= base * (1 + cfg.jitter)
+
+
+# ---------------------------------------------------------------------------
+# recovery, per fault class: bit-exact delivery + audit trail
+# ---------------------------------------------------------------------------
+
+def _faults_total(res):
+    return res.tracer.metrics.counter_total("faults.injected")
+
+
+def test_recovers_from_wire_corruption():
+    res, payloads = run_pt2pt(faults=FaultPlan(seed=2, corrupt_rate=0.4))
+    assert_bit_exact(res, payloads)
+    m = res.tracer.metrics
+    assert m.counter("faults.injected", kind="corrupt") > 0
+    # a flipped bit either breaks the decode outright or survives it and
+    # trips the CRC check — both must end in a retransmission
+    assert (m.counter_total("resilience.crc_mismatch")
+            + m.counter_total("resilience.decode_error")) > 0
+    assert m.counter_total("resilience.retransmit") > 0
+    assert m.counter_total("resilience.recovered") > 0
+    # recovery is visible on the faults track
+    tracks = {r.track for r in res.tracer.records}
+    assert "faults" in tracks
+
+
+def test_recovers_from_payload_drop():
+    res, payloads = run_pt2pt(faults=FaultPlan(seed=3, drop_rate=0.3))
+    assert_bit_exact(res, payloads)
+    m = res.tracer.metrics
+    assert m.counter("faults.injected", kind="drop") > 0
+    assert m.counter_total("resilience.data_timeout") > 0
+    assert m.counter_total("resilience.retransmit") > 0
+
+
+def test_recovers_from_transient_oom_and_pool_exhaustion():
+    res, payloads = run_pt2pt(
+        faults=FaultPlan(seed=4, oom_rate=0.3, pool_fail_rate=0.3))
+    assert_bit_exact(res, payloads)
+    assert _faults_total(res) > 0
+    assert res.tracer.metrics.counter_total("resilience.retry") > 0
+
+
+def test_recovers_from_compressor_failures():
+    res, payloads = run_pt2pt(
+        faults=FaultPlan(seed=5, compress_fail_rate=0.6))
+    assert_bit_exact(res, payloads)
+    m = res.tracer.metrics
+    assert m.counter("faults.injected", kind="compress_fail") > 0
+    assert m.counter_total("resilience.fallback") > 0
+
+
+def test_recovers_from_decompress_corruption():
+    res, payloads = run_pt2pt(
+        faults=FaultPlan(seed=5, decompress_corrupt_rate=0.5))
+    assert_bit_exact(res, payloads)
+    m = res.tracer.metrics
+    assert m.counter("faults.injected", kind="decompress_corrupt") > 0
+    assert m.counter_total("resilience.crc_mismatch") > 0
+
+
+def test_link_degradation_slows_but_delivers():
+    clean, payloads = run_pt2pt(payloads=None)
+    slow, _ = run_pt2pt(
+        payloads=payloads,
+        faults=FaultPlan(seed=7, degrade_rate=1.0, degrade_factor=8.0))
+    assert_bit_exact(slow, payloads)
+    assert slow.tracer.metrics.counter("faults.injected", kind="degrade") > 0
+    assert slow.elapsed > clean.elapsed
+
+
+def test_link_flapping_waits_out_outages():
+    res, payloads = run_pt2pt(
+        faults=FaultPlan(seed=8, flap_period=200e-6, flap_down=50e-6))
+    assert_bit_exact(res, payloads)
+    assert res.tracer.metrics.counter("faults.injected", kind="flap_wait") > 0
+
+
+def test_retry_exhaustion_raises_integrity_error():
+    # uncompressed wire payloads: corruption always surfaces as a CRC
+    # mismatch (a compressed stream may instead break the decode, which
+    # exhausts as RetryExhaustedError)
+    with pytest.raises(IntegrityError) as exc:
+        run_pt2pt(config=CompressionConfig.disabled(),
+                  faults=FaultPlan(seed=9, corrupt_rate=1.0), iterations=1)
+    assert "crc_mismatch" in str(exc.value)
+
+
+def test_zero_retries_fails_fast_on_corruption():
+    with pytest.raises(IntegrityError):
+        run_pt2pt(config=CompressionConfig.disabled(),
+                  faults=FaultPlan(seed=10, corrupt_rate=1.0), iterations=1,
+                  resilience=ResilienceConfig(max_retries=0))
+
+
+def test_baseline_uncompressed_also_recovers():
+    res, payloads = run_pt2pt(
+        config=CompressionConfig.disabled(),
+        faults=FaultPlan(seed=11, corrupt_rate=0.4))
+    assert_bit_exact(res, payloads)
+    assert res.tracer.metrics.counter_total("resilience.retransmit") > 0
+
+
+def test_pipelined_send_recovers_from_corruption():
+    res, payloads = run_pt2pt(
+        config=CompressionConfig.zfp_opt(8).with_(pipeline=True, partitions=4),
+        faults=FaultPlan(seed=12, corrupt_rate=0.3))
+    # lossy codec: compare against the clean run's delivery instead
+    clean, _ = run_pt2pt(
+        config=CompressionConfig.zfp_opt(8).with_(pipeline=True, partitions=4),
+        payloads=payloads)
+    for want, got in zip(clean.values[1], res.values[1]):
+        assert np.array_equal(want, got)
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+
+def test_breaker_state_machine():
+    transitions = []
+    br = CircuitBreaker(threshold=3, cooldown=1.0,
+                        on_transition=lambda old, new, now: transitions.append((old, new)))
+    assert br.allow(0.0)
+    br.record_failure(0.0)
+    br.record_failure(0.0)
+    assert br.state == CircuitBreaker.CLOSED and br.allow(0.0)
+    br.record_failure(0.0)                    # third strike
+    assert br.state == CircuitBreaker.OPEN
+    assert not br.allow(0.5)                  # still cooling down
+    assert br.allow(1.5)                      # cooldown over -> trial
+    assert br.state == CircuitBreaker.HALF_OPEN
+    br.record_failure(1.5)                    # trial failed -> re-open
+    assert br.state == CircuitBreaker.OPEN
+    assert br.allow(3.0)
+    br.record_success(3.0)                    # trial succeeded
+    assert br.state == CircuitBreaker.CLOSED
+    assert transitions == [
+        ("closed", "open"), ("open", "half_open"), ("half_open", "open"),
+        ("open", "half_open"), ("half_open", "closed"),
+    ]
+
+
+def test_breaker_disabled_with_zero_threshold():
+    br = CircuitBreaker(threshold=0, cooldown=1.0)
+    for _ in range(10):
+        br.record_failure(0.0)
+    assert br.state == CircuitBreaker.CLOSED and br.allow(0.0)
+
+
+def test_breaker_trips_under_persistent_compressor_failure():
+    res, payloads = run_pt2pt(
+        faults=FaultPlan(seed=13, compress_fail_rate=0.9),
+        iterations=10)
+    assert_bit_exact(res, payloads)
+    m = res.tracer.metrics
+    assert m.counter("resilience.breaker_transitions", state="open") > 0
+    assert m.counter_total("resilience.breaker_veto") > 0
+    labels = {r.label for r in res.tracer.records if r.category == "resilience"}
+    assert "breaker_open" in labels
+
+
+# ---------------------------------------------------------------------------
+# timeout + deadlock diagnostics
+# ---------------------------------------------------------------------------
+
+def test_handshake_timeout_raises_with_diagnostic():
+    cluster = Cluster(machine_preset("longhorn"), nodes=2, gpus_per_node=1)
+    data = make_payload("omb", 1 << 18, seed=0)
+
+    def sender_only(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, 1, tag=0)
+        else:
+            yield comm.sim.timeout(1.0)  # never posts the recv
+        return None
+
+    with pytest.raises(RendezvousTimeoutError) as exc:
+        cluster.run(sender_only, config=MPC,
+                    resilience=ResilienceConfig(handshake_timeout=0.01))
+    msg = str(exc.value)
+    assert "CTS" in msg or "handshake" in msg
+    assert "rank" in msg  # carries the matching-state dump
+
+
+def test_deadlock_error_carries_matching_dump():
+    cluster = Cluster(machine_preset("longhorn"), nodes=2, gpus_per_node=1)
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.recv(1, tag=5)  # never satisfied
+        return None
+
+    with pytest.raises(DeadlockError) as exc:
+        cluster.run(rank_fn, config=MPC)
+    assert "posted recv" in str(exc.value)
+    assert exc.value.diagnostic
+
+
+# ---------------------------------------------------------------------------
+# CR >= 1 uncompressed fallback: bit-exact for every registered codec
+# (satellite 3)
+# ---------------------------------------------------------------------------
+
+def _incompressible(nbytes, dtype, seed, bits=True):
+    """Incompressible payloads.  ``bits=True`` is uniform random *bit
+    patterns* (defeats every lossless codec; may contain NaNs, which is
+    why comparisons go through ``tobytes``); ``bits=False`` is white
+    noise in [1, 2) — finite values for codecs that do arithmetic."""
+    rng = np.random.default_rng(seed)
+    if bits:
+        return np.frombuffer(rng.bytes(nbytes), dtype=dtype).copy()
+    n = nbytes // np.dtype(dtype).itemsize
+    return (rng.random(n) + 1.0).astype(dtype)
+
+
+@pytest.mark.parametrize("algorithm,dtype,kwargs,bits", [
+    ("mpc", np.float32, {}, True),
+    ("mpc", np.float64, {}, True),
+    ("fpc", np.float64, {}, True),
+    ("gfc", np.float64, {}, True),
+    ("sz", np.float32, dict(sz_error_bound=1e-12), False),
+    ("zfp", np.float32, dict(zfp_rate=32), False),  # rate == dtype bits -> CR 1
+    ("null", np.float32, {}, False),
+])
+@pytest.mark.parametrize("nbytes", [256 * 1024, 1 << 20])
+def test_cr1_fallback_bit_exact(algorithm, dtype, kwargs, bits, nbytes):
+    config = CompressionConfig(enabled=True, algorithm=algorithm, **kwargs)
+    payloads = [_incompressible(nbytes, dtype, seed=i, bits=bits)
+                for i in range(2)]
+    res, _ = run_pt2pt(config=config, payloads=payloads)
+    assert_bit_exact(res, payloads)
+    # the engine must actually have taken the raw-fallback path
+    m = res.tracer.metrics
+    assert m.counter("compress.fallback", codec=algorithm) >= 1
+
+
+def test_fallback_under_faults_still_bit_exact():
+    """Fallback sends remain protected by CRC + retransmission."""
+    payloads = [_incompressible(256 * 1024, np.float32, seed=i, bits=True)
+                for i in range(3)]
+    res, _ = run_pt2pt(payloads=payloads,
+                       faults=FaultPlan(seed=14, corrupt_rate=0.4))
+    assert_bit_exact(res, payloads)
+    assert res.tracer.metrics.counter_total("resilience.retransmit") > 0
+
+
+# ---------------------------------------------------------------------------
+# chaos harness
+# ---------------------------------------------------------------------------
+
+def test_chaos_harness_reports_clean_sweep():
+    report = run_chaos(sizes=(256 * 1024,), iterations=3,
+                       plan=FaultPlan(seed=1, corrupt_rate=0.2))
+    assert report.ok
+    assert report.total_messages == 3
+    assert sum(r.faults_injected.get("corrupt", 0) for r in report.results) > 0
+    assert "all payloads verified" in report.summary()
+
+
+def test_chaos_harness_lossy_codec():
+    report = run_chaos(sizes=(256 * 1024,), iterations=2,
+                       config=CompressionConfig.zfp_opt(8),
+                       plan=FaultPlan(seed=2, corrupt_rate=0.2, drop_rate=0.1))
+    assert report.ok

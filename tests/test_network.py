@@ -35,10 +35,12 @@ def test_serialization_time():
 
 
 def test_invalid_link_spec():
-    with pytest.raises(NetworkError):
+    with pytest.raises(ConfigError):
         LinkSpec("bad", latency=-1, bandwidth=1e9)
-    with pytest.raises(NetworkError):
+    with pytest.raises(ConfigError):
         LinkSpec("bad", latency=0, bandwidth=0)
+    with pytest.raises(ConfigError):
+        LinkSpec("bad", latency=0, bandwidth=1e9, lanes=0)
 
 
 def test_machine_presets_exist():
