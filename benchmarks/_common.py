@@ -15,17 +15,14 @@ Environment:
 
 from __future__ import annotations
 
-import os
-
-from repro.utils.units import KiB, MiB
+from repro.analysis.bench import full_sweep_enabled, sweep_sizes
 from repro.utils.tables import format_table
 
-FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+FULL = full_sweep_enabled()
 
-#: Fig 5/9/10 message sweep (paper: 256K..32M)
-SIZES = [256 * KiB, 512 * KiB, 1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB]
-if FULL:
-    SIZES += [16 * MiB, 32 * MiB]
+#: Fig 5/9/10 message sweep — the same definition `python -m repro
+#: bench` runs, so the figures and the trajectory measure one matrix.
+SIZES = sweep_sizes(full=FULL)
 
 
 def emit(benchmark, title: str, headers, rows, floatfmt=".1f", **extra):

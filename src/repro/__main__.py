@@ -10,6 +10,8 @@ Commands
 ``dask``                  the transpose-sum benchmark
 ``table3``                dataset compression survey
 ``profile``               INAM-style communication profile of a run
+``explain``               critical-path report for the slowest messages
+``bench``                 benchmark-trajectory snapshot + regression gate
 ``trace``                 export a Chrome-trace JSON of one workload
 ``chaos``                 fault-injection sweep with bit-exactness checks
 
@@ -19,6 +21,8 @@ Examples::
     python -m repro bcast --dataset msg_sppm --config mpc-opt
     python -m repro awp --gpus 16 --config zfp8
     python -m repro trace latency --codec mpc --out trace.json
+    python -m repro explain --codec mpc --size 4M
+    python -m repro bench --quick --out BENCH_dev.json --compare BENCH_main.json
     python -m repro chaos --config mpc-opt --corrupt-rate 0.05 --seed 3
 """
 
@@ -30,24 +34,16 @@ import sys
 from repro.core import CompressionConfig
 from repro.utils import fmt_bytes, format_table, parse_size
 
-_CONFIGS = {
-    "baseline": CompressionConfig.disabled,
-    "naive-mpc": CompressionConfig.naive_mpc,
-    "naive-zfp": CompressionConfig.naive_zfp,
-    "mpc-opt": CompressionConfig.mpc_opt,
-    "zfp16": lambda: CompressionConfig.zfp_opt(16),
-    "zfp8": lambda: CompressionConfig.zfp_opt(8),
-    "zfp4": lambda: CompressionConfig.zfp_opt(4),
-    "zfp8-pipe": lambda: CompressionConfig.zfp_opt(8).with_(pipeline=True, partitions=8),
-    "adaptive": lambda: CompressionConfig.mpc_opt().with_(adaptive=True),
-}
-
 
 def _config(name: str) -> CompressionConfig:
+    # Single source of truth for config names: the bench scenario matrix
+    # (repro.analysis.bench) uses the same vocabulary.
+    from repro.analysis.bench import named_config
+
     try:
-        return _CONFIGS[name]()
-    except KeyError:
-        raise SystemExit(f"unknown config {name!r}; choose from {sorted(_CONFIGS)}")
+        return named_config(name)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
 
 
 def cmd_machines(args) -> None:
@@ -134,6 +130,8 @@ def cmd_table3(args) -> None:
 
 
 def cmd_profile(args) -> None:
+    import json
+
     import numpy as np
 
     from repro.analysis import CommProfile
@@ -149,7 +147,20 @@ def cmd_profile(args) -> None:
         return len(out)
 
     res = cluster.run(rank_fn, config=_config(args.config))
-    print(CommProfile.from_result(res).report())
+    profile = CommProfile.from_result(res)
+    if args.format == "json":
+        text = json.dumps(profile.as_dict(), indent=1, sort_keys=True) + "\n"
+    else:
+        text = profile.report() + "\n"
+    if args.out:
+        try:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+        except OSError as exc:
+            raise SystemExit(f"cannot write {args.out}: {exc}")
+        print(f"wrote {args.out} [{args.format}]")
+    else:
+        print(text, end="")
 
 
 # Codec shorthands for `repro trace`; full _CONFIGS names also work.
@@ -194,6 +205,56 @@ def cmd_trace(args) -> None:
     print(f"wrote {args.out}: {n_spans} spans, "
           f"{res.elapsed * 1e6:.1f} us simulated "
           f"[{args.workload}, {args.codec}, {args.machine}]")
+
+
+def cmd_explain(args) -> None:
+    from repro.analysis import CritPathAnalyzer
+    from repro.mpi.cluster import Cluster
+    from repro.network.presets import machine_preset
+    from repro.omb.payload import make_payload
+
+    config = _config(_CODECS.get(args.codec, args.codec))
+    nbytes = parse_size(args.size)
+    data = make_payload(args.payload, nbytes, seed=1)
+    cluster = Cluster(machine_preset(args.machine), nodes=2, gpus_per_node=1)
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, dest=1, tag=7)
+            return nbytes
+        received = yield from comm.recv(source=0, tag=7)
+        return received.nbytes
+
+    res = cluster.run(rank_fn, config=config)
+    print(CritPathAnalyzer(res.tracer).explain(n=args.top))
+
+
+def cmd_bench(args) -> None:
+    from repro.analysis import bench
+
+    if args.against:
+        current = bench.load(args.against)
+    else:
+        current = bench.collect(quick=args.quick, label=args.label,
+                                only=args.scenario,
+                                record_wall=args.record_wall,
+                                progress=lambda name: print(f"  running {name} ..."))
+        out = args.out or f"BENCH_{args.label}.json"
+        try:
+            bench.write(current, out)
+        except OSError as exc:
+            raise SystemExit(f"cannot write {out}: {exc}")
+        print(f"wrote {out}: {len(current['scenarios'])} scenarios "
+              f"[{current['mode']}]")
+    if args.compare:
+        try:
+            baseline = bench.load(args.compare)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load baseline: {exc}")
+        cmp = bench.compare(current, baseline)
+        print(cmp.report())
+        if not cmp.ok:
+            raise SystemExit(1)
 
 
 def cmd_chaos(args) -> None:
@@ -269,6 +330,33 @@ def main(argv=None) -> int:
     p.add_argument("--ppn", type=int, default=2)
     p.add_argument("--size", default="2M")
     p.add_argument("--config", default="mpc-opt")
+    p.add_argument("--out", default=None,
+                   help="write the profile to FILE instead of stdout")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+
+    p = sub.add_parser("explain")
+    p.add_argument("--codec", default="mpc",
+                   help="mpc | zfp | none, or any config name")
+    p.add_argument("--machine", default="longhorn")
+    p.add_argument("--size", default="1M")
+    p.add_argument("--payload", default="omb")
+    p.add_argument("--top", type=int, default=5)
+
+    p = sub.add_parser("bench")
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized matrix (small sweeps)")
+    p.add_argument("--label", default="local")
+    p.add_argument("--out", default=None,
+                   help="snapshot path (default BENCH_<label>.json)")
+    p.add_argument("--scenario", default=None,
+                   help="only run scenarios whose name contains this")
+    p.add_argument("--compare", default=None, metavar="BASELINE.json",
+                   help="diff against a baseline snapshot; exit 1 on drift")
+    p.add_argument("--against", default=None, metavar="CURRENT.json",
+                   help="compare an existing snapshot instead of re-running")
+    p.add_argument("--record-wall", action="store_true",
+                   help="include advisory host wall-clock (breaks "
+                        "byte-identical snapshots)")
 
     p = sub.add_parser("trace")
     p.add_argument("workload", choices=("latency", "bcast", "allgather"))
@@ -304,6 +392,8 @@ def main(argv=None) -> int:
         "dask": cmd_dask,
         "table3": cmd_table3,
         "profile": cmd_profile,
+        "explain": cmd_explain,
+        "bench": cmd_bench,
         "trace": cmd_trace,
         "chaos": cmd_chaos,
     }[args.command](args)

@@ -1,5 +1,6 @@
 """Experiment records, reporting helpers, metrics and INAM-style profiling."""
 
+from repro.analysis.critpath import CollectivePath, CritPathAnalyzer, MessagePath
 from repro.analysis.export import to_chrome_trace, write_chrome_trace
 from repro.analysis.metrics import HistogramStat, MetricsRegistry
 from repro.analysis.profile import CommProfile, LinkStats
@@ -13,6 +14,9 @@ __all__ = [
     "LinkStats",
     "MetricsRegistry",
     "HistogramStat",
+    "CritPathAnalyzer",
+    "MessagePath",
+    "CollectivePath",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

@@ -1,0 +1,392 @@
+"""Continuous benchmark trajectory: deterministic scenario matrix,
+schema-versioned ``BENCH_*.json`` snapshots, and regression gating.
+
+The paper's claims are curves — pt2pt latency per codec configuration,
+collective latency, application speedup — and this repository's
+simulation is fully deterministic, so a benchmark run can be captured
+as an *exact* JSON snapshot and later runs diffed against it with zero
+tolerance on every simulated metric.  ``python -m repro bench`` wraps
+this module; CI runs the quick matrix on every push and fails when any
+simulated number drifts from the committed baseline
+(``tests/data/BENCH_baseline.json``).
+
+Design points:
+
+* **One source of truth for scenarios** — the message-size sweeps and
+  codec-config names used by the pytest-benchmark suite
+  (``benchmarks/_common.py``) come from here, so the figures and the
+  trajectory measure the same thing.
+* **Byte-identical snapshots** — nothing wall-clock-dependent is
+  written by default: timestamps, hostnames and wall durations are
+  excluded, floats are rounded to fixed precision, keys are sorted.
+  Two same-seed runs of :func:`collect` serialize identically.
+  Wall-clock capture is opt-in (``record_wall=True``) and compared
+  *advisorily* only — a wall drift warns, never gates.
+* **Critical-path attribution rides along** — each pt2pt scenario
+  embeds the Fig 10 bucket percentages computed by
+  :class:`~repro.analysis.critpath.CritPathAnalyzer`, so a regression
+  report shows not just *that* latency moved but *where* the moved
+  microseconds sit (kernel vs. wire vs. protocol).
+
+Snapshot schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "label": "<free-form>",
+      "mode": "quick" | "full",
+      "scenarios": {
+        "<name>": {
+          "kind": "pt2pt" | "collective" | "awp" | "chaos",
+          "params": {...},          # enough to re-run the scenario
+          "metrics": {"<metric>": <number>, ...},   # simulated, gated
+          "attribution": {...},     # optional, gated
+          "counters": {...},        # metrics-registry extract, gated
+          "wall": {...}             # optional, advisory only
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.utils.units import KiB, MiB
+
+__all__ = [
+    "SCHEMA_VERSION", "Scenario", "scenario_matrix", "sweep_sizes",
+    "full_sweep_enabled", "named_config", "CONFIG_NAMES",
+    "collect", "dumps", "write", "compare", "load",
+    "Drift", "Comparison",
+]
+
+SCHEMA_VERSION = 1
+
+#: Fig 5/9/10 message sweep (paper: 256K..32M; default stops at 8M)
+_SWEEP = (256 * KiB, 512 * KiB, 1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB)
+_SWEEP_FULL = _SWEEP + (16 * MiB, 32 * MiB)
+#: the quick (CI / --quick) subset
+QUICK_SIZES = (256 * KiB, 1 * MiB)
+
+#: pt2pt codec configurations tracked by the trajectory
+PT2PT_CONFIGS = ("baseline", "naive-mpc", "mpc-opt", "zfp8", "zfp8-pipe")
+
+
+def full_sweep_enabled() -> bool:
+    """``REPRO_BENCH_FULL=1`` extends sweeps to the paper's full range."""
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def sweep_sizes(full: Optional[bool] = None) -> list[int]:
+    """The canonical message-size sweep (shared with ``benchmarks/``)."""
+    if full is None:
+        full = full_sweep_enabled()
+    return list(_SWEEP_FULL if full else _SWEEP)
+
+
+def _named_configs() -> dict[str, Callable]:
+    from repro.core import CompressionConfig
+
+    return {
+        "baseline": CompressionConfig.disabled,
+        "naive-mpc": CompressionConfig.naive_mpc,
+        "naive-zfp": CompressionConfig.naive_zfp,
+        "mpc-opt": CompressionConfig.mpc_opt,
+        "zfp16": lambda: CompressionConfig.zfp_opt(16),
+        "zfp8": lambda: CompressionConfig.zfp_opt(8),
+        "zfp4": lambda: CompressionConfig.zfp_opt(4),
+        "zfp8-pipe": lambda: CompressionConfig.zfp_opt(8).with_(
+            pipeline=True, partitions=8),
+        "adaptive": lambda: CompressionConfig.mpc_opt().with_(adaptive=True),
+    }
+
+
+#: every config name accepted by the CLI and the scenario matrix
+CONFIG_NAMES = tuple(sorted(_named_configs()))
+
+
+def named_config(name: str):
+    """Resolve a config name (the CLI's ``--config`` vocabulary)."""
+    try:
+        return _named_configs()[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown config {name!r}; choose from {list(CONFIG_NAMES)}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One entry of the benchmark matrix."""
+
+    name: str
+    kind: str
+    params: dict = field(default_factory=dict)
+
+
+def scenario_matrix(quick: bool = True) -> list[Scenario]:
+    """The curated matrix: pt2pt per codec config, two collectives, one
+    AWP weak-scaling point, and a chaos-overhead delta."""
+    sizes = list(QUICK_SIZES) if quick else sweep_sizes(full=None)
+    out = [
+        Scenario(f"pt2pt/{cfg}", "pt2pt",
+                 {"machine": "longhorn", "config": cfg, "sizes": sizes,
+                  "payload": "omb"})
+        for cfg in PT2PT_CONFIGS
+    ]
+    coll = 256 * KiB if quick else 1 * MiB
+    for op in ("bcast", "allgather"):
+        out.append(Scenario(
+            f"{op}/mpc-opt", "collective",
+            {"machine": "frontera-liquid", "op": op, "nodes": 2, "ppn": 2,
+             "nbytes": coll, "payload": "dataset:msg_sppm",
+             "config": "mpc-opt"}))
+    out.append(Scenario(
+        "awp/4gpu-mpc-opt", "awp",
+        {"machine": "frontera-liquid", "gpus": 4, "ppn": 2,
+         "steps": 2, "local_shape": [16, 16, 64] if quick else [32, 32, 128],
+         "config": "mpc-opt"}))
+    out.append(Scenario(
+        "chaos/mpc-opt-corrupt", "chaos",
+        {"machine": "longhorn", "config": "mpc-opt", "sizes": [256 * KiB],
+         "iterations": 2, "corrupt_rate": 0.2, "seed": 1,
+         "payload": "omb"}))
+    return out
+
+
+# -- scenario runners -------------------------------------------------------
+
+def _r(x: float, places: int = 6) -> float:
+    """Fixed-precision rounding for snapshot floats (still exact across
+    same-seed runs; keeps the JSON diffable by humans)."""
+    return round(float(x), places)
+
+
+def _registry_extract(metrics) -> dict:
+    """The trajectory-worthy slice of a run's metrics registry."""
+    out = {
+        "mpi.sends": _r(metrics.counter_total("mpi.sends"), 0),
+        "wire.bytes": _r(metrics.counter_total("wire.bytes"), 0),
+        "pool.hit": _r(metrics.counter_total("pool.hit"), 0),
+        "pool.miss": _r(metrics.counter_total("pool.miss"), 0),
+    }
+    bytes_in = metrics.counter_total("compress.bytes_in")
+    bytes_out = metrics.counter_total("compress.bytes_out")
+    if bytes_out:
+        out["compression_ratio"] = _r(bytes_in / bytes_out, 4)
+    hist = metrics.histogram("compress.kernel_us", codec="mpc")
+    if not hist.count:
+        hist = metrics.histogram("compress.kernel_us", codec="zfp")
+    if hist.count:
+        out["compress.kernel_us.p50"] = _r(hist.p50, 3)
+        out["compress.kernel_us.p99"] = _r(hist.p99, 3)
+    return out
+
+
+def _run_pt2pt(params: dict) -> dict:
+    from repro.analysis.critpath import CritPathAnalyzer
+    from repro.mpi.cluster import Cluster
+    from repro.network.presets import machine_preset
+    from repro.omb.payload import make_payload
+    from repro.omb.pt2pt import _pingpong
+
+    config = named_config(params["config"])
+    cluster = Cluster(machine_preset(params["machine"]), nodes=2,
+                      gpus_per_node=1)
+    metrics: dict[str, float] = {}
+    last = None
+    for nbytes in params["sizes"]:
+        data = make_payload(params["payload"], nbytes)
+        res = cluster.run(_pingpong, config=config, args=(data, 1, 1))
+        metrics[f"latency_us[{nbytes}]"] = _r(res.values[0] * 1e6)
+        last = res
+    result = {"kind": "pt2pt", "params": params, "metrics": metrics,
+              "counters": _registry_extract(last.tracer.metrics)}
+    attribution = CritPathAnalyzer(last.tracer).aggregate_attribution()
+    result["attribution"] = {k: _r(v, 4) for k, v in attribution.items()}
+    return result
+
+
+def _run_collective(params: dict) -> dict:
+    from repro.omb.collective import osu_allgather, osu_bcast
+
+    fn = osu_bcast if params["op"] == "bcast" else osu_allgather
+    row = fn(machine=params["machine"], nodes=params["nodes"],
+             ppn=params["ppn"], nbytes=params["nbytes"],
+             payload=params["payload"], config=named_config(params["config"]))
+    return {"kind": "collective", "params": params,
+            "metrics": {"latency_us": _r(row.latency_us)}}
+
+
+def _run_awp(params: dict) -> dict:
+    from repro.apps.awp import run_awp
+
+    r = run_awp(machine=params["machine"], gpus=params["gpus"],
+                gpus_per_node=params["ppn"],
+                local_shape=tuple(params["local_shape"]),
+                steps=params["steps"], config=named_config(params["config"]))
+    return {"kind": "awp", "params": params, "metrics": {
+        "time_per_step_us": _r(r.time_per_step * 1e6),
+        "comm_fraction_pct": _r(100.0 * r.comm_fraction, 4),
+        "gflops": _r(r.gflops, 4),
+    }}
+
+
+def _run_chaos(params: dict) -> dict:
+    from repro.faults import FaultPlan
+    from repro.faults.chaos import run_chaos
+
+    plan = FaultPlan(seed=params["seed"], corrupt_rate=params["corrupt_rate"])
+    report = run_chaos(machine=params["machine"],
+                       sizes=tuple(params["sizes"]),
+                       config=named_config(params["config"]), plan=plan,
+                       payload=params["payload"],
+                       iterations=params["iterations"])
+    res = report.results[0]
+    return {"kind": "chaos", "params": params, "metrics": {
+        "mismatches": _r(report.total_mismatches, 0),
+        "overhead_us": _r(res.overhead * 1e6),
+        "faults_injected": _r(sum(res.faults_injected.values()), 0),
+        "retransmits": _r(res.recovery_events.get("retransmit", 0), 0),
+    }}
+
+
+_RUNNERS = {"pt2pt": _run_pt2pt, "collective": _run_collective,
+            "awp": _run_awp, "chaos": _run_chaos}
+
+
+def collect(quick: bool = True, label: str = "local",
+            only: Optional[str] = None, record_wall: bool = False,
+            progress: Optional[Callable[[str], None]] = None) -> dict:
+    """Run the scenario matrix and build the snapshot document.
+
+    ``only`` filters scenarios by substring.  ``record_wall`` adds an
+    advisory per-scenario host wall-clock section (breaks byte-identity
+    between runs — leave off for gating snapshots).
+    """
+    doc = {"schema_version": SCHEMA_VERSION, "label": label,
+           "mode": "quick" if quick else "full", "scenarios": {}}
+    for sc in scenario_matrix(quick):
+        if only and only not in sc.name:
+            continue
+        if progress:
+            progress(sc.name)
+        t0 = time.perf_counter()
+        result = _RUNNERS[sc.kind](sc.params)
+        if record_wall:
+            result["wall"] = {"seconds": time.perf_counter() - t0}
+        doc["scenarios"][sc.name] = result
+    return doc
+
+
+# -- serialization ----------------------------------------------------------
+
+def dumps(doc: dict) -> str:
+    """Canonical serialization: sorted keys, fixed indent, trailing
+    newline — byte-identical across same-seed runs."""
+    return json.dumps(doc, indent=1, sort_keys=True) + "\n"
+
+
+def write(doc: dict, path) -> None:
+    with open(path, "w") as fh:
+        fh.write(dumps(doc))
+
+
+def load(path) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r} unsupported "
+            f"(expected {SCHEMA_VERSION})")
+    return doc
+
+
+# -- comparison / regression gating -----------------------------------------
+
+@dataclass(frozen=True)
+class Drift:
+    """One metric that moved (or appeared/vanished) vs. the baseline."""
+
+    scenario: str
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    advisory: bool = False
+
+    def describe(self) -> str:
+        tag = "advisory" if self.advisory else "DRIFT"
+        if self.baseline is None:
+            return f"[{tag}] {self.scenario}: {self.metric} missing from baseline"
+        if self.current is None:
+            return f"[{tag}] {self.scenario}: {self.metric} missing from current"
+        delta = self.current - self.baseline
+        rel = 100.0 * delta / self.baseline if self.baseline else float("inf")
+        return (f"[{tag}] {self.scenario}: {self.metric} "
+                f"{self.baseline} -> {self.current} ({rel:+.2f}%)")
+
+
+@dataclass
+class Comparison:
+    """Outcome of :func:`compare`."""
+
+    drifts: list[Drift] = field(default_factory=list)
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no *gating* drift exists (advisory ones allowed)."""
+        return not any(not d.advisory for d in self.drifts)
+
+    def report(self) -> str:
+        lines = [f"compared {self.checked} metrics: "
+                 + ("OK" if self.ok else
+                    f"{sum(not d.advisory for d in self.drifts)} drift(s)")]
+        lines += [f"  {d.describe()}" for d in self.drifts]
+        return "\n".join(lines)
+
+
+def _gated_sections(result: dict):
+    """(section, metric, value) triples that gate; wall is advisory."""
+    for section in ("metrics", "attribution", "counters"):
+        for key, value in (result.get(section) or {}).items():
+            yield section, key, value
+
+
+def compare(current: dict, baseline: dict) -> Comparison:
+    """Diff two snapshots.  Zero tolerance on every simulated metric —
+    the simulation is deterministic, so *any* movement is a real change
+    to the performance model or the protocol.  ``wall`` sections are
+    advisory: reported, never gating.  Scenarios present only in
+    ``current`` are new coverage and do not gate."""
+    cmp = Comparison()
+    for meta in ("schema_version", "mode"):
+        if current.get(meta) != baseline.get(meta):
+            cmp.drifts.append(Drift("<header>", meta,
+                                    baseline.get(meta), current.get(meta)))
+    for name, base in sorted(baseline.get("scenarios", {}).items()):
+        cur = current.get("scenarios", {}).get(name)
+        if cur is None:
+            cmp.drifts.append(Drift(name, "<scenario>", 1.0, None))
+            continue
+        for section, key, bval in _gated_sections(base):
+            cmp.checked += 1
+            cval = (cur.get(section) or {}).get(key)
+            if cval is None:
+                cmp.drifts.append(Drift(name, f"{section}.{key}", bval, None))
+            elif cval != bval:
+                cmp.drifts.append(Drift(name, f"{section}.{key}", bval, cval))
+        for section, key, cval in _gated_sections(cur):
+            if (base.get(section) or {}).get(key) is None:
+                cmp.drifts.append(Drift(name, f"{section}.{key}", None, cval,
+                                        advisory=True))
+        bwall = (base.get("wall") or {}).get("seconds")
+        cwall = (cur.get("wall") or {}).get("seconds")
+        if bwall and cwall and cwall > 1.5 * bwall:
+            cmp.drifts.append(Drift(name, "wall.seconds", _r(bwall, 3),
+                                    _r(cwall, 3), advisory=True))
+    return cmp

@@ -24,6 +24,10 @@ name                            kind     emitted by
 ``compress.bytes_in{codec}``    counter  :class:`repro.core.engine.CompressionEngine`
 ``compress.bytes_out{codec}``   counter  (ratio = bytes_in / bytes_out)
 ``compress.fallback{codec}``    counter  incompressible raw fallbacks
+``compress.kernel_us{codec}``   hist     per-launch compression kernel
+                                         duration in microseconds
+``decompress.kernel_us{codec}`` hist     per-launch decompression kernel
+                                         duration in microseconds
 ``mpi.sends{protocol}``         counter  :class:`repro.mpi.comm.Communicator`
 ``matching.unexpected{rank}``   counter  :class:`repro.mpi.matching.MatchingEngine`
 ``matching.posted_depth{rank}``     hist observed posted-queue depth
@@ -78,12 +82,47 @@ class HistogramStat:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from the bucket
+        counts.  Resolution is the power-of-two bucket width: the
+        estimate is the bucket's upper bound, clamped to the observed
+        ``[min, max]`` so exact-count edge cases stay sharp.  Purely a
+        function of the (deterministic) bucket counts, so two same-seed
+        runs report identical percentiles."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = max(1, -(-int(q * self.count * 1000) // 1000))  # ceil, fp-safe
+        seen = 0
+        for bucket, n in sorted(self.buckets.items()):
+            seen += n
+            if seen >= rank:
+                upper = float(1 << bucket) if bucket else 1.0
+                return min(max(upper, self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count always hits
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
     def as_dict(self) -> dict:
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
             "buckets": {str(b): n for b, n in sorted(self.buckets.items())},
         }
 

@@ -98,6 +98,36 @@ class CommProfile:
                 prof.size_histogram[bucket] = prof.size_histogram.get(bucket, 0) + 1
         return prof
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (``python -m repro profile --format json``).
+
+        Times are microseconds; keys are sorted by construction so the
+        serialized form is deterministic for same-seed runs."""
+        return {
+            "elapsed_us": self.elapsed * 1e6,
+            "n_messages": self.n_messages,
+            "total_wire_bytes": self.total_wire_bytes,
+            "category_time_us": {
+                cat: t * 1e6 for cat, t in sorted(self.category_time.items())
+            },
+            "links": {
+                label: {
+                    "busy_time_us": s.busy_time * 1e6,
+                    "bytes_moved": s.bytes_moved,
+                    "transfers": s.transfers,
+                    "utilization": s.utilization(self.elapsed),
+                }
+                for label, s in sorted(self.links.items())
+            },
+            "rank_pipeline_time_us": {
+                str(r): t * 1e6
+                for r, t in sorted(self.rank_pipeline_time.items())
+            },
+            "wire_size_histogram": {
+                str(b): n for b, n in sorted(self.size_histogram.items())
+            },
+        }
+
     @property
     def busiest_link(self) -> LinkStats | None:
         if not self.links:

@@ -263,6 +263,7 @@ class CompressionEngine:
             durations = [
                 model.compress_time(p.nbytes, blocks, spec.sm_count) for p in pieces
             ]
+            self._observe_kernels("compress", "mpc", durations)
             yield from self._run_partition_kernels(durations, blocks, "compression_kernel")
 
             # Retrieve compressed size(s): GDRCopy (OPT) vs cudaMemcpy (naive).
@@ -338,6 +339,16 @@ class CompressionEngine:
             tracer.metrics.inc("compress.bytes_in", bytes_in, codec=codec_name)
             tracer.metrics.inc("compress.bytes_out", bytes_out, codec=codec_name)
 
+    def _observe_kernels(self, kind: str, codec_name: str, durations) -> None:
+        """Feed per-launch kernel durations (microseconds) into the
+        ``compress.kernel_us`` / ``decompress.kernel_us`` histograms."""
+        tracer = self.sim.tracer
+        if tracer is None:
+            return
+        name = f"{kind}.kernel_us"
+        for d in durations:
+            tracer.metrics.observe(name, d * 1e6, codec=codec_name)
+
     def _send_zfp(self, data: np.ndarray):
         cfg = self.config
         spec = self.device.spec
@@ -357,6 +368,7 @@ class CompressionEngine:
 
             comp = GLOBAL_CODEC_CACHE.compress(codec, data)  # real compression
             duration = model.compress_time(nbytes, spec.sm_count, spec.sm_count)
+            self._observe_kernels("compress", "zfp", [duration])
             yield from self.streams[0].run_kernel(
                 duration, spec.sm_count, "compression_kernel", "zfp"
             )
@@ -416,6 +428,7 @@ class CompressionEngine:
             resources.append(comp_buf)
             comp = GLOBAL_CODEC_CACHE.compress(codec, data)
             duration = model.compress_time(nbytes, spec.sm_count, spec.sm_count)
+            self._observe_kernels("compress", cfg.algorithm, [duration])
             yield from self.streams[0].run_kernel(
                 duration, spec.sm_count, "compression_kernel", cfg.algorithm
             )
@@ -502,6 +515,7 @@ class CompressionEngine:
 
         def kernel_run(i: int):
             duration = model.compress_time(pieces[i].nbytes, blocks, spec.sm_count)
+            engine._observe_kernels("compress", cfg.algorithm, [duration])
             yield from engine.streams[0].run_kernel(
                 duration, blocks, "compression_kernel", f"pipe{i}"
             )
@@ -536,6 +550,7 @@ class CompressionEngine:
         blocks = max(1, spec.sm_count // 2)
         duration = model.decompress_time(counts[part] * dtype.itemsize, blocks,
                                          spec.sm_count)
+        self._observe_kernels("decompress", header.algorithm, [duration])
         yield from self.streams[part % _MAX_STREAMS].run_kernel(
             duration, blocks, "decompression_kernel", f"pipe{part}"
         )
@@ -584,6 +599,7 @@ class CompressionEngine:
             model.decompress_time(c * dtype.itemsize, blocks, spec.sm_count)
             for c in counts
         ]
+        self._observe_kernels("decompress", header.algorithm, durations)
         yield from self._run_partition_kernels(durations, blocks, "decompression_kernel")
 
         # Real decompression, partition by partition.

@@ -27,6 +27,8 @@ generator synthesizes bit patterns directly:
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.datasets.catalog import DatasetSpec, get_spec
@@ -100,7 +102,10 @@ def generate_from_spec(spec: DatasetSpec, scale: float = 1.0, seed: int = 0) -> 
     if scale <= 0:
         raise ConfigError(f"scale must be > 0, got {scale}")
     n = max(64, int(spec.size_mb * scale * 1e6 / 4))
-    rng = np.random.default_rng(seed ^ hash(spec.name) & 0x7FFFFFFF)
+    # zlib.crc32, not hash(): str hashing is salted per process
+    # (PYTHONHASHSEED), which would make "identical" datasets differ
+    # across runs and break the bench trajectory's byte-identity.
+    rng = np.random.default_rng(seed ^ zlib.crc32(spec.name.encode()) & 0x7FFFFFFF)
 
     if spec.pool_frac:
         pool = bitwalk(max(4, int(spec.pool_frac * n)), spec.step_bits, rng)

@@ -191,7 +191,8 @@ class Communicator:
                     and not force_uncompressed:
                 pplan = None
                 with trace_scope(self.sim, "pipeline", "sender_prepare",
-                                 rank=self.rank, nbytes=nbytes, seq=seq):
+                                 rank=self.rank, nbytes=nbytes, seq=seq,
+                                 dst=dest):
                     try:
                         pplan = yield from engine.sender_prepare_pipelined(
                             data, path_bandwidth=rt.path_bandwidth(self.rank, dest)
@@ -205,7 +206,8 @@ class Communicator:
                     req.complete()
                     return
             with trace_scope(self.sim, "pipeline", "sender_prepare",
-                             rank=self.rank, nbytes=nbytes, seq=seq):
+                             rank=self.rank, nbytes=nbytes, seq=seq,
+                             dst=dest):
                 try:
                     plan = yield from engine.sender_prepare(
                         data, path_bandwidth=rt.path_bandwidth(self.rank, dest),
@@ -242,7 +244,7 @@ class Communicator:
                                   wire_nbytes=plan.wire_nbytes, crc=crc)
                 rt.matching_of(dest).deliver_data(data_pkt)
             with trace_scope(self.sim, "pipeline", "sender_release",
-                             rank=self.rank, seq=seq):
+                             rank=self.rank, seq=seq, dst=dest):
                 yield from engine.sender_release(plan)
             self._count_send("rndv")
             req.complete()
@@ -321,7 +323,7 @@ class Communicator:
         ]
         yield self.sim.all_of(procs)
         with trace_scope(self.sim, "pipeline", "sender_release",
-                         rank=self.rank, seq=seq):
+                         rank=self.rank, seq=seq, dst=dest):
             yield from engine.pipelined_release(pplan)
 
     def _recv_pipelined(self, rt, pkt, req: Request):
@@ -335,7 +337,7 @@ class Communicator:
         resil = rt.resilience
         header = pkt.header
         resources = yield from self._receiver_prepare_resilient(
-            rt, engine, header, pkt.seq
+            rt, engine, header, pkt.seq, pkt.src
         )
         data_evs = [
             rt.matching_of(self.rank).expect_data(pkt.seq, part=i)
@@ -355,7 +357,8 @@ class Communicator:
                 failures.append(("data_timeout", None))
                 return None
             with trace_scope(self.sim, "pipeline", "receiver_complete",
-                             rank=self.rank, seq=pkt.seq, part=i):
+                             rank=self.rank, seq=pkt.seq, src=pkt.src,
+                             part=i):
                 try:
                     out = yield from engine.pipelined_receive_part(
                         header, i, data_pkt.payload
@@ -405,7 +408,7 @@ class Communicator:
                 return
             engine = rt.engine_of(self.rank)
             resources = yield from self._receiver_prepare_resilient(
-                rt, engine, pkt.header, pkt.seq
+                rt, engine, pkt.header, pkt.seq, pkt.src
             )
             data_ev = rt.matching_of(self.rank).expect_data(pkt.seq)
             cts = Packet(PacketKind.CTS, self.rank, pkt.src, tag, pkt.seq)
@@ -422,7 +425,8 @@ class Communicator:
             req.fail(exc)
 
     # -- resilient receiver machinery ------------------------------------------
-    def _receiver_prepare_resilient(self, rt, engine, header, seq: int):
+    def _receiver_prepare_resilient(self, rt, engine, header, seq: int,
+                                    src: int):
         """``receiver_prepare`` with bounded retry on transient
         allocation faults (injected OOM / pool exhaustion)."""
         resil = rt.resilience
@@ -431,7 +435,7 @@ class Communicator:
             extra = {"attempt": attempt} if attempt else {}
             err = None
             with trace_scope(self.sim, "pipeline", "receiver_prepare",
-                             rank=self.rank, seq=seq, **extra):
+                             rank=self.rank, seq=seq, src=src, **extra):
                 try:
                     resources = yield from engine.receiver_prepare(header)
                     return resources
@@ -486,7 +490,9 @@ class Communicator:
                 else:
                     extra = {"attempt": attempt} if attempt else {}
                     with trace_scope(self.sim, "pipeline", "receiver_complete",
-                                     rank=self.rank, seq=seq, **extra):
+                                     rank=self.rank, seq=seq, src=pkt.src,
+                                     wire_nbytes=data_pkt.wire_nbytes,
+                                     **extra):
                         try:
                             data = yield from engine.receiver_complete(
                                 header, data_pkt.payload, resources
@@ -530,7 +536,7 @@ class Communicator:
             yield from self._backoff(rt, attempt, seq, failure)
             if not resources and header.compressed:
                 resources = yield from self._receiver_prepare_resilient(
-                    rt, engine, header, seq
+                    rt, engine, header, seq, pkt.src
                 )
             nack = Packet(PacketKind.CTS, self.rank, pkt.src, pkt.tag, seq)
             with trace_scope(self.sim, "resilience", "nack", rank=self.rank,

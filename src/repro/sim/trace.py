@@ -262,6 +262,48 @@ class Tracer:
     def children_of(self, span_id: int) -> list[TraceRecord]:
         return [r for r in self.records if r.parent_id == span_id]
 
+    # -- DAG accessors (used by repro.analysis.critpath) --------------------
+    def children_index(self) -> dict[Optional[int], list[TraceRecord]]:
+        """parent_id -> children, one pass over the records.  Roots are
+        keyed under ``None``.  O(n) versus O(n) *per call* for
+        :meth:`children_of` — the critical-path analyzer walks the whole
+        forest and needs the index form."""
+        out: dict[Optional[int], list[TraceRecord]] = {}
+        for r in self.records:
+            out.setdefault(r.parent_id, []).append(r)
+        return out
+
+    def roots(self) -> list[TraceRecord]:
+        """Records with no parent (top of each per-rank span tree)."""
+        return [r for r in self.records if r.parent_id is None]
+
+    def descendants_of(self, span_id: int,
+                       index: Optional[dict] = None) -> list[TraceRecord]:
+        """Transitive closure of :meth:`children_of` (excluding the span
+        itself), in deterministic preorder.  Pass a prebuilt
+        :meth:`children_index` when calling repeatedly."""
+        index = index if index is not None else self.children_index()
+        out: list[TraceRecord] = []
+        stack = list(reversed(index.get(span_id, [])))
+        while stack:
+            rec = stack.pop()
+            out.append(rec)
+            stack.extend(reversed(index.get(rec.span_id, [])))
+        return out
+
+    def ancestors_of(self, span_id: int,
+                     by_id: Optional[dict] = None) -> list[TraceRecord]:
+        """Chain of enclosing spans, innermost first."""
+        by_id = by_id if by_id is not None else self.by_id()
+        out: list[TraceRecord] = []
+        rec = by_id.get(span_id)
+        while rec is not None and rec.parent_id is not None:
+            rec = by_id.get(rec.parent_id)
+            if rec is None:
+                break
+            out.append(rec)
+        return out
+
     def clear(self) -> None:
         self.records.clear()
         self._event_count = 0

@@ -1,0 +1,195 @@
+"""Benchmark trajectory: deterministic snapshots, the CLI round trip,
+and zero-tolerance regression gating (ISSUE 3 acceptance criteria).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import bench
+from repro.analysis.metrics import HistogramStat
+from repro.gpu.spec import DeviceSpec
+
+
+# -- histogram percentiles (satellite: p50/p95/p99) -------------------------
+
+def test_histogram_percentiles_deterministic():
+    def build():
+        h = HistogramStat()
+        for v in [1, 2, 3, 100, 200, 300, 5000]:
+            h.observe(v)
+        return h
+
+    a, b = build(), build()
+    assert (a.p50, a.p95, a.p99) == (b.p50, b.p95, b.p99)
+    assert a.as_dict() == b.as_dict()
+    for key in ("p50", "p95", "p99"):
+        assert key in a.as_dict()
+    assert a.min <= a.p50 <= a.p95 <= a.p99 <= a.max
+
+
+def test_histogram_percentile_edges():
+    h = HistogramStat()
+    assert h.p50 == 0.0  # empty histogram
+    h.observe(42.0)
+    assert h.p50 == 42.0 == h.p99  # single value: clamped to [min, max]
+    with pytest.raises(ValueError):
+        h.percentile(0.0)
+    with pytest.raises(ValueError):
+        h.percentile(1.5)
+
+
+# -- snapshot collection ----------------------------------------------------
+
+def test_scenario_matrix_shape():
+    names = [s.name for s in bench.scenario_matrix(quick=True)]
+    assert len(names) == len(set(names))
+    kinds = {s.kind for s in bench.scenario_matrix(quick=True)}
+    assert kinds == {"pt2pt", "collective", "awp", "chaos"}
+    for cfg in bench.PT2PT_CONFIGS:
+        assert f"pt2pt/{cfg}" in names
+
+
+def test_sweep_sizes_shared_with_benchmarks():
+    # benchmarks/_common.py must read its sweep from here (one source
+    # of truth); sanity-check the canonical values
+    assert bench.sweep_sizes(full=False)[0] == 256 * 1024
+    assert bench.sweep_sizes(full=True)[-1] == 32 * 1024 * 1024
+    assert set(bench.QUICK_SIZES) <= set(bench.sweep_sizes(full=False))
+
+
+def test_named_config_vocabulary():
+    for name in bench.CONFIG_NAMES:
+        cfg = bench.named_config(name)
+        assert cfg is not None
+    with pytest.raises(KeyError):
+        bench.named_config("nope")
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    return bench.collect(quick=True, label="test",
+                         only="pt2pt/naive-mpc")
+
+
+def test_collect_byte_identical(quick_doc):
+    again = bench.collect(quick=True, label="test",
+                          only="pt2pt/naive-mpc")
+    assert bench.dumps(quick_doc) == bench.dumps(again)
+
+
+def test_snapshot_schema(quick_doc):
+    assert quick_doc["schema_version"] == bench.SCHEMA_VERSION
+    sc = quick_doc["scenarios"]["pt2pt/naive-mpc"]
+    assert sc["kind"] == "pt2pt"
+    assert all(k.startswith("latency_us[") for k in sc["metrics"])
+    assert sc["attribution"].keys() == {
+        "compression", "communication", "decompression", "other"}
+    assert sc["counters"]["mpi.sends"] > 0
+    assert sc["counters"]["compression_ratio"] > 1
+    assert "compress.kernel_us.p50" in sc["counters"]
+    # no wall-clock section unless explicitly requested
+    assert "wall" not in sc
+
+
+def test_self_compare_ok(quick_doc):
+    cmp = bench.compare(quick_doc, quick_doc)
+    assert cmp.ok and cmp.checked > 0
+    assert "OK" in cmp.report()
+
+
+def test_synthetic_slowdown_detected(quick_doc, monkeypatch):
+    """Doubling the cudaMemcpy cost must trip the gate: naive-mpc uses
+    memcpy_d2h for the compressed-size retrieval, so its simulated
+    latency moves, and zero tolerance flags it."""
+    orig = DeviceSpec.memcpy_time
+    monkeypatch.setattr(DeviceSpec, "memcpy_time",
+                        lambda self, nbytes: 2.0 * orig(self, nbytes))
+    slowed = bench.collect(quick=True, label="test",
+                           only="pt2pt/naive-mpc")
+    cmp = bench.compare(slowed, quick_doc)
+    assert not cmp.ok
+    assert any("latency_us" in d.metric and not d.advisory
+               for d in cmp.drifts)
+    assert "DRIFT" in cmp.report()
+
+
+def test_compare_missing_scenario_gates(quick_doc):
+    empty = {"schema_version": bench.SCHEMA_VERSION, "label": "x",
+             "mode": "quick", "scenarios": {}}
+    assert not bench.compare(empty, quick_doc).ok      # scenario vanished
+    assert bench.compare(quick_doc, empty).ok          # new coverage only
+
+
+def test_compare_wall_is_advisory(quick_doc):
+    base = json.loads(bench.dumps(quick_doc))
+    cur = json.loads(bench.dumps(quick_doc))
+    base["scenarios"]["pt2pt/naive-mpc"]["wall"] = {"seconds": 1.0}
+    cur["scenarios"]["pt2pt/naive-mpc"]["wall"] = {"seconds": 10.0}
+    cmp = bench.compare(cur, base)
+    assert cmp.ok  # wall drift never gates
+    assert any(d.advisory and d.metric == "wall.seconds" for d in cmp.drifts)
+
+
+def test_label_excluded_from_comparison(quick_doc):
+    relabeled = json.loads(bench.dumps(quick_doc))
+    relabeled["label"] = "other"
+    assert bench.compare(relabeled, quick_doc).ok
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps({"schema_version": 99}))
+    with pytest.raises(ValueError):
+        bench.load(p)
+
+
+# -- CLI round trip ---------------------------------------------------------
+
+def _main(argv):
+    from repro.__main__ import main
+
+    return main(argv)
+
+
+def test_cli_bench_out_and_self_compare(tmp_path, capsys):
+    out = tmp_path / "BENCH_pr3.json"
+    rc = _main(["bench", "--quick", "--label", "pr3",
+                "--scenario", "pt2pt/naive-mpc", "--out", str(out)])
+    assert rc == 0 and out.exists()
+    doc = bench.load(out)
+    assert doc["scenarios"]
+    # --against + --compare on its own output: exit 0, no re-run
+    rc = _main(["bench", "--against", str(out), "--compare", str(out)])
+    assert rc == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_cli_bench_compare_fails_on_slowdown(tmp_path, monkeypatch, capsys):
+    out = tmp_path / "BENCH_base.json"
+    assert _main(["bench", "--quick", "--scenario", "pt2pt/naive-mpc",
+                  "--out", str(out)]) == 0
+    orig = DeviceSpec.memcpy_time
+    monkeypatch.setattr(DeviceSpec, "memcpy_time",
+                        lambda self, nbytes: 2.0 * orig(self, nbytes))
+    slow = tmp_path / "BENCH_slow.json"
+    with pytest.raises(SystemExit) as exc:
+        _main(["bench", "--quick", "--scenario", "pt2pt/naive-mpc",
+               "--out", str(slow), "--compare", str(out)])
+    assert exc.value.code == 1
+    assert "DRIFT" in capsys.readouterr().out
+
+
+def test_committed_baseline_matches(capsys):
+    """The checked-in CI baseline must match a fresh run bit-for-bit —
+    regenerate tests/data/BENCH_baseline.json when the performance
+    model changes on purpose (python -m repro bench --quick --label
+    baseline --out tests/data/BENCH_baseline.json)."""
+    path = os.path.join(os.path.dirname(__file__), "data",
+                        "BENCH_baseline.json")
+    baseline = bench.load(path)
+    current = bench.collect(quick=True, label="baseline")
+    cmp = bench.compare(current, baseline)
+    assert cmp.ok, cmp.report()
+    assert bench.dumps(current) == open(path).read()

@@ -59,6 +59,34 @@ def test_profile(capsys):
     assert "link activity" in out and "time by category" in out
 
 
+def test_profile_json_out(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "profile.json"
+    assert main(["profile", "--nodes", "2", "--ppn", "1", "--size", "512K",
+                 "--format", "json", "--out", str(out)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    assert doc["elapsed_us"] > 0
+    assert doc["links"] and doc["category_time_us"]
+
+
+def test_profile_json_stdout(capsys):
+    import json
+
+    assert main(["profile", "--nodes", "2", "--ppn", "1", "--size", "512K",
+                 "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["n_messages"] > 0
+
+
+def test_explain(capsys):
+    assert main(["explain", "--codec", "mpc", "--size", "512K"]) == 0
+    out = capsys.readouterr().out
+    assert "critical-path attribution" in out
+    assert "rank 0 -> 1" in out
+
+
 def test_trace_latency(tmp_path, capsys):
     import json
 

@@ -166,3 +166,28 @@ def test_clear_resets_hierarchy_and_metrics():
     assert tr.records == []
     assert tr.current_span() is None
     assert tr.metrics.counter_total("wire.bytes") == 0
+
+
+def test_dag_accessors():
+    """children_index / roots / descendants_of / ancestors_of agree
+    with the per-call children_of view."""
+    tr = Tracer()
+    a = tr.begin("pipeline", "a", t=0.0)
+    b = tr.begin("kernel", "b", t=0.1)
+    tr.span(0.2, 0.3, "memory", "leaf")
+    tr.end(b, t=0.4)
+    tr.end(a, t=0.5)
+    tr.span(0.6, 0.7, "network", "root2")
+
+    recs = {r.label: r for r in tr.records}
+    index = tr.children_index()
+    assert {r.label for r in index[None]} == {"a", "root2"}  # roots key
+    assert {r.label for r in tr.roots()} == {"a", "root2"}
+    assert index[recs["a"].span_id] == tr.children_of(recs["a"].span_id)
+
+    desc = tr.descendants_of(recs["a"].span_id)
+    assert {r.label for r in desc} == {"b", "leaf"}
+    assert tr.descendants_of(recs["a"].span_id, index) == desc
+    anc = tr.ancestors_of(recs["leaf"].span_id)
+    assert [r.label for r in anc] == ["b", "a"]  # innermost first
+    assert tr.ancestors_of(recs["root2"].span_id) == []
