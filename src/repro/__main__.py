@@ -14,6 +14,7 @@ Commands
 ``bench``                 benchmark-trajectory snapshot + regression gate
 ``trace``                 export a Chrome-trace JSON of one workload
 ``chaos``                 fault-injection sweep with bit-exactness checks
+``check``                 determinism linter + trace sanitizer + buffer asan
 
 Examples::
 
@@ -24,6 +25,8 @@ Examples::
     python -m repro explain --codec mpc --size 4M
     python -m repro bench --quick --out BENCH_dev.json --compare BENCH_main.json
     python -m repro chaos --config mpc-opt --corrupt-rate 0.05 --seed 3
+    python -m repro check --lint
+    python -m repro check --trace trace.json --format json
 """
 
 from __future__ import annotations
@@ -238,6 +241,7 @@ def cmd_bench(args) -> None:
         current = bench.collect(quick=args.quick, label=args.label,
                                 only=args.scenario,
                                 record_wall=args.record_wall,
+                                asan=args.asan,
                                 progress=lambda name: print(f"  running {name} ..."))
         out = args.out or f"BENCH_{args.label}.json"
         try:
@@ -282,6 +286,17 @@ def cmd_chaos(args) -> None:
     print(report.summary())
     if not report.ok:
         raise SystemExit(1)
+
+
+def cmd_check(args) -> None:
+    from repro.check import run_check
+
+    code = run_check(lint=args.lint, trace=args.trace is not None,
+                     asan=args.asan, selftest=args.selftest,
+                     trace_files=args.trace or (), paths=args.path,
+                     fmt=args.format)
+    if code:
+        raise SystemExit(code)
 
 
 def main(argv=None) -> int:
@@ -357,6 +372,9 @@ def main(argv=None) -> int:
     p.add_argument("--record-wall", action="store_true",
                    help="include advisory host wall-clock (breaks "
                         "byte-identical snapshots)")
+    p.add_argument("--asan", action="store_true",
+                   help="run scenarios under the buffer sanitizer "
+                        "(pure bookkeeping; snapshots unchanged)")
 
     p = sub.add_parser("trace")
     p.add_argument("workload", choices=("latency", "bcast", "allgather"))
@@ -366,6 +384,20 @@ def main(argv=None) -> int:
     p.add_argument("--size", default="1M")
     p.add_argument("--payload", default="omb")
     p.add_argument("--out", default="trace.json")
+
+    p = sub.add_parser("check")
+    p.add_argument("--lint", action="store_true",
+                   help="run only the determinism linter")
+    p.add_argument("--trace", nargs="*", metavar="TRACE.json", default=None,
+                   help="run only the trace sanitizer; with files, check "
+                        "exported Chrome traces instead of in-process runs")
+    p.add_argument("--asan", action="store_true",
+                   help="run only the buffer sanitizer smoke")
+    p.add_argument("--selftest", action="store_true",
+                   help="prove each pass fails on the known-bad fixtures")
+    p.add_argument("--path", nargs="*", default=(),
+                   help="lint these files/dirs instead of the repro package")
+    p.add_argument("--format", choices=("text", "json"), default="text")
 
     p = sub.add_parser("chaos")
     p.add_argument("--machine", default="longhorn")
@@ -396,6 +428,7 @@ def main(argv=None) -> int:
         "bench": cmd_bench,
         "trace": cmd_trace,
         "chaos": cmd_chaos,
+        "check": cmd_check,
     }[args.command](args)
     return 0
 

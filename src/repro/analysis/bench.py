@@ -50,11 +50,11 @@ Snapshot schema (``schema_version`` 1)::
 from __future__ import annotations
 
 import json
-import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.core.envconfig import env_flag
 from repro.utils.units import KiB, MiB
 
 __all__ = [
@@ -78,7 +78,7 @@ PT2PT_CONFIGS = ("baseline", "naive-mpc", "mpc-opt", "zfp8", "zfp8-pipe")
 
 def full_sweep_enabled() -> bool:
     """``REPRO_BENCH_FULL=1`` extends sweeps to the paper's full range."""
-    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    return env_flag("REPRO_BENCH_FULL")
 
 
 def sweep_sizes(full: Optional[bool] = None) -> list[int]:
@@ -260,25 +260,33 @@ _RUNNERS = {"pt2pt": _run_pt2pt, "collective": _run_collective,
 
 def collect(quick: bool = True, label: str = "local",
             only: Optional[str] = None, record_wall: bool = False,
-            progress: Optional[Callable[[str], None]] = None) -> dict:
+            progress: Optional[Callable[[str], None]] = None,
+            asan: bool = False) -> dict:
     """Run the scenario matrix and build the snapshot document.
 
     ``only`` filters scenarios by substring.  ``record_wall`` adds an
     advisory per-scenario host wall-clock section (breaks byte-identity
-    between runs — leave off for gating snapshots).
+    between runs — leave off for gating snapshots).  ``asan`` runs
+    every scenario under the buffer sanitizer; it is pure bookkeeping,
+    so the snapshot stays byte-identical either way.
     """
+    from repro.check.asan import asan_scope
+
     doc = {"schema_version": SCHEMA_VERSION, "label": label,
            "mode": "quick" if quick else "full", "scenarios": {}}
-    for sc in scenario_matrix(quick):
-        if only and only not in sc.name:
-            continue
-        if progress:
-            progress(sc.name)
-        t0 = time.perf_counter()
-        result = _RUNNERS[sc.kind](sc.params)
-        if record_wall:
-            result["wall"] = {"seconds": time.perf_counter() - t0}
-        doc["scenarios"][sc.name] = result
+    with asan_scope(asan):
+        for sc in scenario_matrix(quick):
+            if only and only not in sc.name:
+                continue
+            if progress:
+                progress(sc.name)
+            # Advisory host wall-clock only; never enters gated snapshots
+            # (record_wall defaults off), so the wall-clock read is safe.
+            t0 = time.perf_counter()  # repro: allow-RPR001
+            result = _RUNNERS[sc.kind](sc.params)
+            if record_wall:
+                result["wall"] = {"seconds": time.perf_counter() - t0}  # repro: allow-RPR001
+            doc["scenarios"][sc.name] = result
     return doc
 
 

@@ -1,0 +1,180 @@
+"""Driver for ``python -m repro check``.
+
+Runs any subset of the three analysis passes (all of them by default)
+and a self-test, prints text or JSON, and returns a process exit code:
+
+``--lint``
+    Determinism linter over ``src/repro`` (or explicit ``--path``\\ s).
+
+``--trace [FILE ...]``
+    Trace sanitizer.  With files, each exported Chrome trace is checked
+    as-is; without, a pt2pt scenario is run in-process per codec and
+    its live tracer is checked.
+
+``--asan``
+    Buffer sanitizer: re-runs the in-process scenarios with shadow
+    tracking enabled and asserts no lifecycle violations or leaks.
+
+``--selftest``
+    Prove each pass still *fails* on the known-bad fixtures of
+    :mod:`repro.check.fixtures`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["run_check"]
+
+#: codecs exercised by the in-process trace/asan smoke (the two paper
+#: schemes plus the pipelined variant, whose traces are the gnarliest)
+SMOKE_CONFIGS = ("mpc-opt", "zfp8", "zfp8-pipe")
+_SMOKE_BYTES = 1 << 20
+
+
+def _smoke_run(config_name: str, asan: bool):
+    """One 2-rank pingpong under ``config_name``; returns the result."""
+    from repro.analysis.bench import named_config
+    from repro.mpi.cluster import Cluster
+    from repro.network.presets import machine_preset
+    from repro.omb.payload import make_payload
+
+    data = make_payload("omb", _SMOKE_BYTES, seed=1)
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, dest=1, tag=7)
+            received = yield from comm.recv(source=1, tag=8)
+        else:
+            received = yield from comm.recv(source=0, tag=7)
+            yield from comm.send(received, dest=0, tag=8)
+        return received.nbytes
+
+    cluster = Cluster(machine_preset("longhorn"), nodes=2, gpus_per_node=1)
+    return cluster.run(rank_fn, config=named_config(config_name),
+                       args=(), asan=asan)
+
+
+def _pass_lint(paths) -> dict:
+    from repro.check.lint import lint_paths
+
+    violations = lint_paths(paths)
+    return {
+        "pass": "lint",
+        "ok": not violations,
+        "checked": [str(p) for p in paths],
+        "findings": [v.as_dict() for v in violations],
+        "lines": [v.describe() for v in violations],
+    }
+
+
+def _pass_trace(trace_files) -> dict:
+    from repro.check.sanitize import TraceSanitizer
+
+    findings, lines, checked = [], [], []
+    if trace_files:
+        for f in trace_files:
+            checked.append(str(f))
+            for v in TraceSanitizer.from_chrome_trace(f).check_all():
+                findings.append(dict(v.as_dict(), trace=str(f)))
+                lines.append(f"{f}: {v.describe()}")
+    else:
+        for name in SMOKE_CONFIGS:
+            checked.append(f"in-process pt2pt [{name}]")
+            res = _smoke_run(name, asan=False)
+            for v in TraceSanitizer.from_tracer(res.tracer).check_all():
+                findings.append(dict(v.as_dict(), trace=name))
+                lines.append(f"[{name}] {v.describe()}")
+    return {"pass": "trace", "ok": not findings, "checked": checked,
+            "findings": findings, "lines": lines}
+
+
+def _pass_asan() -> dict:
+    from repro.errors import BufferSanitizerError
+
+    checked, lines, ok = [], [], True
+    for name in SMOKE_CONFIGS:
+        checked.append(f"in-process pt2pt [{name}]")
+        try:
+            res = _smoke_run(name, asan=True)
+        except BufferSanitizerError as exc:
+            ok = False
+            lines.append(f"[{name}] {exc}")
+            continue
+        stats = res.asan.stats()
+        lines.append(f"[{name}] clean: {stats['buffers']} buffers, "
+                     f"{stats['events']} lifecycle events")
+    return {"pass": "asan", "ok": ok, "checked": checked,
+            "findings": [] if ok else lines, "lines": lines}
+
+
+def _pass_selftest() -> dict:
+    from repro.check import fixtures
+    from repro.check.lint import RULES, lint_source
+    from repro.check.sanitize import TraceSanitizer
+    from repro.errors import (BufferLeakError, DoubleReleaseError,
+                              UseAfterFreeError)
+
+    failures = []
+
+    codes = {v.code for v in lint_source(fixtures.BAD_LINT_SOURCE)}
+    missing = sorted(set(RULES) - codes)
+    if missing:
+        failures.append(f"linter missed {', '.join(missing)} on the "
+                        f"known-bad source")
+    if not TraceSanitizer(fixtures.overlap_records()).check_serial_lanes():
+        failures.append("race detector missed overlapping stream-lane spans")
+    if not TraceSanitizer(fixtures.acausal_records()).check_causality():
+        failures.append("causality check missed a backwards handshake")
+
+    for fn, exc_type in ((fixtures.run_double_release, DoubleReleaseError),
+                         (fixtures.run_use_after_free, UseAfterFreeError),
+                         (fixtures.run_leak, BufferLeakError)):
+        try:
+            fn()
+            failures.append(f"{fn.__name__} did not raise {exc_type.__name__}")
+        except exc_type:
+            pass
+
+    return {"pass": "selftest", "ok": not failures,
+            "checked": ["known-bad fixtures"], "findings": failures,
+            "lines": failures or ["all known-bad fixtures detected"]}
+
+
+def run_check(lint: bool = False, trace: bool = False, asan: bool = False,
+              selftest: bool = False, trace_files=(), paths=(),
+              fmt: str = "text") -> int:
+    """Run the selected passes (all three when none selected); returns
+    the process exit code (0 clean, 1 findings)."""
+    if not (lint or trace or asan or selftest):
+        lint = trace = asan = True
+
+    if not paths:
+        import repro
+
+        paths = [Path(repro.__file__).parent]
+
+    results = []
+    if lint:
+        results.append(_pass_lint(list(paths)))
+    if trace:
+        results.append(_pass_trace(list(trace_files)))
+    if asan:
+        results.append(_pass_asan())
+    if selftest:
+        results.append(_pass_selftest())
+
+    ok = all(r["ok"] for r in results)
+    if fmt == "json":
+        doc = {"ok": ok, "passes": results}
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        for r in results:
+            status = "ok" if r["ok"] else "FAIL"
+            print(f"[{status}] {r['pass']}: checked "
+                  f"{', '.join(r['checked'])}")
+            for line in r["lines"]:
+                print(f"    {line}")
+        print("check: clean" if ok else "check: violations found")
+    return 0 if ok else 1

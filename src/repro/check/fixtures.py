@@ -1,0 +1,129 @@
+"""Known-bad fixtures proving each check pass fails loudly.
+
+A checker that silently passes everything is worse than no checker, so
+``repro check --selftest`` (and ``tests/test_check_*.py``) runs every
+pass against a fixture carrying exactly the defect the pass exists to
+catch and asserts it is reported:
+
+* :data:`BAD_LINT_SOURCE` — seeds findings for every linter rule
+  (RPR001..RPR006);
+* :func:`overlap_records` — two spans overlapping on one ``stream0``
+  lane (a serial-resource race);
+* :func:`acausal_records` — a rendezvous message whose ``cts`` precedes
+  its ``rts`` and whose wire transfer starts before the ``cts``
+  completes;
+* :func:`run_double_release` / :func:`run_use_after_free` /
+  :func:`run_leak` — minimal simulations committing each buffer
+  lifecycle crime under an enabled :class:`BufferSanitizer`; callers
+  assert the distinct exception type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.check.asan import BufferSanitizer
+from repro.gpu.device import Device
+from repro.gpu.pool import BufferPool
+from repro.network.presets import machine_preset
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecord
+
+__all__ = ["BAD_LINT_SOURCE", "overlap_records", "acausal_records",
+           "run_double_release", "run_use_after_free", "run_leak"]
+
+#: one violation per linter rule; lint_source() must flag all six codes
+BAD_LINT_SOURCE = '''\
+import os
+import random
+import time
+
+
+def snapshot_key(obj):
+    stamp = time.time()                    # RPR001
+    jitter = random.random()               # RPR002
+    salt = hash(repr(obj))                 # RPR003
+    table = {}
+    table[id(obj)] = stamp + jitter + salt # RPR004
+    if os.environ.get("FAST"):             # RPR005
+        for item in {1, 2, 3}:             # RPR006
+            table[item] = item
+    return table
+'''
+
+
+def _rec(t0, t1, category, label, meta=None, rank=0, track="main",
+         span_id=0, parent_id=None):
+    return TraceRecord(t0, t1, category, label, meta or {}, rank, track,
+                       span_id, parent_id)
+
+
+def overlap_records() -> list[TraceRecord]:
+    """Two kernels overlapping on one capacity-1 stream lane."""
+    return [
+        _rec(0.0, 2e-6, "compression_kernel", "mpc_part0",
+             track="stream0", span_id=1),
+        _rec(1e-6, 3e-6, "compression_kernel", "mpc_part1",
+             track="stream0", span_id=2),
+    ]
+
+
+def acausal_records() -> list[TraceRecord]:
+    """A message whose handshake runs backwards: cts before rts, wire
+    transfer before the cts completes."""
+    seq = {"seq": 9}
+    return [
+        _rec(0.0, 1e-6, "pipeline", "sender_prepare", dict(seq), span_id=1),
+        _rec(3e-6, 4e-6, "pipeline", "rts", dict(seq), span_id=2),
+        _rec(1e-6, 2e-6, "pipeline", "cts", dict(seq), rank=1, span_id=3),
+        _rec(1.5e-6, 5e-6, "pipeline", "wire_transfer",
+             dict(seq, nbytes=64), span_id=4),
+        _rec(6e-6, 7e-6, "pipeline", "receiver_complete", dict(seq),
+             rank=1, span_id=5),
+    ]
+
+
+def _pool_sim() -> tuple[Simulator, BufferPool]:
+    sim = Simulator()
+    sim.asan = BufferSanitizer()
+    device = Device(sim, machine_preset("longhorn").device, device_id=0)
+    return sim, BufferPool(device, 4096, count=1)
+
+
+def run_double_release() -> None:
+    """Release the same pooled buffer twice; the sanitizer must raise
+    :class:`~repro.errors.DoubleReleaseError` on the second."""
+    sim, pool = _pool_sim()
+
+    def proc():
+        buf = yield from pool.acquire(1024, label="victim")
+        yield from pool.release(buf)
+        yield from pool.release(buf)
+
+    sim.run_process(proc())
+
+
+def run_use_after_free() -> None:
+    """Read a buffer after returning it to the pool; the sanitizer must
+    raise :class:`~repro.errors.UseAfterFreeError`."""
+    sim, pool = _pool_sim()
+
+    def proc():
+        buf = yield from pool.acquire(1024, label="victim")
+        buf.write(np.arange(8, dtype=np.float32))
+        yield from pool.release(buf)
+        buf.read()
+
+    sim.run_process(proc())
+
+
+def run_leak() -> None:
+    """Check a buffer out and never return it; ``assert_clean()`` must
+    raise :class:`~repro.errors.BufferLeakError`."""
+    sim, pool = _pool_sim()
+
+    def proc():
+        yield from pool.acquire(1024, label="leaked")
+
+    sim.run_process(proc())
+    sim.asan.assert_clean()

@@ -1,0 +1,295 @@
+"""Trace sanitizer: structural invariant checks over span traces.
+
+A run's trace is not just a visualization artifact — the critical-path
+analyzer, the latency breakdowns and the paper figures are all computed
+from it, so a malformed trace silently corrupts every downstream
+number.  This module re-validates the invariants the simulator is
+supposed to enforce, either over a live :class:`~repro.sim.trace.Tracer`
+(:meth:`TraceSanitizer.from_tracer`) or over an exported Chrome-trace
+JSON document (:meth:`TraceSanitizer.from_chrome_trace`), so CI can
+check golden traces without re-running the scenario.
+
+Checks (each returns a list of :class:`TraceViolation`):
+
+``serial-lane``
+    Mutual exclusion on lanes backed by capacity-1 resources: CUDA
+    streams (``stream<k>`` tracks, one ``Resource(capacity=1)`` each)
+    and fabric links (``link:<label>`` tracks; every preset uses
+    ``lanes=1``).  Two overlapping X spans on one such lane mean two
+    processes held the same serial resource at once — a race in the
+    acquire/release protocol.  ``main``/``gpu`` lanes legitimately carry
+    concurrent spans (overlapping isend/irecv, pipelined part senders)
+    and are exempt.
+
+``containment``
+    Parent/child hierarchy: every ``parent_id`` resolves to a real span,
+    and a child does not *start* before its parent started.  (A child
+    may *end* after its parent: processes spawned under a span inherit
+    it as base parent and can outlive it — the pipelined part senders
+    do.)
+
+``causality``
+    Per-message rendezvous ordering by ``seq``: ``sender_prepare``
+    before ``rts``, ``rts`` before ``cts`` and ``receiver_prepare``,
+    every ``wire_transfer`` after the first ``cts`` completes, every
+    ``receiver_complete`` after its (part-matched) wire transfer lands.
+
+``tiling``
+    The critical-path sweep's contract: for every rendezvous message,
+    the service/wait segments tile ``[t0, t1]`` exactly — durations sum
+    to the end-to-end latency within float tolerance.
+
+Timestamps compare with ``EPS`` = 1 ns slack: the Chrome export rounds
+to 1e-6 us (~1e-12 s), so true violations dwarf the tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.sim.trace import TraceRecord, group_by_seq, group_lanes
+
+__all__ = ["TraceSanitizer", "TraceViolation", "EPS", "SERIAL_LANE_PREFIXES"]
+
+#: comparison slack in simulated seconds (export granularity ~1e-12 s)
+EPS = 1e-9
+
+#: track-name prefixes whose lanes are backed by capacity-1 resources
+SERIAL_LANE_PREFIXES = ("stream", "link:")
+
+#: |sum(segments) - latency| bound for the tiling check
+_TILING_TOL = 5e-9
+
+
+@dataclass(frozen=True)
+class TraceViolation:
+    """One invariant violation, pinned to the offending spans."""
+
+    check: str        #: "serial-lane" | "containment" | "causality" | "tiling"
+    message: str
+    span_ids: tuple = ()
+    t: float = 0.0    #: sim-time where the violation manifests
+
+    def describe(self) -> str:
+        spans = (" [spans " + ", ".join(str(s) for s in self.span_ids) + "]"
+                 if self.span_ids else "")
+        return f"{self.check} @ t={self.t:.9f}: {self.message}{spans}"
+
+    def as_dict(self) -> dict:
+        return {"check": self.check, "message": self.message,
+                "span_ids": list(self.span_ids), "t": self.t}
+
+
+class _RecordView:
+    """Minimal tracer shim so :class:`CritPathAnalyzer` accepts a bare
+    record list (it only reads ``.records``)."""
+
+    def __init__(self, records):
+        self.records = records
+
+
+class TraceSanitizer:
+    """Runs the four structural checks over a list of spans."""
+
+    def __init__(self, records: Iterable[TraceRecord]):
+        self.records = list(records)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_tracer(cls, tracer) -> "TraceSanitizer":
+        return cls(tracer.records)
+
+    @classmethod
+    def from_chrome_trace(cls, doc) -> "TraceSanitizer":
+        """Rebuild spans from a Chrome-trace document produced by
+        :func:`repro.analysis.export.to_chrome_trace` (a dict, a JSON
+        string, or a path to the file)."""
+        if isinstance(doc, (str, Path)) and not (
+                isinstance(doc, str) and doc.lstrip().startswith("{")):
+            doc = json.loads(Path(doc).read_text(encoding="utf-8"))
+        elif isinstance(doc, str):
+            doc = json.loads(doc)
+        events = doc["traceEvents"]
+
+        process_names: dict[int, str] = {}
+        thread_names: dict[tuple[int, int], str] = {}
+        for ev in events:
+            if ev.get("ph") != "M":
+                continue
+            if ev.get("name") == "process_name":
+                process_names[ev["pid"]] = ev["args"]["name"]
+            elif ev.get("name") == "thread_name":
+                thread_names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+
+        records = []
+        for ev in events:
+            if ev.get("ph") != "X":
+                continue
+            pid = ev["pid"]
+            pname = process_names.get(pid, "")
+            tname = thread_names.get((pid, ev["tid"]), "main")
+            if pname == "network":
+                rank, track = None, f"link:{tname}"
+            elif pname.startswith("rank "):
+                rank, track = int(pname[5:]), tname
+            else:  # "sim" (unattributed)
+                rank, track = None, tname
+            args = dict(ev.get("args", {}))
+            span_id = int(args.pop("span_id", 0))
+            parent_id = args.pop("parent_id", None)
+            t0 = ev["ts"] / 1e6
+            t1 = (ev["ts"] + ev["dur"]) / 1e6
+            category = ev.get("cat", "")
+            label = ev["name"] if ev["name"] != category else ""
+            records.append(TraceRecord(
+                t_start=t0, t_end=t1, category=category, label=label,
+                meta=args, rank=rank, track=track, span_id=span_id,
+                parent_id=int(parent_id) if parent_id is not None else None))
+        records.sort(key=lambda r: (r.t_start, r.t_end, r.span_id))
+        return cls(records)
+
+    # -- lane helpers --------------------------------------------------------
+    def lanes(self) -> dict[tuple, list[TraceRecord]]:
+        """(rank, track) -> spans on that lane, sorted by time (see
+        :func:`repro.sim.trace.group_lanes`)."""
+        return group_lanes(self.records)
+
+    # -- checks --------------------------------------------------------------
+    def check_serial_lanes(self) -> list[TraceViolation]:
+        """No two spans may overlap on a stream or link lane."""
+        out = []
+        for (rank, track), spans in sorted(
+                self.lanes().items(),
+                key=lambda kv: (kv[0][0] if kv[0][0] is not None else -1, kv[0][1])):
+            if not track.startswith(SERIAL_LANE_PREFIXES):
+                continue
+            prev: Optional[TraceRecord] = None
+            prev_end = float("-inf")
+            for rec in spans:
+                if rec.t_start < prev_end - EPS:
+                    where = f"lane {track}" + (
+                        f" of rank {rank}" if rank is not None else "")
+                    out.append(TraceViolation(
+                        "serial-lane",
+                        f"{where}: span {rec.span_id} "
+                        f"({rec.category}/{rec.label}) starts at "
+                        f"{rec.t_start:.9f} while span {prev.span_id} "
+                        f"({prev.category}/{prev.label}) is still running "
+                        f"until {prev_end:.9f}",
+                        span_ids=(prev.span_id, rec.span_id),
+                        t=rec.t_start))
+                if rec.t_end > prev_end:
+                    prev, prev_end = rec, rec.t_end
+        return out
+
+    def check_containment(self) -> list[TraceViolation]:
+        """Every parent_id resolves; children never start before their
+        parent (children may outlive an inherited parent)."""
+        by_id = {r.span_id: r for r in self.records}
+        out = []
+        for rec in self.records:
+            if rec.parent_id is None:
+                continue
+            parent = by_id.get(rec.parent_id)
+            if parent is None:
+                out.append(TraceViolation(
+                    "containment",
+                    f"span {rec.span_id} ({rec.category}/{rec.label}) "
+                    f"references missing parent {rec.parent_id}",
+                    span_ids=(rec.span_id,), t=rec.t_start))
+                continue
+            if rec.t_start < parent.t_start - EPS:
+                out.append(TraceViolation(
+                    "containment",
+                    f"span {rec.span_id} ({rec.category}/{rec.label}) starts "
+                    f"at {rec.t_start:.9f}, before its parent "
+                    f"{parent.span_id} ({parent.category}/{parent.label}) "
+                    f"opened at {parent.t_start:.9f}",
+                    span_ids=(rec.span_id, parent.span_id), t=rec.t_start))
+        return out
+
+    def by_seq(self) -> dict[int, list[TraceRecord]]:
+        """seq -> that message's pipeline spans, sorted by time (see
+        :func:`repro.sim.trace.group_by_seq`)."""
+        return group_by_seq(self.records)
+
+    def check_causality(self) -> list[TraceViolation]:
+        """Rendezvous handshake ordering, per message ``seq``."""
+        out = []
+        for seq, spans in sorted(self.by_seq().items()):
+            steps: dict[str, list[TraceRecord]] = {}
+            for r in spans:
+                steps.setdefault(r.label, []).append(r)
+
+            def first(label):
+                group = steps.get(label)
+                return group[0] if group else None
+
+            def bad(msg, *recs):
+                out.append(TraceViolation(
+                    "causality", f"seq {seq}: {msg}",
+                    span_ids=tuple(r.span_id for r in recs),
+                    t=min(r.t_start for r in recs)))
+
+            prep, rts, cts = (first("sender_prepare"), first("rts"),
+                              first("cts"))
+            if rts is not None and prep is not None \
+                    and rts.t_start < prep.t_start - EPS:
+                bad("rts sent before sender_prepare began", rts, prep)
+            if cts is not None and rts is not None \
+                    and cts.t_start < rts.t_start - EPS:
+                bad("cts sent before rts", cts, rts)
+            rprep = first("receiver_prepare")
+            if rprep is not None and rts is not None \
+                    and rprep.t_start < rts.t_start - EPS:
+                bad("receiver_prepare began before rts arrived", rprep, rts)
+            wires = steps.get("wire_transfer", [])
+            if cts is not None:
+                for w in wires:
+                    if w.t_start < cts.t_end - EPS:
+                        bad("wire_transfer started before cts completed",
+                            w, cts)
+            wire_by_part = {r.meta.get("part"): r for r in wires
+                            if "part" in r.meta}
+            for rc in steps.get("receiver_complete", []):
+                wire = wire_by_part.get(rc.meta.get("part"))
+                if wire is None and wires:
+                    wire = min(wires, key=lambda r: (r.t_end, r.span_id))
+                if wire is not None and rc.t_start < wire.t_end - EPS:
+                    bad("receiver_complete began before its wire transfer "
+                        "landed", rc, wire)
+        return out
+
+    def check_tiling(self) -> list[TraceViolation]:
+        """Critical-path segments of every message must sum exactly to
+        its end-to-end latency."""
+        from repro.analysis.critpath import CritPathAnalyzer
+
+        out = []
+        cp = CritPathAnalyzer(_RecordView(self.records))
+        for msg in cp.messages():
+            covered = sum(s.duration for s in msg.segments)
+            if abs(covered - msg.latency) > _TILING_TOL:
+                out.append(TraceViolation(
+                    "tiling",
+                    f"seq {msg.seq}: critical-path segments cover "
+                    f"{covered:.9f}s of a {msg.latency:.9f}s message",
+                    span_ids=(), t=msg.t_start))
+            prev = msg.t_start
+            for seg in msg.segments:
+                if abs(seg.t_start - prev) > _TILING_TOL:
+                    out.append(TraceViolation(
+                        "tiling",
+                        f"seq {msg.seq}: gap in critical path between "
+                        f"{prev:.9f} and {seg.t_start:.9f}",
+                        span_ids=(seg.span.span_id,), t=prev))
+                prev = seg.t_end
+        return out
+
+    def check_all(self) -> list[TraceViolation]:
+        """All four checks, in a stable order."""
+        return (self.check_serial_lanes() + self.check_containment()
+                + self.check_causality() + self.check_tiling())

@@ -1,0 +1,39 @@
+"""The one sanctioned place to read process environment configuration.
+
+Environment reads scattered through the package are a determinism
+hazard: a run's outputs silently depend on ambient process state that
+no snapshot or trace records.  The determinism linter
+(:mod:`repro.check.lint`, rule RPR005) therefore bans ``os.environ`` /
+``os.getenv`` everywhere in ``src/repro`` — except here.
+
+Rules for adding a knob:
+
+* it must only *widen or narrow the work performed* (e.g. sweep range),
+  never change a modelled cost, a seed, or anything else that feeds
+  simulated numbers — two runs of the same scenario must stay
+  bit-identical regardless of the environment;
+* it must be documented in this module so ``docs/static-analysis.md``
+  can point here as the complete inventory.
+
+Current knobs:
+
+``REPRO_BENCH_FULL=1``
+    Extend benchmark sweeps to the paper's full 256 KiB..32 MiB range
+    (default stops at 8 MiB).  Consumed by
+    :func:`repro.analysis.bench.full_sweep_enabled`.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["env_flag"]
+
+
+def env_flag(name: str) -> bool:
+    """True when environment variable ``name`` is set to ``"1"``.
+
+    The single gateway for boolean environment knobs; see the module
+    docstring for the inventory and the rules.
+    """
+    return os.environ.get(name, "") == "1"  # repro: allow-RPR005 (the documented entry point)

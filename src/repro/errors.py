@@ -42,6 +42,24 @@ class BufferPoolExhaustedError(GpuError):
     """Raised when a non-growable buffer pool has no free buffers."""
 
 
+class BufferSanitizerError(GpuError):
+    """Base class for violations detected by the simulated-memory
+    sanitizer (:mod:`repro.check.asan`)."""
+
+
+class DoubleReleaseError(BufferSanitizerError):
+    """Raised when a buffer is returned to its pool (or freed) twice."""
+
+
+class UseAfterFreeError(BufferSanitizerError):
+    """Raised when a buffer is read or written after it was freed or
+    returned to its pool."""
+
+
+class BufferLeakError(BufferSanitizerError):
+    """Raised at end of run when buffers are still checked out."""
+
+
 class NetworkError(ReproError):
     """Raised for topology/routing problems (e.g. no path between GPUs)."""
 

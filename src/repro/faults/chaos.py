@@ -109,11 +109,17 @@ def run_chaos(
     nodes: int = 2,
     gpus_per_node: int = 1,
     max_time: float = 60.0,
+    asan: bool = True,
 ) -> ChaosReport:
     """OMB pt2pt sweep under a fault plan, with bit-exactness checks.
 
     Rank 0 streams ``iterations`` distinct payloads per size to rank 1.
     Returns a :class:`ChaosReport`; ``report.ok`` is the pass/fail.
+
+    ``asan`` (default on) runs every clean and faulty pass under the
+    buffer sanitizer — the recovery paths are exactly where a stray
+    double-release or leaked pool buffer would hide, and the sanitizer
+    is pure bookkeeping so the bit-exactness comparison is unaffected.
     """
     from repro.mpi.cluster import Cluster
     from repro.omb.payload import make_payload
@@ -138,9 +144,10 @@ def run_chaos(
             return got
 
         clean = cluster.run(rank_fn, nprocs=2, config=config,
-                            max_time=max_time)
+                            max_time=max_time, asan=asan)
         faulty = cluster.run(rank_fn, nprocs=2, config=config, faults=plan,
-                             resilience=resilience, max_time=max_time)
+                             resilience=resilience, max_time=max_time,
+                             asan=asan)
         expected = clean.values[1]
         received = faulty.values[1]
         mismatches = sum(

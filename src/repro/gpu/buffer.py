@@ -28,7 +28,8 @@ class DeviceBuffer:
         ``nbytes`` must fit ``capacity``); ``None`` until written.
     """
 
-    __slots__ = ("device", "capacity", "data", "pooled", "_freed", "label")
+    __slots__ = ("device", "capacity", "data", "pooled", "_freed", "label",
+                 "_shadow_id")
 
     def __init__(self, device, capacity: int, pooled: bool = False, label: str = ""):
         if capacity < 0:
@@ -39,6 +40,11 @@ class DeviceBuffer:
         self.pooled = pooled
         self._freed = False
         self.label = label
+        self._shadow_id: Optional[int] = None  # set by the buffer sanitizer
+
+    def _asan(self):
+        """The run's buffer sanitizer, or ``None`` (see repro.check.asan)."""
+        return self.device.sim.asan
 
     @property
     def freed(self) -> bool:
@@ -48,6 +54,9 @@ class DeviceBuffer:
         """Place ``array`` into the buffer (zero-time bookkeeping; the
         *time* of getting data here is charged by the operation that
         produced it — a kernel, a copy, or a wire transfer)."""
+        asan = self._asan()
+        if asan is not None:
+            asan.on_access(self, "write")
         if self._freed:
             raise GpuError(f"write to freed buffer {self.label!r}")
         if array.nbytes > self.capacity:
@@ -57,6 +66,9 @@ class DeviceBuffer:
         self.data = array
 
     def read(self) -> np.ndarray:
+        asan = self._asan()
+        if asan is not None:
+            asan.on_access(self, "read")
         if self._freed:
             raise GpuError(f"read from freed buffer {self.label!r}")
         if self.data is None:

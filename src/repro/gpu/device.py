@@ -73,7 +73,10 @@ class Device:
         yield self.sim.timeout(self.spec.malloc_time(nbytes))
         self._allocated += nbytes
         self._trace(t0, "malloc", label, nbytes=nbytes)
-        return DeviceBuffer(self, nbytes, pooled=False, label=label)
+        buf = DeviceBuffer(self, nbytes, pooled=False, label=label)
+        if self.sim.asan is not None:
+            self.sim.asan.on_alloc(buf)
+        return buf
 
     def free(self, buf: DeviceBuffer):
         """cudaFree (generator subroutine)."""
@@ -81,6 +84,8 @@ class Device:
             raise GpuError("freeing a buffer owned by another device")
         if buf.pooled:
             raise GpuError("pooled buffers must be released to their pool, not freed")
+        if self.sim.asan is not None:
+            self.sim.asan.on_free(buf)
         if buf.freed:
             raise GpuError("double free")
         t0 = self.sim.now
@@ -98,7 +103,10 @@ class Device:
                 f"device {self.device_id}: init-time allocation of {nbytes}B exceeds capacity"
             )
         self._allocated += nbytes
-        return DeviceBuffer(self, nbytes, pooled=False, label=label)
+        buf = DeviceBuffer(self, nbytes, pooled=False, label=label)
+        if self.sim.asan is not None:
+            self.sim.asan.on_alloc(buf)
+        return buf
 
     # -- copies -------------------------------------------------------------
     def memcpy_d2h(self, nbytes: int, label: str = "memcpy_d2h"):

@@ -65,6 +65,11 @@ class BufferPool:
         buf = self.device.alloc_untimed(self.buffer_bytes, label="pool")
         buf.pooled = True
         self._total += 1
+        asan = self.device.sim.asan
+        if asan is not None:
+            # alloc_untimed registered the buffer as live; it starts
+            # life sitting in the free list.
+            asan.on_pool_release(buf)
         return buf
 
     @property
@@ -90,10 +95,13 @@ class BufferPool:
                 f"{self.device.device_id} ({nbytes}B request)"
             )
         tracer = self.device.sim.tracer
+        asan = self.device.sim.asan
         if self._free:
             # Claim before yielding: a concurrent acquire across the
             # bookkeeping timeout must not steal the same buffer.
             buf = self._free.popleft()
+            if asan is not None:
+                asan.on_pool_acquire(buf, label)
             t0 = self.device.sim.now
             yield self.device.sim.timeout(_POOL_OP_TIME)
             buf.label = label
@@ -113,12 +121,19 @@ class BufferPool:
         buf = yield from self.device.malloc(self.buffer_bytes, label=label)
         buf.pooled = True
         self._total += 1
+        if asan is not None:
+            # malloc registered it live; record pool adoption so a
+            # later release/acquire cycle is tracked.
+            asan.on_pool_acquire(buf, label)
         return buf
 
     def release(self, buf: DeviceBuffer):
         """Return a buffer to the pool (generator subroutine)."""
         if not buf.pooled or buf.device is not self.device:
             raise GpuError("releasing a buffer that does not belong to this pool")
+        asan = self.device.sim.asan
+        if asan is not None:
+            asan.on_pool_release(buf)
         t0 = self.device.sim.now
         yield self.device.sim.timeout(_POOL_OP_TIME)
         buf.clear()

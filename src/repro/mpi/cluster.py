@@ -239,6 +239,8 @@ class ClusterResult:
     elapsed: float
     tracer: Tracer
     runtime: Runtime = field(repr=False, default=None)
+    #: the run's buffer sanitizer (None when disabled)
+    asan: object = field(repr=False, default=None)
 
     def breakdown(self) -> dict[str, float]:
         """Summed tracer spans per category (see Figs 6/8/10)."""
@@ -268,6 +270,7 @@ class Cluster:
         max_time: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
         resilience: Optional[ResilienceConfig] = None,
+        asan: Optional[bool] = None,
     ) -> ClusterResult:
         """Run ``rank_fn(comm, *args)`` as an SPMD job.
 
@@ -289,13 +292,24 @@ class Cluster:
         resilience:
             Optional :class:`~repro.mpi.resilience.ResilienceConfig`;
             defaults to ``ResilienceConfig.for_plan(faults)``.
+        asan:
+            Enable the buffer sanitizer (:mod:`repro.check.asan`) for
+            this run; the run is leak-checked at successful completion.
+            ``None`` defers to the process default
+            (:func:`repro.check.asan.asan_default`).
         """
+        from repro.check.asan import BufferSanitizer, asan_default
+
         config = config or CompressionConfig.disabled()
         nprocs = nprocs or self.n_gpus
         if nprocs > self.n_gpus:
             raise MpiError(f"{nprocs} ranks > {self.n_gpus} GPUs (one rank per GPU)")
         sim = Simulator()
         tracer = Tracer(sim)
+        if asan is None:
+            asan = asan_default()
+        sanitizer = BufferSanitizer() if asan else None
+        sim.asan = sanitizer
         injector = FaultInjector(sim, faults) if faults is not None else None
         resilience = resilience or ResilienceConfig.for_plan(faults)
         topology = Topology(sim, self.preset, self.nodes, self.gpus_per_node)
@@ -323,7 +337,11 @@ class Cluster:
                 diagnostic=runtime.matching_report(),
             )
         values = [p.value for p in procs]
-        return ClusterResult(values=values, elapsed=sim.now, tracer=tracer, runtime=runtime)
+        if sanitizer is not None:
+            # Every rank completed: all checked-out buffers must be home.
+            sanitizer.assert_clean()
+        return ClusterResult(values=values, elapsed=sim.now, tracer=tracer,
+                             runtime=runtime, asan=sanitizer)
 
     def __repr__(self) -> str:
         return f"<Cluster {self.preset.name} {self.nodes}x{self.gpus_per_node}>"

@@ -74,6 +74,13 @@ PIPELINE_STEPS = (
 #: other exception still propagates immediately
 _TRANSIENT = (CompressionError, OutOfDeviceMemoryError, BufferPoolExhaustedError)
 
+#: what decoding a corrupted wire image can raise: every codec wraps its
+#: own failures in CompressionError; ValueError/IndexError escape from
+#: numpy reshaping/frombuffer on structurally-mangled streams.  Anything
+#: else (a KeyboardInterrupt, a genuine bug) must propagate, not be
+#: retried as if the fabric corrupted the payload.
+_DECODE_ERRORS = (CompressionError, ValueError, IndexError)
+
 
 class Communicator:
     """An MPI communicator bound to one rank of a running job."""
@@ -363,7 +370,7 @@ class Communicator:
                     out = yield from engine.pipelined_receive_part(
                         header, i, data_pkt.payload
                     )
-                except Exception as exc:
+                except _DECODE_ERRORS as exc:
                     if rt.retransmit_entry(pkt.seq) is None:
                         raise
                     failures.append(("decode_error", exc))
@@ -497,9 +504,7 @@ class Communicator:
                             data = yield from engine.receiver_complete(
                                 header, data_pkt.payload, resources
                             )
-                        except Exception as exc:
-                            # A corrupted stream can raise anything from
-                            # the codec; keep the original for re-raise.
+                        except _DECODE_ERRORS as exc:
                             failure = "decode_error"
                             last_exc = exc
                     if failure is None:

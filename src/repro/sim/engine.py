@@ -315,6 +315,7 @@ class Simulator:
         self._failed_events: list[Event] = []
         self.tracer = None  # attached by repro.sim.trace.Tracer
         self.faults = None  # attached by repro.faults.FaultInjector
+        self.asan = None  # attached by repro.check.asan.BufferSanitizer
 
     # -- clock ---------------------------------------------------------
     @property

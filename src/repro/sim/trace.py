@@ -43,7 +43,8 @@ from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-__all__ = ["TraceRecord", "Tracer", "SpanHandle", "trace_scope"]
+__all__ = ["TraceRecord", "Tracer", "SpanHandle", "trace_scope",
+           "group_lanes", "group_by_seq"]
 
 
 @dataclass(frozen=True)
@@ -304,12 +305,50 @@ class Tracer:
             out.append(rec)
         return out
 
+    def lanes(self) -> dict:
+        """(rank, track) -> spans on that lane (see :func:`group_lanes`)."""
+        return group_lanes(self.records)
+
+    def by_seq(self) -> dict:
+        """seq -> that message's pipeline spans (see :func:`group_by_seq`)."""
+        return group_by_seq(self.records)
+
     def clear(self) -> None:
         self.records.clear()
         self._event_count = 0
         self._stacks.clear()
         self._inherited.clear()
         self.metrics.clear()
+
+
+def group_lanes(records) -> dict:
+    """``(rank, track) -> spans`` on that lane, each list time-sorted.
+
+    A *lane* is one timeline in the trace UI: a rank's ``main``/``gpu``/
+    ``stream<k>`` thread, or a fabric link.  Link lanes are shared
+    across ranks and key as ``(None, "link:<label>")``.  The trace
+    sanitizer's serial-lane check consumes exactly this grouping.
+    """
+    out: dict = {}
+    for r in records:
+        track = r.track or "main"
+        key = (None, track) if track.startswith("link:") else (r.rank, track)
+        out.setdefault(key, []).append(r)
+    for spans in out.values():
+        spans.sort(key=lambda r: (r.t_start, r.t_end, r.span_id))
+    return out
+
+
+def group_by_seq(records) -> dict:
+    """``seq -> pipeline spans`` of that rendezvous message, each list
+    time-sorted — both protocol sides of the seven-step handshake."""
+    out: dict = {}
+    for r in records:
+        if r.category == "pipeline" and "seq" in r.meta:
+            out.setdefault(int(r.meta["seq"]), []).append(r)
+    for spans in out.values():
+        spans.sort(key=lambda r: (r.t_start, r.t_end, r.span_id))
+    return out
 
 
 def trace_scope(sim, category: str, label: str = "", **kw):

@@ -1,0 +1,137 @@
+"""Determinism linter (repro.check.lint) tests."""
+
+import pytest
+
+from repro.check.fixtures import BAD_LINT_SOURCE
+from repro.check.lint import RULES, Violation, lint_paths, lint_source
+
+
+def codes(source):
+    return [v.code for v in lint_source(source)]
+
+
+# -- individual rules -------------------------------------------------------
+
+@pytest.mark.parametrize("snippet", [
+    "import time\nt = time.time()\n",
+    "import time\nt = time.monotonic()\n",
+    "import time\nt = time.perf_counter_ns()\n",
+    "from datetime import datetime\nd = datetime.now()\n",
+    "import datetime\nd = datetime.datetime.utcnow()\n",
+])
+def test_rpr001_wall_clock(snippet):
+    assert codes(snippet) == ["RPR001"]
+
+
+@pytest.mark.parametrize("snippet", [
+    "import random\nx = random.random()\n",
+    "import random\nx = random.randint(0, 9)\n",
+    "import numpy as np\nx = np.random.rand(3)\n",
+    "import numpy\nx = numpy.random.normal()\n",
+])
+def test_rpr002_unseeded_rng(snippet):
+    assert codes(snippet) == ["RPR002"]
+
+
+@pytest.mark.parametrize("snippet", [
+    "import random\nrng = random.Random(42)\nx = rng.random()\n",
+    "import numpy as np\nrng = np.random.default_rng(7)\n",
+    "import numpy as np\nrng = np.random.RandomState(7)\n",
+])
+def test_rpr002_seeded_constructions_allowed(snippet):
+    assert codes(snippet) == []
+
+
+def test_rpr003_hash():
+    assert codes("h = hash('x')\n") == ["RPR003"]
+    # zero-arg hash() is not the builtin-on-data pattern
+    assert codes("class A:\n    def hash(self):\n        return 1\n") == []
+
+
+def test_rpr004_id_in_ordering_contexts():
+    assert codes("d = {}\nd[id(x)] = 1\n") == ["RPR004"]
+    assert codes("k = sorted(items, key=lambda o: id(o))\n") == ["RPR004"]
+    assert codes("d = {id(x): 1}\n") == ["RPR004"]
+    # id() for identity comparison or printing is fine
+    assert codes("same = id(a) == id(b)\n") == []
+    assert codes("print(id(a))\n") == []
+
+
+def test_rpr005_environ_reads():
+    assert codes("import os\nv = os.environ.get('X')\n") == ["RPR005"]
+    assert codes("import os\nv = os.environ['X']\n") == ["RPR005"]
+    assert codes("import os\nv = os.getenv('X')\n") == ["RPR005"]
+    # one finding per read site, not per nested AST node
+    assert len(codes("import os\nv = os.environ.get('X', '1')\n")) == 1
+
+
+def test_rpr006_set_iteration():
+    assert codes("for x in {1, 2, 3}:\n    pass\n") == ["RPR006"]
+    assert codes("out = [x for x in set(items)]\n") == ["RPR006"]
+    assert codes("frozen = list({a, b})\n") == ["RPR006"]
+    # sorted() launders the order
+    assert codes("for x in sorted({1, 2, 3}):\n    pass\n") == []
+    # membership tests and set algebra are fine
+    assert codes("ok = x in {1, 2, 3}\n") == []
+
+
+# -- pragmas ----------------------------------------------------------------
+
+def test_pragma_suppresses_named_code():
+    src = "import time\nt = time.time()  # repro: allow-RPR001\n"
+    assert lint_source(src) == []
+
+
+def test_pragma_is_per_code():
+    src = "import time\nt = time.time()  # repro: allow-RPR003\n"
+    assert codes(src) == ["RPR001"]
+
+
+def test_pragma_multiple_codes():
+    src = ("import time, os\n"
+           "t = (time.time(), os.getenv('X'))"
+           "  # repro: allow-RPR001,RPR005\n")
+    assert lint_source(src) == []
+
+
+def test_pragma_only_applies_to_its_line():
+    src = ("import time\n"
+           "a = time.time()  # repro: allow-RPR001\n"
+           "b = time.time()\n")
+    vs = lint_source(src)
+    assert [v.line for v in vs] == [3]
+
+
+# -- fixtures, files, output ------------------------------------------------
+
+def test_bad_fixture_trips_every_rule():
+    assert {v.code for v in lint_source(BAD_LINT_SOURCE)} == set(RULES)
+
+
+def test_syntax_error_reported_not_raised():
+    vs = lint_source("def broken(:\n")
+    assert [v.code for v in vs] == ["RPR000"]
+
+
+def test_violation_shapes():
+    v = lint_source("h = hash('x')\n", path="mod.py")[0]
+    assert isinstance(v, Violation)
+    assert v.describe().startswith("mod.py:1:")
+    assert v.as_dict()["code"] == "RPR003"
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("h = hash('x')\n")
+    (tmp_path / "pkg" / "b.txt").write_text("hash('not python')\n")
+    vs = lint_paths([tmp_path])
+    assert [v.code for v in vs] == ["RPR003"]
+    assert vs[0].path.endswith("a.py")
+
+
+def test_repro_package_is_clean():
+    """The satellite guarantee: `repro check --lint` exits 0 on main."""
+    import repro
+    from pathlib import Path
+
+    assert lint_paths([Path(repro.__file__).parent]) == []

@@ -130,3 +130,56 @@ def test_chaos_with_drops(capsys):
                  "--corrupt-rate", "0.1", "--drop-rate", "0.1",
                  "--config", "zfp8"]) == 0
     assert "all payloads verified" in capsys.readouterr().out
+
+
+def test_check_lint_clean(capsys):
+    assert main(["check", "--lint"]) == 0
+    out = capsys.readouterr().out
+    assert "[ok] lint" in out and "check: clean" in out
+
+
+def test_check_lint_flags_violations(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    with pytest.raises(SystemExit) as exc:
+        main(["check", "--lint", "--path", str(bad)])
+    assert exc.value.code == 1
+    assert "RPR001" in capsys.readouterr().out
+
+
+def test_check_trace_files(tmp_path, capsys):
+    import json
+    from pathlib import Path
+
+    golden = Path(__file__).parent / "data" / "golden_trace_mpc.json"
+    assert main(["check", "--trace", str(golden), "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True
+    assert [p["pass"] for p in doc["passes"]] == ["trace"]
+
+
+def test_check_fresh_export_sanitizes_clean(tmp_path, capsys):
+    out = tmp_path / "t.json"
+    assert main(["trace", "latency", "--codec", "zfp", "--size", "512K",
+                 "--out", str(out)]) == 0
+    capsys.readouterr()
+    assert main(["check", "--trace", str(out)]) == 0
+    assert "[ok] trace" in capsys.readouterr().out
+
+
+def test_check_asan_smoke(capsys):
+    assert main(["check", "--asan"]) == 0
+    out = capsys.readouterr().out
+    assert "[ok] asan" in out and "clean:" in out
+
+
+def test_check_selftest(capsys):
+    assert main(["check", "--selftest"]) == 0
+    assert "all known-bad fixtures detected" in capsys.readouterr().out
+
+
+def test_bench_asan_flag(tmp_path, capsys):
+    out = tmp_path / "B.json"
+    assert main(["bench", "--quick", "--scenario", "pt2pt_mpc-opt",
+                 "--asan", "--out", str(out)]) == 0
+    assert out.exists()
