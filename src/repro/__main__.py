@@ -12,6 +12,7 @@ Commands
 ``profile``               INAM-style communication profile of a run
 ``explain``               critical-path report for the slowest messages
 ``bench``                 benchmark-trajectory snapshot + regression gate
+``perf``                  host-performance snapshot + relative regression gate
 ``trace``                 export a Chrome-trace JSON of one workload
 ``chaos``                 fault-injection sweep with bit-exactness checks
 ``check``                 determinism linter + trace sanitizer + buffer asan
@@ -24,6 +25,7 @@ Examples::
     python -m repro trace latency --codec mpc --out trace.json
     python -m repro explain --codec mpc --size 4M
     python -m repro bench --quick --out BENCH_dev.json --compare BENCH_main.json
+    python -m repro perf --quick --compare tests/data/HOSTPERF_baseline.json
     python -m repro chaos --config mpc-opt --corrupt-rate 0.05 --seed 3
     python -m repro check --lint
     python -m repro check --trace trace.json --format json
@@ -261,6 +263,42 @@ def cmd_bench(args) -> None:
             raise SystemExit(1)
 
 
+def cmd_perf(args) -> None:
+    from repro.analysis import hostperf
+
+    if args.selftest:
+        failures = hostperf.selftest()
+        if failures:
+            for f in failures:
+                print(f"selftest FAILED: {f}")
+            raise SystemExit(1)
+        print("hostperf selftest OK: injected regressions gate, "
+              "improvements do not")
+        return
+    if args.against:
+        current = hostperf.load(args.against)
+    else:
+        current = hostperf.collect(quick=args.quick, label=args.label,
+                                   reps=args.reps, only=args.only,
+                                   progress=lambda name: print(f"  timing {name} ..."))
+        out = args.out or f"HOSTPERF_{args.label}.json"
+        try:
+            hostperf.write(current, out)
+        except OSError as exc:
+            raise SystemExit(f"cannot write {out}: {exc}")
+        print(f"wrote {out}: {len(current['benchmarks'])} benchmarks "
+              f"[{current['mode']}, median of {current['reps']}]")
+    if args.compare:
+        try:
+            baseline = hostperf.load(args.compare)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load baseline: {exc}")
+        cmp = hostperf.compare(current, baseline, threshold=args.threshold)
+        print(cmp.report())
+        if not cmp.ok and not args.advisory:
+            raise SystemExit(1)
+
+
 def cmd_chaos(args) -> None:
     from repro.errors import ResilienceError
     from repro.faults import FaultPlan
@@ -376,6 +414,28 @@ def main(argv=None) -> int:
                    help="run scenarios under the buffer sanitizer "
                         "(pure bookkeeping; snapshots unchanged)")
 
+    p = sub.add_parser("perf")
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized matrix (two sizes per codec)")
+    p.add_argument("--label", default="local")
+    p.add_argument("--out", default=None,
+                   help="snapshot path (default HOSTPERF_<label>.json)")
+    p.add_argument("--only", default=None,
+                   help="only run benchmarks whose name contains this")
+    p.add_argument("--reps", type=int, default=5,
+                   help="median-of-k repetitions per benchmark")
+    p.add_argument("--compare", default=None, metavar="BASELINE.json",
+                   help="diff against a baseline; exit 1 past --threshold "
+                        "(unless --advisory)")
+    p.add_argument("--against", default=None, metavar="CURRENT.json",
+                   help="compare an existing snapshot instead of re-running")
+    p.add_argument("--threshold", type=float, default=0.30,
+                   help="relative regression threshold (default 0.30)")
+    p.add_argument("--advisory", action="store_true",
+                   help="report regressions but always exit 0")
+    p.add_argument("--selftest", action="store_true",
+                   help="prove the gate flags an injected synthetic regression")
+
     p = sub.add_parser("trace")
     p.add_argument("workload", choices=("latency", "bcast", "allgather"))
     p.add_argument("--codec", default="mpc",
@@ -426,6 +486,7 @@ def main(argv=None) -> int:
         "profile": cmd_profile,
         "explain": cmd_explain,
         "bench": cmd_bench,
+        "perf": cmd_perf,
         "trace": cmd_trace,
         "chaos": cmd_chaos,
         "check": cmd_check,

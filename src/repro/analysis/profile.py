@@ -67,11 +67,17 @@ class CommProfile:
     rank_pipeline_time: dict = field(default_factory=dict)  # rank -> seconds
     total_wire_bytes: int = 0
     n_messages: int = 0
+    #: host-side codec-cache activity (hits/misses/bytes_saved) for the
+    #: run, when built from a ClusterResult.  Wall-clock bookkeeping,
+    #: not simulated time.
+    codec_cache: dict = field(default_factory=dict)
 
     @classmethod
     def from_result(cls, result) -> "CommProfile":
         """Build from a :class:`~repro.mpi.cluster.ClusterResult`."""
-        return cls.from_tracer(result.tracer, result.elapsed)
+        prof = cls.from_tracer(result.tracer, result.elapsed)
+        prof.codec_cache = dict(getattr(result, "codec_cache", {}) or {})
+        return prof
 
     @classmethod
     def from_tracer(cls, tracer, elapsed: float) -> "CommProfile":
@@ -126,6 +132,8 @@ class CommProfile:
             "wire_size_histogram": {
                 str(b): n for b, n in sorted(self.size_histogram.items())
             },
+            "codec_cache": {k: self.codec_cache[k]
+                            for k in sorted(self.codec_cache)},
         }
 
     @property
@@ -166,4 +174,14 @@ class CommProfile:
             rows = [[f"<=2^{b}", n] for b, n in sorted(self.size_histogram.items())]
             sections.append(format_table(
                 ["message size", "count"], rows, title="wire-size histogram"))
+        if self.codec_cache:
+            hits = self.codec_cache.get("hits", 0)
+            misses = self.codec_cache.get("misses", 0)
+            total = hits + misses
+            rate = 100.0 * hits / total if total else 0.0
+            saved = self.codec_cache.get("bytes_saved", 0)
+            sections.append(
+                "codec cache (host-side): "
+                f"{hits} hits / {misses} misses ({rate:.1f}% hit rate), "
+                f"{saved / 1e6:.1f} MB of codec input re-used")
         return "\n\n".join(sections)

@@ -7,15 +7,19 @@ time for every (de)compression regardless; this cache only removes the
 *redundant host-side numpy work*, so it changes wall-clock speed of
 the simulation, never its results.
 
-Keys are BLAKE2b digests of the raw bytes plus the codec identity, so
-logically-equal payloads hit regardless of object identity.  Entries
-are LRU-bounded by total byte size.  ``decompress`` hits return a fresh
-copy — callers are allowed to mutate received arrays.
+Lookups are keyed by a CRC-32 fingerprint of the raw bytes plus the
+codec identity, then confirmed by an exact byte comparison against a
+reference copy stored with the entry, so a fingerprint collision can
+only ever cause a spurious miss — never a wrong result.  CRC-32 runs
+at memory speed (hardware CLMUL), which matters because the compress
+side hashes every outgoing send buffer.  Entries are LRU-bounded by
+total byte size (reference copies included).  ``decompress`` hits
+return a fresh copy — callers are allowed to mutate received arrays.
 """
 
 from __future__ import annotations
 
-import hashlib
+import zlib
 from collections import OrderedDict
 from typing import Optional
 
@@ -26,9 +30,10 @@ from repro.compression.base import CompressedData, Compressor
 __all__ = ["CodecCache", "GLOBAL_CODEC_CACHE"]
 
 
-def _digest(payload: np.ndarray) -> bytes:
-    return hashlib.blake2b(np.ascontiguousarray(payload).view(np.uint8),
-                           digest_size=16).digest()
+def _raw_view(payload: np.ndarray) -> np.ndarray:
+    """Flat contiguous uint8 view of an array's byte image (no copy
+    when the input is already contiguous)."""
+    return np.ascontiguousarray(payload).view(np.uint8).reshape(-1)
 
 
 class CodecCache:
@@ -36,29 +41,37 @@ class CodecCache:
 
     def __init__(self, max_bytes: int = 512 << 20):
         self.max_bytes = max_bytes
-        self._store: OrderedDict[tuple, object] = OrderedDict()
+        # key -> (value, entry_bytes, reference_byte_image)
+        self._store: OrderedDict[tuple, tuple] = OrderedDict()
         self._bytes = 0
         self.hits = 0
         self.misses = 0
+        self.bytes_saved = 0
 
-    def _key(self, op: str, codec: Compressor, params: tuple, digest: bytes) -> tuple:
-        return (op, codec.name, params, digest)
+    def _key(self, op: str, codec: Compressor, params: tuple, crc: int,
+             nbytes: int) -> tuple:
+        return (op, codec.name, params, crc, nbytes)
 
-    def _put(self, key: tuple, value, nbytes: int) -> None:
-        self._store[key] = (value, nbytes)
-        self._store.move_to_end(key)
+    def _put(self, key: tuple, value, nbytes: int, ref: np.ndarray) -> None:
+        prev = self._store.pop(key, None)
+        if prev is not None:
+            self._bytes -= prev[1]
+        self._store[key] = (value, nbytes, ref)
         self._bytes += nbytes
         while self._bytes > self.max_bytes and self._store:
-            _, (_, freed) = self._store.popitem(last=False)
+            _, (_, freed, _) = self._store.popitem(last=False)
             self._bytes -= freed
 
-    def _get(self, key: tuple):
+    def _get(self, key: tuple, raw: np.ndarray):
         hit = self._store.get(key)
-        if hit is None:
+        if hit is None or not np.array_equal(hit[2], raw):
+            # A mismatched byte image under a matching fingerprint is a
+            # CRC collision: treat as a miss (the put will replace it).
             self.misses += 1
             return None
         self._store.move_to_end(key)
         self.hits += 1
+        self.bytes_saved += raw.nbytes
         return hit[0]
 
     @staticmethod
@@ -76,34 +89,57 @@ class CodecCache:
             # per call; memoizing them would both skip injected faults
             # and poison the cache for clean codecs of the same name.
             return codec.compress(data)
-        key = self._key("c", codec, self._codec_params(codec),
-                        _digest(data) + data.dtype.char.encode())
-        cached = self._get(key)
+        raw = _raw_view(data)
+        crc = zlib.crc32(raw)
+        key = self._key("c", codec,
+                        self._codec_params(codec) + (data.dtype.char,), crc,
+                        raw.nbytes)
+        cached = self._get(key, raw)
         if cached is not None:
             return cached
         comp = codec.compress(data)
-        self._put(key, comp, comp.nbytes + 64)
+        # The fingerprint doubles as the integrity checksum of the
+        # source bytes, so the send path can reuse it instead of
+        # re-hashing the same buffer (see CompressionEngine._plan_crc).
+        comp.meta.setdefault("src_crc32", crc & 0xFFFFFFFF)
+        # The reference must be a snapshot: the caller may mutate its
+        # buffer in place and re-send, and a stale alias would then
+        # confirm a hit against bytes the stored result was not
+        # computed from.
+        self._put(key, comp, comp.nbytes + raw.nbytes + 64, raw.copy())
         return comp
 
     def decompress(self, codec: Compressor, comp: CompressedData) -> np.ndarray:
         """Memoized ``codec.decompress(comp)`` (returns a fresh copy)."""
         if getattr(codec, "cache_unsafe", False):
             return codec.decompress(comp)
+        raw = _raw_view(comp.payload)
         key = self._key(
-            "d", codec, self._codec_params(codec) + ((comp.n_elements,)),
-            _digest(comp.payload) + comp.dtype.char.encode(),
+            "d", codec,
+            self._codec_params(codec) + (comp.n_elements, comp.dtype.char),
+            zlib.crc32(raw), raw.nbytes,
         )
-        cached = self._get(key)
+        cached = self._get(key, raw)
         if cached is not None:
             return cached.copy()
         out = codec.decompress(comp)
-        self._put(key, out, out.nbytes + 64)
+        self._put(key, out, out.nbytes + raw.nbytes + 64, raw.copy())
         return out.copy()
+
+    def stats(self) -> dict:
+        """Counter snapshot: cache effectiveness for profiling reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_saved": self.bytes_saved,
+            "entries": len(self._store),
+            "bytes": self._bytes,
+        }
 
     def clear(self) -> None:
         self._store.clear()
         self._bytes = 0
-        self.hits = self.misses = 0
+        self.hits = self.misses = self.bytes_saved = 0
 
 
 #: process-wide cache shared by every CompressionEngine

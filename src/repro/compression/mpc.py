@@ -68,7 +68,11 @@ def bit_transpose(words: np.ndarray) -> np.ndarray:
     nblocks = words.size // w
     if nblocks == 0:
         return words.copy()
-    a = words.reshape(nblocks, w).copy()
+    # Bit-row-major layout: a[r] holds bit-row r of every block, one
+    # long contiguous row.  Pairing rows r and r+j then slices whole
+    # contiguous chunks (even at j == 1), where the block-major layout
+    # would degrade to stride-j element access and defeat SIMD.
+    a = np.ascontiguousarray(words.reshape(nblocks, w).T)
     dt = words.dtype.type
     full = (1 << w) - 1
     m = full >> (w // 2)  # 0x0000FFFF for w=32
@@ -78,16 +82,16 @@ def bit_transpose(words: np.ndarray) -> np.ndarray:
         jj = dt(j)
         # Rows with (row & j) == 0 pair with row + j; reshaping makes
         # both groups plain slices (views), so the swap is in place.
-        b = a.reshape(nblocks, w // (2 * j), 2, j)
-        lo = b[:, :, 0, :]
-        hi = b[:, :, 1, :]
+        b = a.reshape(w // (2 * j), 2, j, nblocks)
+        lo = b[:, 0]
+        hi = b[:, 1]
         t = (lo ^ (hi >> jj)) & mm
         lo ^= t
         hi ^= t << jj
         j >>= 1
         if j:
             m = (m ^ (m << j)) & full
-    return a.reshape(-1)
+    return np.ascontiguousarray(a.T).reshape(-1)
 
 
 class MpcCompressor(Compressor):
@@ -131,20 +135,44 @@ class MpcCompressor(Compressor):
         if words.size > d:
             r[d:] -= words[:-d]
         w_bits = words.dtype.itemsize * 8
-        one = r.dtype.type(1)
-        sign = (r >> (w_bits - 1)) & one
-        return (r << one) ^ (r.dtype.type(0) - sign)
+        # zigzag = (r << 1) ^ (r >>> (w-1) arithmetic); the arithmetic
+        # shift through a signed view yields the all-ones/zero extension
+        # in one pass.
+        sdt = np.int32 if w_bits == 32 else np.int64
+        ext = (r.view(sdt) >> (w_bits - 1)).view(r.dtype)
+        r <<= r.dtype.type(1)
+        r ^= ext
+        return r
 
     def _unpredict(self, residuals: np.ndarray) -> np.ndarray:
         """Inverse of :meth:`_predict`: un-zigzag then per-phase
-        modular cumsum."""
+        modular cumsum.
+
+        All ``d`` phase cumsums run as one axis-0 cumsum over a
+        ``(m, d)`` reshape (zero-padded tail), instead of ``d`` strided
+        passes — the zero padding leaves the in-range prefix sums
+        untouched.
+        """
         one = residuals.dtype.type(1)
-        r = (residuals >> one) ^ (residuals.dtype.type(0) - (residuals & one))
+        w_bits = residuals.dtype.itemsize * 8
+        sdt = np.int32 if w_bits == 32 else np.int64
+        # un-zigzag = (x >> 1) ^ -(x & 1); the sign extension comes from
+        # parking the low bit in the sign position and arithmetic-shifting
+        # it back down.
+        ext = residuals << residuals.dtype.type(w_bits - 1)
+        sext = ext.view(sdt)
+        sext >>= w_bits - 1
+        r = residuals >> one
+        r ^= ext
         d = self.dimensionality
-        out = np.empty_like(r)
-        for k in range(min(d, r.size)):
-            np.cumsum(r[k::d], dtype=r.dtype, out=out[k::d])
-        return out
+        if d == 1:
+            return np.cumsum(r, dtype=r.dtype)
+        n = r.size
+        m = -(-n // d)
+        buf = np.zeros(m * d, dtype=r.dtype)
+        buf[:n] = r
+        return np.cumsum(
+            buf.reshape(m, d), axis=0, dtype=r.dtype).reshape(-1)[:n]
 
     # -- API --------------------------------------------------------------
     def compress(self, data: np.ndarray) -> CompressedData:
@@ -156,12 +184,15 @@ class MpcCompressor(Compressor):
         # Pad to a whole number of w-word blocks with zero residuals.
         pad = (-residuals.size) % w
         if pad:
-            residuals = np.concatenate([residuals, np.zeros(pad, dtype=udtype)])
+            buf = np.zeros(residuals.size + pad, dtype=udtype)
+            buf[:residuals.size] = residuals
+            residuals = buf
         transposed = bit_transpose(residuals)
         nonzero = transposed != 0
         bitmap = np.packbits(nonzero)
         payload = np.concatenate(
-            [bitmap, transposed[nonzero].astype(f"<u{w // 8}").view(np.uint8)]
+            [bitmap,
+             transposed[nonzero].astype(f"<u{w // 8}", copy=False).view(np.uint8)]
         )
         return CompressedData(
             algorithm=self.name,
@@ -191,8 +222,8 @@ class MpcCompressor(Compressor):
             raise CompressionError(
                 f"mpc payload truncated: need >= {bitmap_bytes} bitmap bytes, have {payload.size}"
             )
-        nonzero = np.unpackbits(payload[:bitmap_bytes])[:n_padded].astype(bool)
-        nnz = int(nonzero.sum())
+        nonzero = np.unpackbits(payload[:bitmap_bytes])[:n_padded].view(np.bool_)
+        nnz = int(np.count_nonzero(nonzero))
         word_bytes = w // 8
         expect = bitmap_bytes + nnz * word_bytes
         if payload.size != expect:
@@ -201,7 +232,7 @@ class MpcCompressor(Compressor):
             )
         transposed = np.zeros(n_padded, dtype=udtype)
         transposed[nonzero] = (
-            payload[bitmap_bytes:].view(f"<u{word_bytes}").astype(udtype)
+            payload[bitmap_bytes:].view(f"<u{word_bytes}").astype(udtype, copy=False)
         )
         residuals = bit_transpose(transposed)[:n]
         words = self._unpredict(residuals)

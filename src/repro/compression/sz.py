@@ -32,6 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import CompressedData, Compressor
+from repro.compression.zfp import pack_block_fields, unpack_block_fields
 from repro.errors import CompressionError
 
 __all__ = ["SzCompressor"]
@@ -120,12 +121,8 @@ class SzCompressor(Compressor):
             sel = widths == w
             if not sel.any():
                 continue
-            sub = zz[sel]  # (m, _BLOCK)
-            bits = (
-                (sub[:, :, None] >> np.arange(w - 1, -1, -1, dtype=np.uint64)[None, None, :])
-                & np.uint64(1)
-            ).astype(np.uint8)
-            chunks.append((w, np.packbits(bits.reshape(-1))))
+            sub = zz[sel].reshape(-1)  # every value is one w-bit field
+            chunks.append((w, pack_block_fields([sub], [w], w)))
         # Reassemble in block order at decode time via widths; store
         # each width-group contiguously prefixed by nothing (order is
         # derivable from the widths array).
@@ -185,11 +182,8 @@ class SzCompressor(Compressor):
             nbytes_w = -(-m * _BLOCK * w // 8)
             raw = payload[pos:pos + nbytes_w]
             pos += nbytes_w
-            bits = np.unpackbits(raw)[: m * _BLOCK * w].reshape(m, _BLOCK, w)
-            vals = np.zeros((m, _BLOCK), dtype=np.uint64)
-            for j in range(w):
-                vals = (vals << np.uint64(1)) | bits[:, :, j].astype(np.uint64)
-            zz[sel] = vals
+            vals = unpack_block_fields(raw, [w], w, m * _BLOCK)[0]
+            zz[sel] = vals.reshape(m, _BLOCK)
         q = ((zz >> np.uint64(1)).astype(np.int64)) ^ -(zz & np.uint64(1)).astype(np.int64)
 
         first = endpoints[:, 0].astype(np.float64)

@@ -44,6 +44,161 @@ __all__ = ["ZfpCompressor", "forward_lift", "inverse_lift", "plan_bit_allocation
 _EXP_BITS = 12
 _EXP_BIAS = 2048  # covers float32 and float64 frexp exponent ranges
 
+def _lane_params(block_bits: int):
+    """Lane word size for a block: 32-bit lanes when a block fits one
+    (halves the memory traffic of every lane op), 64-bit otherwise."""
+    if block_bits <= 32:
+        return 32, np.uint32, ">u4"
+    return 64, np.uint64, ">u8"
+
+
+def pack_block_fields(fields, widths, block_bits: int) -> np.ndarray:
+    """Concatenate per-block bit fields into one MSB-first byte stream.
+
+    ``fields[i]`` is a ``(nblocks,)`` unsigned array holding the
+    right-aligned value of the i-th field (``< 2**widths[i]``); the
+    fields of one block occupy ``block_bits`` consecutive bits and the
+    blocks are packed back to back (blocks straddle byte boundaries when
+    ``block_bits`` is not a multiple of 8, exactly like ``packbits`` on
+    the flattened bit matrix).
+
+    The assembly is pure integer lane arithmetic: each block's bits live
+    in ``ceil(block_bits/W)`` big-endian W-bit lanes (W = 32 or 64), and
+    a field lands in one lane — or two, when it straddles a lane
+    boundary — via shifts.  Byte-aligned block sizes never touch
+    ``unpackbits`` at all.
+    """
+    nblocks = fields[0].shape[0]
+    W, ldt, bedt = _lane_params(block_bits)
+    shift = int(W).bit_length() - 1
+    nlanes = -(-block_bits // W)
+    lanes = np.zeros((nblocks, nlanes), dtype=ldt)
+    off = 0
+    for v, k in zip(fields, widths):
+        if k:
+            if v.dtype != ldt:
+                v = v.astype(ldt, copy=False)
+            end = off + k
+            l0 = off >> shift
+            e0 = end - (l0 << shift)  # field end, relative to lane l0
+            if e0 <= W:
+                lanes[:, l0] |= v << ldt(W - e0)
+            else:
+                lanes[:, l0] |= v >> ldt(e0 - W)
+                lanes[:, l0 + 1] |= v << ldt(2 * W - e0)
+        off += k
+    lane_bytes = nlanes * (W // 8)
+    if block_bits == nlanes * W:
+        # Lanes exactly cover the block: the byteswapped lanes ARE the
+        # stream, no per-block slicing needed.
+        return lanes.astype(bedt).view(np.uint8).reshape(-1)
+    per_block = lanes.astype(bedt).view(np.uint8).reshape(nblocks, lane_bytes)
+    if block_bits % 8 == 0:
+        return np.ascontiguousarray(per_block[:, : block_bits // 8]).reshape(-1)
+    nbytes = -(-block_bits // 8)
+    bits = np.unpackbits(
+        np.ascontiguousarray(per_block[:, :nbytes]), axis=1
+    )[:, :block_bits]
+    return np.packbits(bits.reshape(-1))
+
+
+def unpack_block_fields(payload: np.ndarray, widths, block_bits: int,
+                        nblocks: int) -> list[np.ndarray]:
+    """Inverse of :func:`pack_block_fields` — extract every field as a
+    right-aligned ``(nblocks,)`` unsigned array (uint32 lanes when a
+    block fits 32 bits, else uint64)."""
+    W, ldt, bedt = _lane_params(block_bits)
+    shift = int(W).bit_length() - 1
+    nlanes = -(-block_bits // W)
+    lane_bytes = nlanes * (W // 8)
+    if block_bits == nlanes * W:
+        raw = payload[: nblocks * lane_bytes].reshape(nblocks, lane_bytes)
+    elif block_bits % 8 == 0:
+        nb = block_bits // 8
+        raw = np.zeros((nblocks, lane_bytes), dtype=np.uint8)
+        raw[:, :nb] = payload[: nblocks * nb].reshape(nblocks, nb)
+    else:
+        total_bits = nblocks * block_bits
+        bits = np.unpackbits(payload[: -(-total_bits // 8)])[:total_bits]
+        bitmat = np.zeros((nblocks, nlanes * W), dtype=np.uint8)
+        bitmat[:, :block_bits] = bits.reshape(nblocks, block_bits)
+        raw = np.packbits(bitmat, axis=1)
+    lanes = raw.view(bedt).reshape(nblocks, nlanes).astype(ldt)
+    full = ldt(np.iinfo(ldt).max)
+    fields: list[np.ndarray] = []
+    off = 0
+    for k in widths:
+        if k:
+            end = off + k
+            l0 = off >> shift
+            e0 = end - (l0 << shift)
+            mask = full if k >= W else ldt((1 << k) - 1)
+            if e0 <= W:
+                v = (lanes[:, l0] >> ldt(W - e0)) & mask
+            else:
+                v = ((lanes[:, l0] << ldt(e0 - W))
+                     | (lanes[:, l0 + 1] >> ldt(2 * W - e0))) & mask
+        else:
+            v = np.zeros(nblocks, dtype=ldt)
+        fields.append(v)
+        off += k
+    return fields
+
+
+def _pack_block_fields_reference(fields, widths, block_bits: int) -> np.ndarray:
+    """Plain bit-matrix packer — the pre-rewrite formulation, kept as the
+    oracle for the fast/reference bit-identity property test."""
+    nblocks = fields[0].shape[0]
+    out_bits = np.zeros((nblocks, block_bits), dtype=np.uint8)
+    off = 0
+    for v, k in zip(fields, widths):
+        if k:
+            fb = np.unpackbits(
+                v.astype(">u8").view(np.uint8).reshape(nblocks, 8), axis=1)
+            out_bits[:, off:off + k] = fb[:, 64 - k:]
+        off += k
+    return np.packbits(out_bits.reshape(-1))
+
+
+def _unpack_block_fields_reference(payload, widths, block_bits: int,
+                                   nblocks: int) -> list[np.ndarray]:
+    """Bit-matrix mirror of :func:`_pack_block_fields_reference`."""
+    total_bits = nblocks * block_bits
+    bits = np.unpackbits(payload[: -(-total_bits // 8)])[:total_bits].reshape(
+        nblocks, block_bits)
+    fields: list[np.ndarray] = []
+    off = 0
+    for k in widths:
+        if k:
+            fb = np.zeros((nblocks, 64), dtype=np.uint8)
+            fb[:, 64 - k:] = bits[:, off:off + k]
+            v = np.packbits(fb, axis=1).view(">u8").reshape(-1).astype(np.uint64)
+        else:
+            v = np.zeros(nblocks, dtype=np.uint64)
+        fields.append(v)
+        off += k
+    return fields
+
+
+def _lift4_fwd(x, y, z, w) -> None:
+    """In-place forward 4-point lifting over four same-shape int64
+    arrays (one per coefficient position) — no temporaries beyond the
+    elementwise ops."""
+    x += w; x >>= 1; w -= x
+    z += y; z >>= 1; y -= z
+    x += z; x >>= 1; z -= x
+    w += y; w >>= 1; y -= w
+    w += y >> 1; y -= w >> 1
+
+
+def _lift4_inv(x, y, z, w) -> None:
+    """In-place inverse of :func:`_lift4_fwd`."""
+    y += w >> 1; w -= y >> 1
+    y += w; w <<= 1; w -= y
+    z += x; x <<= 1; x -= z
+    y += z; z <<= 1; z -= y
+    w += x; x <<= 1; x -= w
+
 
 def forward_lift(q: np.ndarray) -> np.ndarray:
     """zfp's forward 4-point decorrelating transform.
@@ -53,26 +208,16 @@ def forward_lift(q: np.ndarray) -> np.ndarray:
     keep intermediates exact.
     """
     q = q.astype(np.int64, copy=True)
-    x, y, z, w = (q[:, 0].copy(), q[:, 1].copy(), q[:, 2].copy(), q[:, 3].copy())
-    x += w; x >>= 1; w -= x
-    z += y; z >>= 1; y -= z
-    x += z; x >>= 1; z -= x
-    w += y; w >>= 1; y -= w
-    w += y >> 1; y -= w >> 1
-    return np.stack([x, y, z, w], axis=1)
+    _lift4_fwd(q[:, 0], q[:, 1], q[:, 2], q[:, 3])
+    return q
 
 
 def inverse_lift(c: np.ndarray) -> np.ndarray:
     """Inverse of :func:`forward_lift` (exact up to the ``>>1`` bit
     drops, matching upstream zfp)."""
     c = c.astype(np.int64, copy=True)
-    x, y, z, w = (c[:, 0].copy(), c[:, 1].copy(), c[:, 2].copy(), c[:, 3].copy())
-    y += w >> 1; w -= y >> 1
-    y += w; w <<= 1; w -= y
-    z += x; x <<= 1; x -= z
-    y += z; z <<= 1; z -= y
-    w += x; x <<= 1; x -= w
-    return np.stack([x, y, z, w], axis=1)
+    _lift4_inv(c[:, 0], c[:, 1], c[:, 2], c[:, 3])
+    return c
 
 
 def plan_bit_allocation(rate: int, width: int) -> list[int]:
@@ -139,6 +284,21 @@ class ZfpCompressor(Compressor):
     high_throughput = True
     mpi_support = False  # the naive library; ZFP-OPT flips this
 
+    #: bit-assembly backend: "fast" (uint64 lanes) or "reference"
+    #: (bit-matrix oracle).  Both must produce identical streams; the
+    #: property test in tests/test_compression_zfp.py flips this.
+    _bit_path = "fast"
+
+    def _pack(self, fields, widths, block_bits):
+        if self._bit_path == "fast":
+            return pack_block_fields(fields, widths, block_bits)
+        return _pack_block_fields_reference(fields, widths, block_bits)
+
+    def _unpack(self, payload, widths, block_bits, nblocks):
+        if self._bit_path == "fast":
+            return unpack_block_fields(payload, widths, block_bits, nblocks)
+        return _unpack_block_fields_reference(payload, widths, block_bits, nblocks)
+
     def __init__(self, rate: int = 16):
         rate = int(rate)
         if rate < 3 or rate > 64:
@@ -171,58 +331,57 @@ class ZfpCompressor(Compressor):
                 dtype=data.dtype, params={"rate": self.rate},
                 meta={"compressed_bytes": 0},
             )
-        vals = np.zeros(nblocks * 4, dtype=np.float64)
-        vals[:n] = data.astype(np.float64, copy=False)
-        vals = vals.reshape(nblocks, 4)
+        # Transposed (coefficient-major) layout: vals[c] is the c-th
+        # value of every block, a contiguous row — every later stage is
+        # a whole-row op with no strided column access.  The strided
+        # assignment casts to float64 as it gathers.
+        vals = np.empty((4, nblocks), dtype=np.float64)
+        nfull = n // 4
+        if nfull:
+            vals[:, :nfull] = data[: nfull * 4].reshape(nfull, 4).T
+        if nfull != nblocks:
+            vals[:, nfull] = 0.0
+            tail = data[nfull * 4:]
+            vals[: tail.size, nfull] = tail
 
         _, exps = np.frexp(vals)
-        nonzero_block = np.any(vals != 0.0, axis=1)
-        emax = np.where(nonzero_block, np.max(np.where(vals != 0.0, exps, -(1 << 20)), axis=1), 0)
+        nz = vals != 0.0
+        nonzero_block = np.any(nz, axis=0)
+        emax = np.where(
+            nonzero_block,
+            np.max(np.where(nz, exps, np.int32(-(1 << 20))), axis=0),
+            np.int32(0))
 
         headroom = width - 2  # 30 for singles, 62 for doubles
-        q = np.rint(np.ldexp(vals, (headroom - emax)[:, None])).astype(np.int64)
-        coeffs = forward_lift(q)
+        np.ldexp(vals, (headroom - emax)[None, :], out=vals)
+        np.rint(vals, out=vals)
+        q = vals.astype(np.int64)
+        _lift4_fwd(q[0], q[1], q[2], q[3])
 
-        # Negabinary in `width`-bit arithmetic.
-        mask = np.uint64((1 << width) - 1) if width == 64 else np.uint64(0xFFFFFFFF)
-        nb = np.uint64(0xAAAAAAAAAAAAAAAA) & mask
-        u = ((coeffs.astype(np.uint64) + nb) & mask) ^ nb
+        # Negabinary, in place, at the native word width: addition wraps
+        # mod 2^width, which IS the mask step.
+        if width == 32:
+            u = q.astype(np.uint32)  # truncating cast
+            nb = np.uint32(0xAAAAAAAA)
+        else:
+            u = q.view(np.uint64)
+            nb = np.uint64(0xAAAAAAAAAAAAAAAA)
+        u += nb
+        u ^= nb
+        wdt = u.dtype.type
 
         kept = plan_bit_allocation(self.rate, width)
         block_bits = 4 * self.rate
-        exp_field = np.where(nonzero_block, emax + _EXP_BIAS, 0).astype(np.uint64)
+        exp_field = np.where(nonzero_block, emax + _EXP_BIAS, 0)
 
-        if width == 32 and block_bits <= 64 and block_bits % 8 == 0:
-            # Fast path: assemble each block's bits in one uint64 with
-            # pure integer ops — same bitstream as the generic path.
-            word = exp_field << np.uint64(block_bits - _EXP_BITS)
-            off = block_bits - _EXP_BITS
-            for c in range(4):
-                k = kept[c]
-                if k:
-                    off -= k
-                    word |= (u[:, c] >> np.uint64(width - k)) << np.uint64(off)
-            nb = block_bits // 8
-            payload = (
-                word.astype(">u8").view(np.uint8).reshape(nblocks, 8)[:, 8 - nb:]
-                .reshape(-1).copy()
-            )
-        else:
-            # Generic path: explicit MSB-first bit matrix.
-            ubits = np.unpackbits(
-                u.astype(">u8").view(np.uint8).reshape(nblocks, 4, 8), axis=2
-            )[:, :, 64 - width:]  # (nblocks, 4, width)
-            out_bits = np.zeros((nblocks, block_bits), dtype=np.uint8)
-            exp_be = exp_field.astype(">u2")
-            exp_bits = np.unpackbits(exp_be.view(np.uint8).reshape(nblocks, 2), axis=1)
-            out_bits[:, :_EXP_BITS] = exp_bits[:, 16 - _EXP_BITS:]
-            off = _EXP_BITS
-            for c in range(4):
-                k = kept[c]
-                if k:
-                    out_bits[:, off:off + k] = ubits[:, c, :k]
-                off += k
-            payload = np.packbits(out_bits.reshape(-1))
+        fields = [exp_field.astype(np.uint32, copy=False)]
+        widths = [_EXP_BITS]
+        for c in range(4):
+            k = kept[c]
+            fields.append(u[c] >> wdt(width - k) if k
+                          else np.zeros(nblocks, dtype=u.dtype))
+            widths.append(k)
+        payload = self._pack(fields, widths, block_bits)
         return CompressedData(
             algorithm=self.name,
             payload=payload,
@@ -252,66 +411,50 @@ class ZfpCompressor(Compressor):
             )
         kept = plan_bit_allocation(self.rate, width)
 
-        if width == 32 and block_bits <= 64 and block_bits % 8 == 0:
-            # Fast path: mirror of the encoder's uint64 assembly.
-            nb8 = block_bits // 8
-            raw = np.zeros((nblocks, 8), dtype=np.uint8)
-            raw[:, 8 - nb8:] = comp.payload[: nblocks * nb8].reshape(nblocks, nb8)
-            word = raw.view(">u8").reshape(-1).astype(np.uint64)
-            exp_field = (word >> np.uint64(block_bits - _EXP_BITS)).astype(np.int64)
-            u = np.zeros((nblocks, 4), dtype=np.uint64)
-            off = block_bits - _EXP_BITS
-            for c in range(4):
-                k = kept[c]
-                if k:
-                    off -= k
-                    field = (word >> np.uint64(off)) & np.uint64((1 << k) - 1)
-                    u[:, c] = field << np.uint64(width - k)
+        widths = [_EXP_BITS] + list(kept)
+        decoded = self._unpack(comp.payload, widths, block_bits, nblocks)
+        exp_field = decoded[0].astype(np.int32)
+        # Coefficient-major (4, nblocks) layout at the native word
+        # width, as in compress.
+        if width == 32:
+            u = np.zeros((4, nblocks), dtype=np.uint32)
+            nb = np.uint32(0xAAAAAAAA)
         else:
-            bits = np.unpackbits(comp.payload[:need])[:total_bits].reshape(
-                nblocks, block_bits
-            )
-            exp_bits = np.zeros((nblocks, 16), dtype=np.uint8)
-            exp_bits[:, 16 - _EXP_BITS:] = bits[:, :_EXP_BITS]
-            exp_field = (
-                np.packbits(exp_bits, axis=1).view(">u2").reshape(-1).astype(np.int64)
-            )
-            ubits = np.zeros((nblocks, 4, 64), dtype=np.uint8)
-            off = _EXP_BITS
-            lead = 64 - width
-            for c in range(4):
-                k = kept[c]
-                if k:
-                    ubits[:, c, lead:lead + k] = bits[:, off:off + k]
-                off += k
-            u = (
-                np.packbits(ubits.reshape(nblocks, 4, 64), axis=2)
-                .reshape(nblocks, 4, 8)
-                .view(">u8")
-                .reshape(nblocks, 4)
-                .astype(np.uint64)
-            )
+            u = np.zeros((4, nblocks), dtype=np.uint64)
+            nb = np.uint64(0xAAAAAAAAAAAAAAAA)
+        wdt = u.dtype.type
+        for c in range(4):
+            k = kept[c]
+            if k:
+                f = decoded[1 + c]
+                if f.dtype != u.dtype:
+                    f = f.astype(u.dtype, copy=False)
+                u[c] = f << wdt(width - k)
         nonzero_block = exp_field != 0
-        emax = np.where(nonzero_block, exp_field - _EXP_BIAS, 0)
+        emax = np.where(nonzero_block, exp_field - _EXP_BIAS, np.int32(0))
 
-        mask = np.uint64((1 << width) - 1) if width == 64 else np.uint64(0xFFFFFFFF)
-        nb = np.uint64(0xAAAAAAAAAAAAAAAA) & mask
-        q_u = ((u ^ nb) - nb) & mask
-        # Sign-extend width-bit two's complement into int64.
-        sign_bit = np.uint64(1 << (width - 1))
-        coeffs = q_u.astype(np.int64)
-        negmask = (q_u & sign_bit) != 0
-        if width < 64:
-            coeffs[negmask] -= 1 << width
+        # Negabinary decode in place; subtraction wraps mod 2^width, so
+        # no mask pass is needed, and the signed view of the word-width
+        # lanes is already sign-extended two's complement.
+        u ^= nb
+        u -= nb
+        coeffs = u.view(np.int32 if width == 32 else np.int64)
 
-        q = inverse_lift(coeffs)
+        if width == 32:
+            coeffs = coeffs.astype(np.int64)
+        _lift4_inv(coeffs[0], coeffs[1], coeffs[2], coeffs[3])
         headroom = width - 2
         # A corrupted stream can carry absurd exponents; let them
         # saturate to inf silently — the integrity check rejects them.
         with np.errstate(over="ignore"):
-            vals = np.ldexp(q.astype(np.float64), (emax - headroom)[:, None])
-            vals[~nonzero_block] = 0.0
-            out = vals.reshape(-1)[:n].astype(dtype)
+            vals = np.ldexp(coeffs.astype(np.float64), (emax - headroom)[None, :])
+            vals[:, ~nonzero_block] = 0.0
+            out = np.empty(n, dtype=dtype)
+            nfull = n // 4
+            if nfull:
+                out[: nfull * 4].reshape(nfull, 4)[:] = vals[:, :nfull].T
+            if nfull != nblocks:
+                out[nfull * 4:] = vals[: n - nfull * 4, nfull]
         return out
 
     def max_abs_error_bound(self, data: np.ndarray) -> float:

@@ -27,7 +27,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import CompressedData, Compressor
-from repro.compression.zfp import forward_lift, inverse_lift
+from repro.compression.zfp import (
+    _lift4_fwd, _lift4_inv, _pack_block_fields_reference,
+    _unpack_block_fields_reference, pack_block_fields, unpack_block_fields,
+)
 from repro.errors import CompressionError
 
 __all__ = ["Zfp2dCompressor", "plan_bit_allocation_2d"]
@@ -98,6 +101,19 @@ class Zfp2dCompressor(Compressor):
     mpi_support = False
     supported_dtypes = (np.float32,)
 
+    #: bit-assembly backend, same contract as ZfpCompressor._bit_path.
+    _bit_path = "fast"
+
+    def _pack(self, fields, widths, block_bits):
+        if self._bit_path == "fast":
+            return pack_block_fields(fields, widths, block_bits)
+        return _pack_block_fields_reference(fields, widths, block_bits)
+
+    def _unpack(self, payload, widths, block_bits, nblocks):
+        if self._bit_path == "fast":
+            return unpack_block_fields(payload, widths, block_bits, nblocks)
+        return _unpack_block_fields_reference(payload, widths, block_bits, nblocks)
+
     def __init__(self, rate: int = 8):
         rate = int(rate)
         if rate < 1 or rate > 32:
@@ -133,40 +149,39 @@ class Zfp2dCompressor(Compressor):
         nblocks = blocks.shape[0]
 
         flat = blocks.reshape(nblocks, 16)
-        nonzero = np.any(flat != 0.0, axis=1)
+        nz = flat != 0.0
+        nonzero = np.any(nz, axis=1)
         _, exps = np.frexp(flat)
         emax = np.where(
-            nonzero, np.max(np.where(flat != 0.0, exps, -(1 << 20)), axis=1), 0
-        )
+            nonzero, np.max(np.where(nz, exps, np.int32(-(1 << 20))), axis=1),
+            np.int32(0))
         q = np.rint(np.ldexp(blocks, (30 - emax)[:, None, None])).astype(np.int64)
 
-        # Separable lifting: rows then columns.
-        qr = forward_lift(q.reshape(-1, 4)).reshape(nblocks, 4, 4)
-        qc = forward_lift(
-            qr.transpose(0, 2, 1).reshape(-1, 4)
-        ).reshape(nblocks, 4, 4).transpose(0, 2, 1)
-        coeffs = qc.reshape(nblocks, 16)
+        # Separable lifting, in place: along rows (last axis), then
+        # along columns (middle axis).
+        _lift4_fwd(q[:, :, 0], q[:, :, 1], q[:, :, 2], q[:, :, 3])
+        _lift4_fwd(q[:, 0, :], q[:, 1, :], q[:, 2, :], q[:, 3, :])
 
-        nb = np.uint64(0xAAAAAAAA)
-        mask = np.uint64(0xFFFFFFFF)
-        u = ((coeffs.astype(np.uint64) + nb) & mask) ^ nb
+        # Negabinary at the native 32-bit width (the truncating cast is
+        # the mask; addition wraps mod 2^32).
+        nb = np.uint32(0xAAAAAAAA)
+        u = q.reshape(nblocks, 16).astype(np.uint32)
+        u += nb
+        u ^= nb
+        # Coefficient-major copy so field extraction reads contiguous rows.
+        ut = np.ascontiguousarray(u.T)
 
         kept = plan_bit_allocation_2d(self.rate)
-        block_bits = 16 * self.rate
-        ubits = np.unpackbits(
-            u.astype(">u8").view(np.uint8).reshape(nblocks, 16, 8), axis=2
-        )[:, :, 64 - _W:]
-        out_bits = np.zeros((nblocks, block_bits), dtype=np.uint8)
-        exp_field = np.where(nonzero, emax + _EXP_BIAS, 0).astype(">u2")
-        exp_bits = np.unpackbits(exp_field.view(np.uint8).reshape(nblocks, 2), axis=1)
-        out_bits[:, :_EXP_BITS] = exp_bits[:, 16 - _EXP_BITS:]
-        off = _EXP_BITS
+        block_bits = 16 * self.rate  # always a multiple of 8: pure byte path
+        exp_field = np.where(nonzero, emax + _EXP_BIAS, 0).astype(np.uint32)
+        fields = [exp_field]
+        widths = [_EXP_BITS]
         for c in range(16):
             k = int(kept[c])
-            if k:
-                out_bits[:, off:off + k] = ubits[:, c, :k]
-            off += k
-        payload = np.packbits(out_bits.reshape(-1))
+            fields.append(ut[c] >> np.uint32(_W - k) if k
+                          else np.zeros(nblocks, dtype=np.uint32))
+            widths.append(k)
+        payload = self._pack(fields, widths, block_bits)
         return CompressedData(
             algorithm=self.name, payload=payload, n_elements=rows * cols,
             dtype=np.float32,
@@ -188,44 +203,36 @@ class Zfp2dCompressor(Compressor):
         need = -(-total_bits // 8)
         if comp.payload.size < need:
             raise CompressionError("zfp2d payload truncated")
-        bits = np.unpackbits(comp.payload[:need])[:total_bits].reshape(
-            nblocks, block_bits
-        )
-        exp_bits = np.zeros((nblocks, 16), dtype=np.uint8)
-        exp_bits[:, 16 - _EXP_BITS:] = bits[:, :_EXP_BITS]
-        exp_field = (
-            np.packbits(exp_bits, axis=1).view(">u2").reshape(-1).astype(np.int64)
-        )
-        nonzero = exp_field != 0
-        emax = np.where(nonzero, exp_field - _EXP_BIAS, 0)
-
         kept = plan_bit_allocation_2d(rate)
-        ubits = np.zeros((nblocks, 16, 64), dtype=np.uint8)
-        off = _EXP_BITS
-        lead = 64 - _W
+        widths = [_EXP_BITS] + [int(k) for k in kept]
+        decoded = self._unpack(comp.payload, widths, block_bits, nblocks)
+        exp_field = decoded[0].astype(np.int32)
+        nonzero = exp_field != 0
+        emax = np.where(nonzero, exp_field - _EXP_BIAS, np.int32(0))
+
+        # Coefficient-major (16, nblocks) layout; rows are contiguous.
+        u = np.zeros((16, nblocks), dtype=np.uint32)
         for c in range(16):
             k = int(kept[c])
             if k:
-                ubits[:, c, lead:lead + k] = bits[:, off:off + k]
-            off += k
-        u = (
-            np.packbits(ubits.reshape(nblocks, 16, 64), axis=2)
-            .reshape(nblocks, 16, 8).view(">u8").reshape(nblocks, 16)
-            .astype(np.uint64)
-        )
-        nb = np.uint64(0xAAAAAAAA)
-        mask = np.uint64(0xFFFFFFFF)
-        q_u = ((u ^ nb) - nb) & mask
-        coeffs = q_u.astype(np.int64)
-        coeffs[(q_u & np.uint64(1 << 31)) != 0] -= 1 << 32
+                f = decoded[1 + c]
+                if f.dtype != np.uint32:
+                    f = f.astype(np.uint32, copy=False)
+                u[c] = f << np.uint32(_W - k)
+        nb = np.uint32(0xAAAAAAAA)
+        u ^= nb
+        u -= nb
+        # The int32 view is already sign-extended two's complement;
+        # widen once for the exact inverse lift.
+        coeffs = u.view(np.int32).astype(np.int64)
 
-        qc = coeffs.reshape(nblocks, 4, 4)
-        qr = inverse_lift(
-            qc.transpose(0, 2, 1).reshape(-1, 4)
-        ).reshape(nblocks, 4, 4).transpose(0, 2, 1)
-        q = inverse_lift(qr.reshape(-1, 4)).reshape(nblocks, 4, 4)
-        vals = np.ldexp(q.astype(np.float64), (emax - 30)[:, None, None])
-        vals[~nonzero] = 0.0
-        full = (vals.reshape(br, bc, 4, 4).transpose(0, 2, 1, 3)
-                .reshape(br * 4, bc * 4))
+        # (i, j, nblocks) block layout: inverse lift along columns
+        # (axis 0), then along rows (axis 1), in place.
+        q = coeffs.reshape(4, 4, nblocks)
+        _lift4_inv(q[0], q[1], q[2], q[3])
+        _lift4_inv(q[:, 0], q[:, 1], q[:, 2], q[:, 3])
+        vals = np.ldexp(q.astype(np.float64), (emax - 30)[None, None, :])
+        vals[:, :, ~nonzero] = 0.0
+        full = (vals.transpose(2, 0, 1).reshape(br, bc, 4, 4)
+                .transpose(0, 2, 1, 3).reshape(br * 4, bc * 4))
         return full[:rows, :cols].astype(np.float32)

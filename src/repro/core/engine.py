@@ -149,10 +149,24 @@ class CompressionEngine:
         """
         clean = getattr(codec, "inner", codec)
         if clean.lossless:
+            if len(comps) == 1 and comps[0].n_elements == data.size:
+                # The codec cache already CRC'd exactly these bytes as
+                # its lookup fingerprint; recomputing would hash the
+                # full source buffer a second time per send.
+                crc = comps[0].meta.get("src_crc32")
+                if crc is not None:
+                    return crc
             return payload_crc32(data)
+        if len(comps) == 1:
+            crc = comps[0].meta.get("out_crc32")
+            if crc is None:
+                crc = payload_crc32(GLOBAL_CODEC_CACHE.decompress(clean, comps[0]))
+                # Decompression is deterministic, so the expected-value
+                # CRC can ride on the (cache-shared) comp for re-sends.
+                comps[0].meta["out_crc32"] = crc
+            return crc
         outs = [GLOBAL_CODEC_CACHE.decompress(clean, c) for c in comps]
-        out = np.concatenate(outs) if len(outs) > 1 else outs[0]
-        return payload_crc32(out)
+        return payload_crc32(np.concatenate(outs))
 
     def _acquire_data_buffer(self, nbytes: int, label: str):
         """Pool hit (cheap) or cudaMalloc (the naive path's cost)."""

@@ -33,6 +33,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.compression.cache import GLOBAL_CODEC_CACHE
 from repro.compression.registry import install_fault_wrapper, uninstall_fault_wrapper
 from repro.core.config import CompressionConfig
 from repro.core.engine import CompressionEngine
@@ -241,6 +242,12 @@ class ClusterResult:
     runtime: Runtime = field(repr=False, default=None)
     #: the run's buffer sanitizer (None when disabled)
     asan: object = field(repr=False, default=None)
+    #: host-side codec-cache activity during this run (hits / misses /
+    #: bytes_saved deltas of the process-wide cache).  Wall-clock
+    #: bookkeeping only: it depends on what earlier runs already
+    #: cached, so it is deliberately kept out of the tracer metrics
+    #: that the determinism suite fingerprints.
+    codec_cache: dict = field(repr=False, default_factory=dict)
 
     def breakdown(self) -> dict[str, float]:
         """Summed tracer spans per category (see Figs 6/8/10)."""
@@ -321,11 +328,17 @@ class Cluster:
         ]
         if injector is not None:
             install_fault_wrapper(injector.wrap_codec)
+        cache_before = GLOBAL_CODEC_CACHE.stats()
         try:
             sim.run(until=max_time)
         finally:
             if injector is not None:
                 uninstall_fault_wrapper()
+        cache_after = GLOBAL_CODEC_CACHE.stats()
+        cache_delta = {
+            k: cache_after[k] - cache_before[k]
+            for k in ("hits", "misses", "bytes_saved")
+        }
         for p in procs:  # a crashed rank is more diagnosable than the
             if p.triggered and not p.ok:  # deadlock it leaves behind
                 raise p.value
@@ -341,7 +354,8 @@ class Cluster:
             # Every rank completed: all checked-out buffers must be home.
             sanitizer.assert_clean()
         return ClusterResult(values=values, elapsed=sim.now, tracer=tracer,
-                             runtime=runtime, asan=sanitizer)
+                             runtime=runtime, asan=sanitizer,
+                             codec_cache=cache_delta)
 
     def __repr__(self) -> str:
         return f"<Cluster {self.preset.name} {self.nodes}x{self.gpus_per_node}>"

@@ -44,17 +44,21 @@ class Event:
     when the simulator pops the event off the schedule.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused",
-                 "_cancelled")
+    __slots__ = ("sim", "callbacks", "_cb1", "_value", "_ok", "_defused",
+                 "_cancelled", "_processed")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        # The overwhelmingly common case is a single waiter, so the
+        # first callback lives in ``_cb1`` and the list is only
+        # allocated when a second one arrives.
+        self._cb1: Optional[Callable[["Event"], None]] = None
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = None
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
-        self._scheduled = False
         self._defused = False
         self._cancelled = False
+        self._processed = False
 
     # -- state ---------------------------------------------------------
     @property
@@ -66,7 +70,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have run."""
-        return self.callbacks is None
+        return self._processed
 
     @property
     def ok(self) -> Optional[bool]:
@@ -128,10 +132,15 @@ class Event:
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Run ``fn(event)`` when the event is processed.  If the event
         has already been processed the callback runs immediately."""
-        if self.callbacks is None:
+        if self._processed:
             fn(self)
-        else:
+        elif self.callbacks is not None:
             self.callbacks.append(fn)
+        elif self._cb1 is None:
+            self._cb1 = fn
+        else:
+            self.callbacks = [self._cb1, fn]
+            self._cb1 = None
 
     def __and__(self, other: "Event") -> "AllOf":
         return AllOf(self.sim, [self, other])
@@ -167,7 +176,7 @@ class Process(Event):
     the generator fail the process event, propagating to any waiter.
     """
 
-    __slots__ = ("gen", "name", "_target")
+    __slots__ = ("gen", "name", "_target", "_resume_cb")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         if not hasattr(gen, "send"):
@@ -179,11 +188,14 @@ class Process(Event):
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._target: Optional[Event] = None
+        # One bound method for the process's lifetime instead of a
+        # fresh allocation at every yield.
+        self._resume_cb = self._resume
         # Kick off on the next scheduling round at the current time.
         init = Event(sim)
         init._ok = True
         init._value = None
-        init.add_callback(self._resume)
+        init._cb1 = self._resume_cb
         sim._schedule(init)
 
     @property
@@ -194,16 +206,18 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self.triggered:
             raise SimulationError(f"cannot interrupt finished process {self.name!r}")
-        if self._target is not None and self.callbacks is not None:
+        if self._target is not None and not self._processed:
             # Detach from whatever it was waiting on.
             tgt = self._target
-            if tgt.callbacks is not None and self._resume in tgt.callbacks:
-                tgt.callbacks.remove(self._resume)
+            if tgt._cb1 is self._resume_cb:
+                tgt._cb1 = None
+            elif tgt.callbacks is not None and self._resume_cb in tgt.callbacks:
+                tgt.callbacks.remove(self._resume_cb)
         poke = Event(self.sim)
         poke._ok = False
         poke._value = Interrupt(cause)
         poke._defused = True
-        poke.add_callback(self._resume)
+        poke._cb1 = self._resume_cb
         self.sim._schedule(poke)
 
     # -- internal ------------------------------------------------------
@@ -231,7 +245,7 @@ class Process(Event):
         if target.sim is not self.sim:
             raise SimulationError("yielded event belongs to a different Simulator")
         self._target = target
-        target.add_callback(self._resume)
+        target.add_callback(self._resume_cb)
 
 
 class _Condition(Event):
@@ -263,6 +277,8 @@ class AllOf(_Condition):
     failure fails the condition immediately.
     """
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -280,6 +296,8 @@ class AnyOf(_Condition):
 
     The value is a dict of every child already triggered at that moment.
     """
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -372,11 +390,17 @@ class Simulator:
             raise SimulationError("step() on an empty schedule")
         t, _, event = heapq.heappop(self._heap)
         self._now = t
-        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
         if self.tracer is not None:
             self.tracer._on_event(t, event)
-        for cb in callbacks:
+        cb = event._cb1
+        if cb is not None:
+            event._cb1 = None
             cb(event)
+        elif event.callbacks is not None:
+            callbacks, event.callbacks = event.callbacks, None
+            for cb in callbacks:
+                cb(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the schedule empties, or until time ``until``.
@@ -386,14 +410,31 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
-        while True:
-            self._drain_cancelled()
-            if not self._heap:
-                break
-            if until is not None and self._heap[0][0] > until:
+        # Inlined step(): this loop processes every event of a run, so
+        # the per-event function-call and re-drain overhead is paid
+        # millions of times in a long simulation.
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            if heap[0][2]._cancelled:
+                pop(heap)
+                continue
+            if until is not None and heap[0][0] > until:
                 self._now = until
                 break
-            self.step()
+            t, _, event = pop(heap)
+            self._now = t
+            event._processed = True
+            if self.tracer is not None:
+                self.tracer._on_event(t, event)
+            cb = event._cb1
+            if cb is not None:
+                event._cb1 = None
+                cb(event)
+            elif event.callbacks is not None:
+                callbacks, event.callbacks = event.callbacks, None
+                for cb in callbacks:
+                    cb(event)
         for ev in self._failed_events:
             if not ev._defused:
                 raise ev._value

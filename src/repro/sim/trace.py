@@ -39,7 +39,7 @@ property tests assert exactly that).
 from __future__ import annotations
 
 import itertools
-from contextlib import contextmanager, nullcontext
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -47,7 +47,7 @@ __all__ = ["TraceRecord", "Tracer", "SpanHandle", "trace_scope",
            "group_lanes", "group_by_seq"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """A closed span on the simulation timeline."""
 
@@ -125,16 +125,7 @@ class Tracer:
     def current_span(self) -> Optional[SpanHandle]:
         """The innermost open span of the active process (or its
         inherited parent), if any."""
-        ctx = self._ctx()
-        stack = self._stacks.get(ctx)
-        if stack:
-            for h in reversed(stack):
-                if h.open:
-                    return h
-        inherited = self._inherited.get(ctx)
-        if inherited is not None and inherited.open:
-            return inherited
-        return None
+        return self._parent_for(self._ctx())
 
     def _on_process_spawn(self, proc) -> None:
         """Called by :meth:`Simulator.process`: a process spawned while a
@@ -150,10 +141,22 @@ class Tracer:
             raise ValueError("Tracer is not attached to a Simulator; pass t explicitly")
         return self._sim.now
 
+    def _parent_for(self, ctx) -> Optional[SpanHandle]:
+        stack = self._stacks.get(ctx)
+        if stack:
+            for h in reversed(stack):
+                if h.open:
+                    return h
+        inherited = self._inherited.get(ctx)
+        if inherited is not None and inherited.open:
+            return inherited
+        return None
+
     def begin(self, category: str, label: str = "", *, rank: Optional[int] = None,
               track: Optional[str] = None, t: Optional[float] = None,
               **meta) -> SpanHandle:
         """Open a hierarchical span starting now (or at ``t``)."""
+        ctx = self._ctx()
         h = SpanHandle()
         h.span_id = next(self._ids)
         h.t_start = self._time(t)
@@ -162,11 +165,15 @@ class Tracer:
         h.rank = rank
         h.track = track
         h.meta = meta
-        parent = self.current_span()
+        parent = self._parent_for(ctx)
         h.parent_id = parent.span_id if parent is not None else None
         h.open = True
-        h._ctx = self._ctx()
-        self._stacks.setdefault(h._ctx, []).append(h)
+        h._ctx = ctx
+        stack = self._stacks.get(ctx)
+        if stack is None:
+            self._stacks[ctx] = [h]
+        else:
+            stack.append(h)
         return h
 
     def end(self, handle: Optional[SpanHandle], t: Optional[float] = None,
@@ -186,25 +193,27 @@ class Tracer:
                 f"span ends before it starts: [{handle.t_start}, {t_end}]")
         handle.open = False
         stack = self._stacks.get(handle._ctx)
-        if stack and handle in stack:
-            stack.remove(handle)
-        meta = dict(handle.meta)
-        meta.update(extra_meta)
+        if stack:
+            # Spans almost always close LIFO; fall back to a scan only
+            # for out-of-order closes.
+            if stack[-1] is handle:
+                stack.pop()
+            elif handle in stack:
+                stack.remove(handle)
+        # The handle owns its meta dict (built fresh in begin()), so the
+        # closed record can take it without a defensive copy.
+        meta = handle.meta
+        if extra_meta:
+            meta.update(extra_meta)
         rec = TraceRecord(handle.t_start, t_end, handle.category, handle.label,
                           meta, handle.rank, handle.track, handle.span_id,
                           handle.parent_id)
         self.records.append(rec)
         return rec
 
-    @contextmanager
     def open_span(self, category: str, label: str = "", **kw):
         """``with tracer.open_span("pipeline", "rts", rank=0): ...``"""
-        h = self.begin(category, label, **kw)
-        try:
-            yield h
-        finally:
-            if h.open:
-                self.end(h)
+        return _SpanCtx(self, category, label, kw)
 
     def span(self, t_start: float, t_end: float, category: str, label: str = "",
              *, rank: Optional[int] = None, track: Optional[str] = None,
@@ -321,6 +330,31 @@ class Tracer:
         self.metrics.clear()
 
 
+class _SpanCtx:
+    """Lightweight context manager behind :meth:`Tracer.open_span` —
+    the generator-based ``@contextmanager`` costs a generator plus two
+    protocol calls per span, which adds up on the hot pipeline path."""
+
+    __slots__ = ("_tracer", "_category", "_label", "_kw", "handle")
+
+    def __init__(self, tracer: Tracer, category: str, label: str, kw: dict):
+        self._tracer = tracer
+        self._category = category
+        self._label = label
+        self._kw = kw
+        self.handle: Optional[SpanHandle] = None
+
+    def __enter__(self) -> SpanHandle:
+        self.handle = self._tracer.begin(self._category, self._label, **self._kw)
+        return self.handle
+
+    def __exit__(self, exc_type, exc, tb):
+        h = self.handle
+        if h is not None and h.open:
+            self._tracer.end(h)
+        return False
+
+
 def group_lanes(records) -> dict:
     """``(rank, track) -> spans`` on that lane, each list time-sorted.
 
@@ -357,5 +391,9 @@ def trace_scope(sim, category: str, label: str = "", **kw):
     """
     tracer = getattr(sim, "tracer", None)
     if tracer is None:
-        return nullcontext(None)
+        return _NO_TRACER
     return tracer.open_span(category, label, **kw)
+
+
+#: shared no-op context for untraced sims (nullcontext is reentrant).
+_NO_TRACER = nullcontext(None)

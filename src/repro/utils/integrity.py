@@ -24,7 +24,11 @@ def _raw_bytes(payload: Any) -> bytes:
 
 def payload_crc32(payload: Any) -> int:
     """CRC32 of a payload's byte image (ndarray or bytes-like)."""
-    return zlib.crc32(_raw_bytes(payload)) & 0xFFFFFFFF
+    if isinstance(payload, np.ndarray):
+        # zlib consumes the buffer directly; a contiguous uint8 view
+        # avoids materializing a bytes copy of the whole payload.
+        return zlib.crc32(np.ascontiguousarray(payload).view(np.uint8)) & 0xFFFFFFFF
+    return zlib.crc32(bytes(payload)) & 0xFFFFFFFF
 
 
 def flip_bit(payload: Any, bit_index: int):

@@ -1,0 +1,157 @@
+"""Shared definitions for the codec bitstream fixtures.
+
+The fixtures pin every codec's *exact* compressed byte stream (and, for
+lossy codecs, the exact decoded array) across a representative matrix of
+datasets, dtypes and rates.  They were captured from the implementations
+*before* the vectorized bit-assembly rewrite, so any rewrite of a codec
+hot path must keep producing byte-identical streams or the fixture test
+fails.
+
+Regenerate deliberately (only when a codec's stream format is *meant*
+to change) with::
+
+    PYTHONPATH=src python tests/make_codec_fixtures.py
+
+Inputs are not stored: they are re-derived deterministically from the
+case descriptor (the seed is a CRC32 of the descriptor string, never
+``hash()``).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.compression.fpc import FpcCompressor
+from repro.compression.gfc import GfcCompressor
+from repro.compression.mpc import MpcCompressor
+from repro.compression.sz import SzCompressor
+from repro.compression.zfp import ZfpCompressor
+from repro.compression.zfp2d import Zfp2dCompressor
+
+FIXTURE_DIR = Path(__file__).parent / "data" / "codec_streams"
+NPZ_PATH = FIXTURE_DIR / "streams.npz"
+MANIFEST_PATH = FIXTURE_DIR / "manifest.json"
+
+#: codecs whose decoded output must also match bit-for-bit (lossy codecs
+#: have no round-trip identity to fall back on)
+LOSSY = ("zfp", "zfp2d", "sz")
+
+
+def _seed_for(desc: str) -> int:
+    return zlib.crc32(desc.encode())
+
+
+def make_data(kind: str, n, dtype: str, seed: int) -> np.ndarray:
+    """Deterministic dataset families covering the codec edge cases."""
+    rng = np.random.default_rng(seed)
+    if kind == "smooth2d" or kind == "rough2d":
+        rows, cols = n
+        if kind == "smooth2d":
+            y, x = np.mgrid[0:rows, 0:cols]
+            data = np.sin(x / 9.0) * np.cos(y / 7.0) + 0.05 * x
+        else:
+            data = rng.standard_normal((rows, cols)) * 100.0
+        return data.astype(dtype)
+    if kind == "smooth":
+        x = np.arange(n)
+        data = np.sin(x / 17.0) * 3.0 + x / 500.0
+    elif kind == "rough":
+        data = rng.standard_normal(n) * 1e4
+    elif kind == "sparse":
+        data = np.zeros(n)
+        idx = rng.choice(n, size=max(1, n // 16), replace=False)
+        data[idx] = rng.standard_normal(idx.size) * 7.0
+    elif kind == "walk":
+        data = np.cumsum(rng.standard_normal(n) * 0.01) + 42.0
+    elif kind == "interleaved3":
+        m = -(-n // 3)
+        x = np.arange(m)
+        fields = np.stack([np.sin(x / 13.0), np.cos(x / 29.0) * 2.0, x / 99.0])
+        data = fields.T.reshape(-1)[:n]
+    else:  # pragma: no cover - guarded by the case table
+        raise ValueError(f"unknown dataset kind {kind!r}")
+    return data.astype(dtype)
+
+
+def _codec_for(name: str, params: dict):
+    cls = {"zfp": ZfpCompressor, "zfp2d": Zfp2dCompressor,
+           "mpc": MpcCompressor, "fpc": FpcCompressor,
+           "gfc": GfcCompressor, "sz": SzCompressor}[name]
+    return cls(**params)
+
+
+def cases() -> list[dict]:
+    """The curated fixture matrix (name/params/dataset per case)."""
+    out: list[dict] = []
+
+    def add(codec, params, kind, n, dtype):
+        out.append({"codec": codec, "params": params, "kind": kind,
+                    "n": n, "dtype": dtype})
+
+    for rate in (3, 4, 7, 8, 13, 16, 27, 32):
+        add("zfp", {"rate": rate}, "smooth", 1021, "float32")
+        add("zfp", {"rate": rate}, "sparse", 512, "float32")
+    for rate in (4, 16, 31, 64):
+        add("zfp", {"rate": rate}, "smooth", 1021, "float64")
+        add("zfp", {"rate": rate}, "walk", 510, "float64")
+    for rate in (1, 4, 8, 13, 32):
+        add("zfp2d", {"rate": rate}, "smooth2d", (17, 23), "float32")
+        add("zfp2d", {"rate": rate}, "rough2d", (32, 64), "float32")
+    for dim in (1, 3):
+        for dtype in ("float32", "float64"):
+            add("mpc", {"dimensionality": dim}, "interleaved3", 1000, dtype)
+            add("mpc", {"dimensionality": dim}, "walk", 777, dtype)
+    for dtype in ("float32", "float64"):
+        add("fpc", {}, "walk", 777, dtype)
+        add("fpc", {}, "rough", 512, dtype)
+    for kind, n in (("walk", 777), ("smooth", 1021), ("rough", 512)):
+        add("gfc", {}, kind, n, "float64")
+    for eb in (1e-3, 1e-1):
+        for dtype in ("float32", "float64"):
+            add("sz", {"error_bound": eb}, "smooth", 1021, dtype)
+            add("sz", {"error_bound": eb}, "rough", 512, dtype)
+    return out
+
+
+def case_desc(case: dict) -> str:
+    """Stable one-line descriptor (doubles as the RNG seed source)."""
+    p = ",".join(f"{k}={v}" for k, v in sorted(case["params"].items()))
+    return (f"{case['codec']}({p})/{case['kind']}"
+            f"/n={case['n']}/{case['dtype']}")
+
+
+def run_case(case: dict):
+    """(payload bytes, decoded array) for one case, using the live code."""
+    desc = case_desc(case)
+    data = make_data(case["kind"], case["n"], case["dtype"], _seed_for(desc))
+    codec = _codec_for(case["codec"], case["params"])
+    comp = codec.compress(data)
+    out = codec.decompress(comp)
+    return comp.payload, out
+
+
+def build_fixtures() -> dict:
+    """Run every case and write the npz + manifest.  Returns the manifest."""
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    manifest = []
+    for i, case in enumerate(cases()):
+        payload, out = run_case(case)
+        arrays[f"p{i}"] = payload
+        entry = dict(case, index=i, desc=case_desc(case),
+                     payload_bytes=int(payload.nbytes),
+                     payload_crc32=zlib.crc32(payload.tobytes()))
+        if case["codec"] in LOSSY:
+            arrays[f"o{i}"] = out
+            entry["output_crc32"] = zlib.crc32(np.ascontiguousarray(out).tobytes())
+        manifest.append(entry)
+    np.savez_compressed(NPZ_PATH, **arrays)
+    doc = {"n_cases": len(manifest), "cases": manifest}
+    with open(MANIFEST_PATH, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return doc

@@ -1,0 +1,23 @@
+"""Regenerate the codec bitstream fixtures (tests/data/codec_streams/).
+
+Only run this deliberately, when a codec's *stream format* is meant to
+change; the whole point of the fixtures is that performance rewrites
+must NOT change the bytes.  Usage::
+
+    PYTHONPATH=src python tests/make_codec_fixtures.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from codec_fixture_defs import NPZ_PATH, build_fixtures  # noqa: E402
+
+if __name__ == "__main__":
+    doc = build_fixtures()
+    total = sum(c["payload_bytes"] for c in doc["cases"])
+    print(f"wrote {NPZ_PATH}: {doc['n_cases']} cases, "
+          f"{total} payload bytes pinned")

@@ -127,3 +127,32 @@ def test_profile_empty_run():
     assert prof.n_messages == 0
     assert prof.busiest_link is None
     assert "0 wire transfers" in prof.report()
+
+
+def test_profile_codec_cache_counters():
+    from repro.compression.cache import GLOBAL_CODEC_CACHE
+
+    GLOBAL_CODEC_CACHE.clear()
+    res = run_traffic(CompressionConfig.mpc_opt())
+    # The run's delta is recorded on the result and flows into the
+    # profile; a 4-rank allgather re-compresses the same buffers, so a
+    # fresh cache must see both misses and hits.
+    assert res.codec_cache["misses"] > 0
+    assert res.codec_cache["hits"] > 0
+    assert res.codec_cache["bytes_saved"] > 0
+    prof = CommProfile.from_result(res)
+    assert prof.codec_cache == res.codec_cache
+    assert prof.as_dict()["codec_cache"] == res.codec_cache
+    assert "codec cache (host-side):" in prof.report()
+    # A second identical run hits where the first missed: the delta is
+    # per-run, not cumulative.
+    res2 = run_traffic(CompressionConfig.mpc_opt())
+    assert res2.codec_cache["hits"] >= res.codec_cache["hits"]
+    assert res2.codec_cache["misses"] == 0
+
+
+def test_profile_codec_cache_absent_without_compression():
+    prof = CommProfile.from_result(run_traffic())
+    # Disabled compression never touches the codec cache.
+    assert prof.codec_cache["hits"] == 0
+    assert prof.codec_cache["misses"] == 0

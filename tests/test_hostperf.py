@@ -1,0 +1,180 @@
+"""Host-performance harness: schema, collection, comparison gating.
+
+These tests never assert absolute wall-clock numbers — host speed is
+machine-dependent.  They pin the *machinery*: the snapshot schema, the
+metric direction convention (``*_per_s`` is a rate even though it also
+ends in ``_s``), the relative-threshold gate, and the selftest that
+proves the gate catches injected regressions.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import hostperf
+
+
+def _tiny_collect(**kw):
+    # One codec config at the small size, single rep: fast enough for CI.
+    return hostperf.collect(quick=True, reps=1,
+                            only="codec/zfp8-f32/smooth/256K", **kw)
+
+
+def test_collect_produces_schema_valid_snapshot():
+    doc = _tiny_collect(label="t")
+    assert doc["schema_version"] == hostperf.SCHEMA_VERSION
+    assert doc["label"] == "t"
+    assert doc["mode"] == "quick"
+    assert doc["reps"] == 1
+    assert list(doc["benchmarks"]) == ["codec/zfp8-f32/smooth/256K"]
+    entry = doc["benchmarks"]["codec/zfp8-f32/smooth/256K"]
+    assert entry["kind"] == "codec"
+    assert entry["params"]["codec"] == "zfp"
+    assert entry["params"]["codec_params"] == {"rate": 8}
+    m = entry["metrics"]
+    for key in ("encode_s", "decode_s", "encode_mb_per_s",
+                "decode_mb_per_s", "ratio"):
+        assert m[key] > 0
+    # Rates and times must agree: MB/s == nbytes / seconds / 1e6.
+    assert m["encode_mb_per_s"] == pytest.approx(
+        entry["params"]["nbytes"] / m["encode_s"] / 1e6, rel=0.01)
+
+
+def test_collect_progress_and_engine_bench():
+    seen = []
+    doc = hostperf.collect(quick=True, reps=1, only="engine/",
+                           progress=seen.append)
+    assert seen == ["engine/events", "engine/spans"]
+    for name in seen:
+        m = doc["benchmarks"][name]["metrics"]
+        assert m["run_s"] > 0 and m["events_per_s"] > 0
+
+
+def test_matrix_covers_every_kind():
+    names = [mb.name for mb in hostperf.benchmark_matrix(quick=True)]
+    assert "engine/events" in names
+    assert "engine/spans" in names
+    assert "e2e/bench-quick" in names
+    codecs = {n.split("/")[1] for n in names if n.startswith("codec/")}
+    assert {"zfp8-f32", "zfp2d8-f32", "mpc-d1-f32", "fpc-f64",
+            "gfc-f64", "sz-f32"} <= codecs
+    # Full mode adds the 16 MiB size.
+    full = [mb.name for mb in hostperf.benchmark_matrix(quick=False)]
+    assert any(n.endswith("/16384K") for n in full)
+    assert not any(n.endswith("/16384K") for n in names)
+
+
+def test_write_load_roundtrip(tmp_path):
+    doc = _tiny_collect(label="rt")
+    path = tmp_path / "HOSTPERF_rt.json"
+    hostperf.write(doc, path)
+    assert hostperf.load(path) == doc
+    # dumps is deterministic and newline-terminated (clean git diffs).
+    text = path.read_text()
+    assert text == hostperf.dumps(doc)
+    assert text.endswith("\n")
+    assert json.loads(text) == doc
+
+
+def test_load_rejects_wrong_schema_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema_version": 999, "benchmarks": {}}))
+    with pytest.raises(ValueError, match="schema_version"):
+        hostperf.load(path)
+
+
+# -- comparison direction semantics ------------------------------------------
+
+def _snap(**metrics):
+    return {"schema_version": hostperf.SCHEMA_VERSION, "label": "x",
+            "mode": "quick", "reps": 1,
+            "benchmarks": {"b": {"kind": "codec", "params": {},
+                                 "metrics": metrics}}}
+
+
+def test_compare_time_growth_is_a_regression():
+    cmp = hostperf.compare(_snap(encode_s=0.02), _snap(encode_s=0.01),
+                           threshold=0.30)
+    assert not cmp.ok
+    (d,) = cmp.regressions
+    assert d.metric == "encode_s" and d.rel == pytest.approx(1.0)
+    assert "REGRESSION" in cmp.report()
+
+
+def test_compare_rate_shrink_is_a_regression():
+    # encode_mb_per_s ends in "_s" too — the _per_s rule must win.
+    cmp = hostperf.compare(_snap(encode_mb_per_s=50.0),
+                           _snap(encode_mb_per_s=100.0), threshold=0.30)
+    assert not cmp.ok
+    (d,) = cmp.regressions
+    assert d.metric == "encode_mb_per_s" and d.rel == pytest.approx(0.5)
+
+
+def test_compare_improvements_report_but_never_gate():
+    cur = _snap(encode_s=0.002, encode_mb_per_s=500.0)
+    base = _snap(encode_s=0.010, encode_mb_per_s=100.0)
+    cmp = hostperf.compare(cur, base, threshold=0.30)
+    assert cmp.ok
+    assert len(cmp.drifts) == 2 and not cmp.regressions
+    assert "improvement" in cmp.report()
+
+
+def test_compare_within_threshold_is_clean():
+    cmp = hostperf.compare(_snap(encode_s=0.011), _snap(encode_s=0.010),
+                           threshold=0.30)
+    assert cmp.ok and not cmp.drifts and cmp.checked == 1
+
+
+def test_compare_skips_uncompared_metrics_and_new_benchmarks():
+    # "ratio" carries no direction suffix: informational only.
+    cmp = hostperf.compare(_snap(ratio=1.0), _snap(ratio=4.0))
+    assert cmp.ok and cmp.checked == 0
+    # A benchmark present only in the baseline (or only in current) is
+    # skipped — the matrix is allowed to grow or shrink.
+    empty = {"schema_version": hostperf.SCHEMA_VERSION, "benchmarks": {}}
+    assert hostperf.compare(empty, _snap(encode_s=0.01)).ok
+    assert hostperf.compare(_snap(encode_s=0.01), empty).ok
+
+
+def test_selftest_passes():
+    assert hostperf.selftest() == []
+
+
+def test_committed_baseline_loads_and_self_compares():
+    doc = hostperf.load("tests/data/HOSTPERF_baseline.json")
+    assert doc["schema_version"] == hostperf.SCHEMA_VERSION
+    assert "e2e/bench-quick" in doc["benchmarks"]
+    cmp = hostperf.compare(doc, doc)
+    assert cmp.ok and cmp.checked > 0 and not cmp.drifts
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def _main(argv):
+    from repro.__main__ import main
+    return main(argv)
+
+
+def test_cli_perf_selftest_ok(capsys):
+    _main(["perf", "--selftest"])
+    assert "selftest OK" in capsys.readouterr().out
+
+
+def test_cli_perf_compare_gates_on_injected_regression(tmp_path, capsys):
+    cur = tmp_path / "cur.json"
+    base = tmp_path / "base.json"
+    doc = _snap(encode_s=0.010)
+    hostperf.write(doc, base)
+    slow = _snap(encode_s=0.030)
+    hostperf.write(slow, cur)
+    with pytest.raises(SystemExit) as exc:
+        _main(["perf", "--against", str(cur), "--compare", str(base)])
+    assert exc.value.code == 1
+    assert "REGRESSION" in capsys.readouterr().out
+    # --advisory reports but exits cleanly.
+    _main(["perf", "--against", str(cur), "--compare", str(base),
+           "--advisory"])
+    assert "REGRESSION" in capsys.readouterr().out
+    # No regression -> clean pass.
+    _main(["perf", "--against", str(base), "--compare", str(base)])
+    assert "OK" in capsys.readouterr().out
