@@ -5,7 +5,8 @@ Commands
 ``machines``              list the cluster presets
 ``codecs``                list codecs and the Table I feature matrix
 ``latency``               osu_latency sweep on a preset
-``bcast`` / ``allgather`` collective latency with dataset payloads
+``bcast`` / ``allgather`` /
+``alltoall`` / ``allreduce``  collective latency with dataset payloads
 ``awp``                   AWP weak-scaling point
 ``dask``                  the transpose-sum benchmark
 ``table3``                dataset compression survey
@@ -84,13 +85,21 @@ def cmd_latency(args) -> None:
 
 
 def cmd_collective(args, op: str) -> None:
-    from repro.omb import osu_allgather, osu_bcast
+    from repro.omb import osu_allgather, osu_allreduce, osu_alltoall, osu_bcast
 
-    fn = osu_bcast if op == "bcast" else osu_allgather
+    fn = {"bcast": osu_bcast, "allgather": osu_allgather,
+          "alltoall": osu_alltoall, "allreduce": osu_allreduce}[op]
+    config = _config(args.config)
+    if getattr(args, "rehop", False):
+        config = config.with_(keep_compressed=False)
+    kwargs = {}
+    if op == "allreduce":
+        kwargs["algorithm"] = args.algorithm
     r = fn(machine=args.machine, nodes=args.nodes, ppn=args.ppn,
            nbytes=parse_size(args.size), payload=f"dataset:{args.dataset}",
-           config=_config(args.config))
-    print(f"{op} {args.dataset} {args.size} on {args.nodes}x{args.ppn} "
+           config=config, **kwargs)
+    algo = f"/{r.algorithm}" if getattr(r, "algorithm", None) else ""
+    print(f"{op}{algo} {args.dataset} {args.size} on {args.nodes}x{args.ppn} "
           f"[{args.config}]: {r.latency_us:.1f} us")
 
 
@@ -317,7 +326,9 @@ def cmd_chaos(args) -> None:
     try:
         report = run_chaos(machine=args.machine, sizes=sizes,
                            config=_config(args.config), plan=plan,
-                           payload=args.payload, iterations=args.iters)
+                           payload=args.payload, iterations=args.iters,
+                           workload=args.workload, nodes=args.nodes,
+                           gpus_per_node=args.ppn)
     except ResilienceError as exc:
         raise SystemExit(
             f"chaos run unrecoverable under {plan.describe()}: {exc}")
@@ -352,7 +363,7 @@ def main(argv=None) -> int:
     p.add_argument("--payload", default="omb")
     p.add_argument("--intra", action="store_true")
 
-    for op in ("bcast", "allgather"):
+    for op in ("bcast", "allgather", "alltoall", "allreduce"):
         p = sub.add_parser(op)
         p.add_argument("--machine", default="frontera-liquid")
         p.add_argument("--nodes", type=int, default=8)
@@ -360,6 +371,13 @@ def main(argv=None) -> int:
         p.add_argument("--size", default="4M")
         p.add_argument("--dataset", default="msg_sppm")
         p.add_argument("--config", default="mpc-opt")
+        p.add_argument("--rehop", action="store_true",
+                       help="decode+re-encode at every hop (ablation of "
+                            "keep-compressed forwarding)")
+        if op == "allreduce":
+            p.add_argument("--algorithm", default=None,
+                           help="ring | recursive_doubling | reduce_bcast "
+                                "(default: auto by rank count)")
 
     p = sub.add_parser("awp")
     p.add_argument("--machine", default="frontera-liquid")
@@ -462,6 +480,13 @@ def main(argv=None) -> int:
     p = sub.add_parser("chaos")
     p.add_argument("--machine", default="longhorn")
     p.add_argument("--config", default="mpc-opt")
+    p.add_argument("--workload", default="pt2pt",
+                   choices=("pt2pt", "bcast", "allgather", "allreduce"),
+                   help="collective workloads fault the relayed "
+                        "keep-compressed hops too")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--ppn", type=int, default=1,
+                   help="ranks per node (collectives default to 2)")
     p.add_argument("--sizes", default="256K,1M")
     p.add_argument("--payload", default="omb")
     p.add_argument("--iters", type=int, default=4)
@@ -480,6 +505,8 @@ def main(argv=None) -> int:
         "latency": cmd_latency,
         "bcast": lambda a: cmd_collective(a, "bcast"),
         "allgather": lambda a: cmd_collective(a, "allgather"),
+        "alltoall": lambda a: cmd_collective(a, "alltoall"),
+        "allreduce": lambda a: cmd_collective(a, "allreduce"),
         "awp": cmd_awp,
         "dask": cmd_dask,
         "table3": cmd_table3,

@@ -144,6 +144,32 @@ def scenario_matrix(quick: bool = True) -> list[Scenario]:
             {"machine": "frontera-liquid", "op": op, "nodes": 2, "ppn": 2,
              "nbytes": coll, "payload": "dataset:msg_sppm",
              "config": "mpc-opt"}))
+    # Keep-compressed vs per-hop-recompress ablation, per topology
+    # preset: the multi-hop collectives relay wire images by default
+    # ("keep"); "rehop" decodes and re-encodes at every hop.
+    for machine in ("frontera-liquid", "longhorn"):
+        for op in ("bcast", "allgather"):
+            for mode, keep in (("keep", True), ("rehop", False)):
+                out.append(Scenario(
+                    f"coll-ablation/{op}/{machine}/{mode}", "collective",
+                    {"machine": machine, "op": op, "nodes": 2, "ppn": 2,
+                     "nbytes": coll, "payload": "dataset:msg_sppm",
+                     "config": "mpc-opt", "keep_compressed": keep}))
+    # osu_allreduce: the two real algorithms under MPC-OPT (the ring
+    # engages the hZCCL-style compressed-domain reduction) plus the
+    # uncompressed baseline for scale.  4x the collective size so the
+    # ring's per-rank chunks (nbytes / 4 ranks) stay above the
+    # compression threshold.
+    for name, cfg, algo in (
+        ("allreduce/mpc-opt/ring", "mpc-opt", "ring"),
+        ("allreduce/mpc-opt/rdouble", "mpc-opt", "recursive_doubling"),
+        ("allreduce/baseline/ring", "baseline", "ring"),
+    ):
+        out.append(Scenario(
+            name, "collective",
+            {"machine": "frontera-liquid", "op": "allreduce", "nodes": 2,
+             "ppn": 2, "nbytes": 4 * coll, "payload": "dataset:msg_sppm",
+             "config": cfg, "algorithm": algo}))
     out.append(Scenario(
         "awp/4gpu-mpc-opt", "awp",
         {"machine": "frontera-liquid", "gpus": 4, "ppn": 2,
@@ -211,12 +237,21 @@ def _run_pt2pt(params: dict) -> dict:
 
 
 def _run_collective(params: dict) -> dict:
-    from repro.omb.collective import osu_allgather, osu_bcast
+    from repro.omb.collective import (osu_allgather, osu_allreduce,
+                                      osu_alltoall, osu_bcast)
 
-    fn = osu_bcast if params["op"] == "bcast" else osu_allgather
+    fns = {"bcast": osu_bcast, "allgather": osu_allgather,
+           "alltoall": osu_alltoall, "allreduce": osu_allreduce}
+    fn = fns[params["op"]]
+    config = named_config(params["config"])
+    if "keep_compressed" in params:
+        config = config.with_(keep_compressed=params["keep_compressed"])
+    kwargs = {}
+    if params["op"] == "allreduce" and params.get("algorithm"):
+        kwargs["algorithm"] = params["algorithm"]
     row = fn(machine=params["machine"], nodes=params["nodes"],
              ppn=params["ppn"], nbytes=params["nbytes"],
-             payload=params["payload"], config=named_config(params["config"]))
+             payload=params["payload"], config=config, **kwargs)
     return {"kind": "collective", "params": params,
             "metrics": {"latency_us": _r(row.latency_us)}}
 

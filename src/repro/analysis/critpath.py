@@ -50,6 +50,7 @@ __all__ = ["Segment", "MessagePath", "CollectivePath", "CritPathAnalyzer",
 ATTRIBUTION_BUCKETS = {
     "compression_kernel": "compression",
     "combine": "compression",
+    "reduction_kernel": "compression",
     "decompression_kernel": "decompression",
     "network": "communication",
 }

@@ -30,6 +30,9 @@ __all__ = ["run_check"]
 #: codecs exercised by the in-process trace/asan smoke (the two paper
 #: schemes plus the pipelined variant, whose traces are the gnarliest)
 SMOKE_CONFIGS = ("mpc-opt", "zfp8", "zfp8-pipe")
+#: keep-compressed collective smokes: 4-rank multi-hop runs whose
+#: relayed wire images the ``collective`` sanitizer pass validates
+SMOKE_COLLECTIVES = ("bcast", "allreduce")
 _SMOKE_BYTES = 1 << 20
 
 
@@ -53,6 +56,28 @@ def _smoke_run(config_name: str, asan: bool):
 
     cluster = Cluster(machine_preset("longhorn"), nodes=2, gpus_per_node=1)
     return cluster.run(rank_fn, config=named_config(config_name),
+                       args=(), asan=asan)
+
+
+def _smoke_collective(op: str, asan: bool):
+    """One 4-rank keep-compressed collective under mpc-opt."""
+    from repro.analysis.bench import named_config
+    from repro.mpi.cluster import Cluster
+    from repro.network.presets import machine_preset
+    from repro.omb.payload import make_payload
+
+    data = make_payload("dataset:msg_sppm", _SMOKE_BYTES, seed=1)
+
+    def rank_fn(comm):
+        if op == "bcast":
+            out = yield from comm.bcast(data if comm.rank == 0 else None,
+                                        root=0)
+        else:
+            out = yield from comm.allreduce(data)
+        return out.nbytes
+
+    cluster = Cluster(machine_preset("longhorn"), nodes=2, gpus_per_node=2)
+    return cluster.run(rank_fn, config=named_config("mpc-opt"),
                        args=(), asan=asan)
 
 
@@ -86,6 +111,12 @@ def _pass_trace(trace_files) -> dict:
             for v in TraceSanitizer.from_tracer(res.tracer).check_all():
                 findings.append(dict(v.as_dict(), trace=name))
                 lines.append(f"[{name}] {v.describe()}")
+        for op in SMOKE_COLLECTIVES:
+            checked.append(f"in-process {op} [mpc-opt]")
+            res = _smoke_collective(op, asan=False)
+            for v in TraceSanitizer.from_tracer(res.tracer).check_all():
+                findings.append(dict(v.as_dict(), trace=op))
+                lines.append(f"[{op}] {v.describe()}")
     return {"pass": "trace", "ok": not findings, "checked": checked,
             "findings": findings, "lines": lines}
 
@@ -94,10 +125,16 @@ def _pass_asan() -> dict:
     from repro.errors import BufferSanitizerError
 
     checked, lines, ok = [], [], True
-    for name in SMOKE_CONFIGS:
-        checked.append(f"in-process pt2pt [{name}]")
+    runs = [(f"in-process pt2pt [{name}]", name,
+             lambda name=name: _smoke_run(name, asan=True))
+            for name in SMOKE_CONFIGS]
+    runs += [(f"in-process {op} [mpc-opt]", op,
+              lambda op=op: _smoke_collective(op, asan=True))
+             for op in SMOKE_COLLECTIVES]
+    for desc, name, fn in runs:
+        checked.append(desc)
         try:
-            res = _smoke_run(name, asan=True)
+            res = fn()
         except BufferSanitizerError as exc:
             ok = False
             lines.append(f"[{name}] {exc}")
@@ -127,6 +164,10 @@ def _pass_selftest() -> dict:
         failures.append("race detector missed overlapping stream-lane spans")
     if not TraceSanitizer(fixtures.acausal_records()).check_causality():
         failures.append("causality check missed a backwards handshake")
+    coll = TraceSanitizer(fixtures.bad_collective_records()).check_collectives()
+    if len(coll) < 3:
+        failures.append("collective check missed a defect on the known-bad "
+                        f"relayed hops (found {len(coll)}/3)")
 
     for fn, exc_type in ((fixtures.run_double_release, DoubleReleaseError),
                          (fixtures.run_use_after_free, UseAfterFreeError),

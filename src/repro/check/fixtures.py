@@ -12,6 +12,10 @@ catch and asserts it is reported:
 * :func:`acausal_records` — a rendezvous message whose ``cts`` precedes
   its ``rts`` and whose wire transfer starts before the ``cts``
   completes;
+* :func:`bad_collective_records` — keep-compressed collective hops
+  committing all three collective-causality crimes: a relayed hop that
+  dropped the originating seq, a wire span outside any collective span
+  on its rank, and an ``origin_seq`` no pack/reduce span minted;
 * :func:`run_double_release` / :func:`run_use_after_free` /
   :func:`run_leak` — minimal simulations committing each buffer
   lifecycle crime under an enabled :class:`BufferSanitizer`; callers
@@ -30,6 +34,7 @@ from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecord
 
 __all__ = ["BAD_LINT_SOURCE", "overlap_records", "acausal_records",
+           "bad_collective_records",
            "run_double_release", "run_use_after_free", "run_leak"]
 
 #: one violation per linter rule; lint_source() must flag all six codes
@@ -80,6 +85,32 @@ def acausal_records() -> list[TraceRecord]:
              dict(seq, nbytes=64), span_id=4),
         _rec(6e-6, 7e-6, "pipeline", "receiver_complete", dict(seq),
              rank=1, span_id=5),
+    ]
+
+
+def bad_collective_records() -> list[TraceRecord]:
+    """Keep-compressed collective hops with three distinct defects:
+    a relayed receiver_complete that dropped the originating seq, an
+    unpack_wire outside any collective span on its rank, and an rts
+    whose origin_seq no pack_wire/reduce_wire span minted."""
+    return [
+        _rec(0.0, 5e-6, "collective", "bcast", {"size": 4}, span_id=1),
+        _rec(0.5e-6, 1e-6, "pipeline", "pack_wire",
+             {"origin_seq": 42, "nbytes": 4096}, span_id=2),
+        # relayed hop seq 7: rts + wire carry the origin, the
+        # receiver_complete DROPPED it
+        _rec(1e-6, 1.2e-6, "pipeline", "rts",
+             {"seq": 7, "origin_seq": 42}, span_id=3),
+        _rec(1.5e-6, 2e-6, "pipeline", "wire_transfer",
+             {"seq": 7, "origin_seq": 42, "nbytes": 64}, span_id=4),
+        _rec(2e-6, 2.5e-6, "pipeline", "receiver_complete",
+             {"seq": 7, "wire_nbytes": 64}, rank=1, span_id=5),
+        # rank 1 unpacks the image with NO collective span on rank 1
+        _rec(3e-6, 4e-6, "pipeline", "unpack_wire",
+             {"origin_seq": 42, "nbytes": 4096}, rank=1, span_id=6),
+        # an origin nobody minted
+        _rec(2.5e-6, 3e-6, "pipeline", "rts",
+             {"seq": 8, "origin_seq": 99}, span_id=7),
     ]
 
 

@@ -39,6 +39,18 @@ Checks (each returns a list of :class:`TraceViolation`):
     the service/wait segments tile ``[t0, t1]`` exactly — durations sum
     to the end-to-end latency within float tolerance.
 
+``collective``
+    Keep-compressed collective causality: every pipeline span carrying
+    an ``origin_seq`` (pack/unpack/reduce and each relayed hop's
+    rts/wire/complete) must start inside a ``collective``-category span
+    on its rank, and its ``origin_seq`` must resolve to a real
+    ``pack_wire``/``reduce_wire`` span; every relayed hop (a seq group
+    with wire spans but no ``sender_prepare``) must stamp the
+    originating seq on its rts/wire_transfer/receiver_complete spans so
+    recovery and attribution can stitch the hop back to its origin.
+    Retransmissions (spans with an ``attempt``) legitimately outlive
+    the collective and are exempt from containment.
+
 Timestamps compare with ``EPS`` = 1 ns slack: the Chrome export rounds
 to 1e-6 us (~1e-12 s), so true violations dwarf the tolerance.
 """
@@ -68,7 +80,7 @@ _TILING_TOL = 5e-9
 class TraceViolation:
     """One invariant violation, pinned to the offending spans."""
 
-    check: str        #: "serial-lane" | "containment" | "causality" | "tiling"
+    check: str        #: "serial-lane" | "containment" | "causality" | "tiling" | "collective"
     message: str
     span_ids: tuple = ()
     t: float = 0.0    #: sim-time where the violation manifests
@@ -289,7 +301,62 @@ class TraceSanitizer:
                 prev = seg.t_end
         return out
 
+    def check_collectives(self) -> list[TraceViolation]:
+        """Keep-compressed collective causality (see module docstring)."""
+        out = []
+        # collective-category spans, per rank
+        coll_spans: dict[int, list[TraceRecord]] = {}
+        for r in self.records:
+            if r.category == "collective" and r.rank is not None:
+                coll_spans.setdefault(r.rank, []).append(r)
+        # origin_seqs minted by a pack or a compressed-domain reduction
+        origins = {r.meta["origin_seq"] for r in self.records
+                   if r.label in ("pack_wire", "reduce_wire")
+                   and "origin_seq" in r.meta}
+
+        def contained(rec) -> bool:
+            return any(c.t_start - EPS <= rec.t_start <= c.t_end + EPS
+                       for c in coll_spans.get(rec.rank, ()))
+
+        for rec in self.records:
+            if rec.category != "pipeline" or "origin_seq" not in rec.meta:
+                continue
+            if rec.meta["origin_seq"] not in origins:
+                out.append(TraceViolation(
+                    "collective",
+                    f"span {rec.span_id} ({rec.label}) carries "
+                    f"origin_seq {rec.meta['origin_seq']} but no "
+                    f"pack_wire/reduce_wire span minted it",
+                    span_ids=(rec.span_id,), t=rec.t_start))
+            if "attempt" in rec.meta:
+                continue  # retransmits legitimately outlive the collective
+            if rec.rank is not None and not contained(rec):
+                out.append(TraceViolation(
+                    "collective",
+                    f"span {rec.span_id} ({rec.label}, rank {rec.rank}) "
+                    f"carries origin_seq {rec.meta['origin_seq']} but "
+                    f"starts outside every collective span on its rank",
+                    span_ids=(rec.span_id,), t=rec.t_start))
+
+        # relayed hops must stamp the originating seq on every wire span
+        for seq, spans in sorted(self.by_seq().items()):
+            labels = {r.label for r in spans}
+            if "sender_prepare" in labels:
+                continue  # plain rendezvous, not a relayed wire image
+            if not any("origin_seq" in r.meta for r in spans):
+                continue  # not a wire hop at all (e.g. eager control)
+            for r in spans:
+                if r.label in ("rts", "wire_transfer", "receiver_complete") \
+                        and "origin_seq" not in r.meta:
+                    out.append(TraceViolation(
+                        "collective",
+                        f"seq {seq}: relayed {r.label} span {r.span_id} "
+                        f"dropped the originating seq",
+                        span_ids=(r.span_id,), t=r.t_start))
+        return out
+
     def check_all(self) -> list[TraceViolation]:
-        """All four checks, in a stable order."""
+        """All five checks, in a stable order."""
         return (self.check_serial_lanes() + self.check_containment()
-                + self.check_causality() + self.check_tiling())
+                + self.check_causality() + self.check_tiling()
+                + self.check_collectives())

@@ -95,6 +95,14 @@ class Compressor(ABC):
     #: Table I column: efficient MPI (on-the-fly) support — only the
     #: proposed OPT schemes set this
     mpi_support: ClassVar[bool] = False
+    #: hZCCL-style reduction capability: the codec can combine two
+    #: compressed payloads in the partially-decoded domain, producing
+    #: bits identical to ``compress(op(decompress(a), decompress(b)))``.
+    #: Only meaningful for lossless codecs (a lossy codec would stack a
+    #: second quantization error on the already-lossy operands), so the
+    #: reduction collectives consult this flag before routing sums
+    #: through :meth:`reduce_compressed`.
+    reduce_supported: ClassVar[bool] = False
 
     #: dtypes accepted by compress()
     supported_dtypes: ClassVar[tuple] = (np.float32, np.float64)
@@ -126,6 +134,35 @@ class Compressor(ABC):
             raise CompressionError(
                 f"payload was produced by {comp.algorithm!r}, not {self.name!r}"
             )
+
+    def reduce_compressed(
+        self, a: CompressedData, b: CompressedData, op: Any = np.add
+    ) -> CompressedData:
+        """Combine two compressed payloads without a full round trip.
+
+        The contract is strict: the result must be bit-identical to
+        ``compress(op(decompress(a), decompress(b)))``.  The default
+        implementation realises exactly that contract by decoding both
+        operands, applying ``op`` and re-encoding; codecs that set
+        :attr:`reduce_supported` advertise that this is *cheap* on the
+        device (hZCCL fuses the partial decode, the elementwise op and
+        the re-encode into one kernel launch) — the simulator charges
+        the fused-kernel time from
+        :meth:`repro.compression.perfmodel.KernelCostModel.reduce_time`
+        instead of separate decompress + compress launches.
+        """
+        if not self.reduce_supported:
+            raise CompressionError(
+                f"{self.name}: codec does not support compressed-domain reduction"
+            )
+        self._check_payload(a)
+        self._check_payload(b)
+        if a.n_elements != b.n_elements or a.dtype != b.dtype:
+            raise CompressionError(
+                f"{self.name}: reduce_compressed operand mismatch "
+                f"({a.n_elements}x{a.dtype} vs {b.n_elements}x{b.dtype})"
+            )
+        return self.compress(op(self.decompress(a), self.decompress(b)))
 
     def expected_compressed_bytes(self, n_elements: int, itemsize: int) -> int | None:
         """For fixed-rate codecs, the exact compressed size; ``None``

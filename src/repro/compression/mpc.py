@@ -113,6 +113,10 @@ class MpcCompressor(Compressor):
     double_precision = True
     high_throughput = True
     mpi_support = False  # the naive library; MPC-OPT flips this
+    #: MPC is lossless, so summing in the partially-decoded domain
+    #: (undo zero-elimination + bit transpose, add, re-encode — fused
+    #: hZCCL-style) reproduces compress(add(dec(a), dec(b))) exactly.
+    reduce_supported = True
 
     def __init__(self, dimensionality: int = 1):
         if dimensionality < 1:

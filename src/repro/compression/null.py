@@ -19,6 +19,7 @@ class NullCompressor(Compressor):
     double_precision = True
     high_throughput = True
     mpi_support = True
+    reduce_supported = True  # payload *is* the data; reduction is a raw add
 
     def expected_compressed_bytes(self, n_elements: int, itemsize: int) -> int:
         return n_elements * itemsize

@@ -88,6 +88,21 @@ class KernelCostModel:
         tp = self.decompress_tp * self._scale(sm_count) * self.occupancy(blocks, sm_count)
         return self.launch_overhead + nbytes_out / tp + self.sync_per_block * blocks
 
+    def reduce_time(self, nbytes: int, blocks: int, sm_count: int) -> float:
+        """Duration of one fused hZCCL-style reduction kernel: partially
+        decode both compressed operands, combine elementwise, and
+        re-encode the result, all in a single launch.  Pays the decode
+        and encode passes over ``nbytes`` of uncompressed data but only
+        one launch and one block-synchronization epoch — versus the
+        naive decompress + add + compress sequence's two launches, two
+        sync epochs, and full-precision intermediate."""
+        scale = self._scale(sm_count)
+        occ = self.occupancy(blocks, sm_count)
+        tp_d = self.decompress_tp * scale * occ
+        tp_c = self.compress_tp * scale * occ
+        return (self.launch_overhead + nbytes / tp_d + nbytes / tp_c
+                + self.sync_per_block * blocks)
+
 
 # Table III calibration (V100).  MPC's busy-wait barrier cost is chosen
 # so a full-device (80-block) kernel pays ~24us of synchronization —

@@ -61,6 +61,13 @@ class CompressionConfig:
     adaptive:
         Enable the future-work online policy
         (:class:`repro.core.adaptive.AdaptivePolicy`).
+    keep_compressed:
+        gZCCL/ZCCL-style collective forwarding: intermediate ranks of a
+        collective relay the originating rank's compressed wire image
+        (verifying only its wire CRC) instead of decompressing and
+        recompressing at every hop.  On by default; turn off for the
+        per-hop-recompress ablation in ``repro bench``.  Ignored when
+        ``enabled`` is False (raw payloads have no wire image to keep).
     pipeline:
         Extension: stream each compressed partition to the wire as soon
         as its kernel completes (and decompress each on arrival),
@@ -83,6 +90,7 @@ class CompressionConfig:
     cache_device_attrs: bool = True
     adaptive: bool = False
     pipeline: bool = False
+    keep_compressed: bool = True
 
     def __post_init__(self):
         if self.algorithm not in _ALGORITHMS:

@@ -575,6 +575,125 @@ class CompressionEngine:
         )
         return GLOBAL_CODEC_CACHE.decompress(codec, comp)
 
+    # -- compressed-domain reduction (hZCCL-style) ---------------------------
+    def reduce_capable(self, op) -> bool:
+        """True when reduction collectives may combine *compressed* wire
+        payloads directly via :meth:`reduce_wire_payload` instead of
+        decoding at every hop: compression on, the reduction is a plain
+        sum, and the configured codec advertises
+        :attr:`~repro.compression.base.Compressor.reduce_supported`."""
+        cfg = self.config
+        if not cfg.enabled or op is not np.add:
+            return False
+        codec = self._transport_codec()
+        clean = getattr(codec, "inner", codec)
+        return bool(clean.reduce_supported)
+
+    def _transport_codec(self):
+        """The codec the current config would put on the wire."""
+        cfg = self.config
+        if cfg.algorithm == "mpc":
+            return self._codec("mpc", dimensionality=cfg.mpc_dimensionality)
+        if cfg.algorithm == "zfp":
+            return self._codec("zfp", rate=cfg.zfp_rate)
+        if cfg.algorithm == "sz":
+            return self._codec("sz", error_bound=cfg.sz_error_bound)
+        return self._codec(cfg.algorithm)
+
+    def reduce_wire_payload(self, header_a: CompressionHeader, payload_a,
+                            header_b: CompressionHeader, payload_b,
+                            want_crc: bool = False):
+        """Combine two compressed wire payloads without decoding either
+        to full precision (generator subroutine).
+
+        Both operands must be compressed images of the same shape (same
+        codec, element count and partitioning — which reduction
+        collectives guarantee because every rank packs the same chunk
+        geometry).  One fused partial-decode + add + re-encode kernel is
+        charged per partition; the result's bits are exactly
+        ``compress(add(decompress(a), decompress(b)))`` per the
+        :meth:`~repro.compression.base.Compressor.reduce_compressed`
+        contract.
+
+        Returns ``(header, payload, crc)`` for the combined image —
+        falling back to an uncompressed header + raw array when the
+        partial sums stop compressing.  ``crc`` (the post-decode stamp)
+        is computed only when ``want_crc`` — integrity checking is the
+        only consumer.
+        """
+        if not (header_a.compressed and header_b.compressed):
+            raise CompressionError("reduce_wire_payload needs two compressed operands")
+        if (header_a.algorithm != header_b.algorithm
+                or header_a.n_elements != header_b.n_elements
+                or header_a.n_partitions != header_b.n_partitions
+                or header_a.dtype_name != header_b.dtype_name):
+            raise CompressionError(
+                f"wire reduction operand mismatch: {header_a!r} vs {header_b!r}"
+            )
+        spec = self.device.spec
+        model = kernel_cost_model_for(header_a.algorithm)
+        codec = self._codec(header_a.algorithm, **header_a.codec_params())
+        clean = getattr(codec, "inner", codec)
+        dtype = np.dtype(header_a.dtype_name)
+        parts = header_a.n_partitions
+        counts = _partition_counts(header_a.n_elements, parts)
+
+        # Fused kernels, one per partition, like the decode path.
+        blocks = max(1, spec.sm_count // parts)
+        durations = [
+            model.reduce_time(c * dtype.itemsize, blocks, spec.sm_count)
+            for c in counts
+        ]
+        self._observe_kernels("reduce", header_a.algorithm, durations)
+        yield from self._run_partition_kernels(durations, blocks, "reduction_kernel")
+
+        def _split(header, payload):
+            payload = np.ascontiguousarray(payload, dtype=np.uint8)
+            pieces, offset = [], 0
+            for size in header.partition_sizes:
+                pieces.append(payload[offset:offset + size])
+                offset += size
+            if offset != payload.nbytes:
+                raise CompressionError(
+                    f"payload has {payload.nbytes} bytes but partitions account for {offset}"
+                )
+            return pieces
+
+        params = header_a.codec_params()
+        reduced = []
+        for count, pa, pb in zip(counts, _split(header_a, payload_a),
+                                 _split(header_b, payload_b)):
+            comp_a = CompressedData(algorithm=header_a.algorithm, payload=pa,
+                                    n_elements=count, dtype=dtype, params=params)
+            comp_b = CompressedData(algorithm=header_a.algorithm, payload=pb,
+                                    n_elements=count, dtype=dtype, params=params)
+            reduced.append(clean.reduce_compressed(comp_a, comp_b))
+        sizes = [c.nbytes for c in reduced]
+
+        raw_nbytes = header_a.n_elements * dtype.itemsize
+        if sum(sizes) >= raw_nbytes:
+            # Partial sums stopped compressing: decode once and degrade
+            # this accumulator to a raw image.
+            out = np.concatenate([clean.decompress(c) for c in reduced]) \
+                if parts > 1 else clean.decompress(reduced[0])
+            self._record_compression(header_a.algorithm, raw_nbytes,
+                                     sum(sizes), fallback=True)
+            return (CompressionHeader.uncompressed(raw_nbytes), out,
+                    payload_crc32(out) if want_crc else None)
+
+        self._record_compression(header_a.algorithm, raw_nbytes, sum(sizes))
+        payload = np.concatenate([c.payload for c in reduced]) \
+            if parts > 1 else reduced[0].payload
+        header = CompressionHeader.for_message(
+            header_a.algorithm, dtype, header_a.n_elements,
+            header_a.param, sizes,
+        )
+        crc = None
+        if want_crc:
+            outs = [GLOBAL_CODEC_CACHE.decompress(clean, c) for c in reduced]
+            crc = payload_crc32(np.concatenate(outs) if parts > 1 else outs[0])
+        return header, payload, crc
+
     # -- receiver -----------------------------------------------------------
     def receiver_prepare(self, header: CompressionHeader):
         """Between RTS and CTS: obtain the temporary device buffer (and

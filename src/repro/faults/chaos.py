@@ -98,6 +98,50 @@ def _counters_with_prefix(metrics, prefix: str) -> dict:
     return out
 
 
+def _pt2pt_rank_fn(payloads):
+    def rank_fn(comm):
+        if comm.rank == 0:
+            for i, p in enumerate(payloads):
+                yield from comm.send(p, 1, tag=i)
+            return None
+        got = []
+        for i in range(len(payloads)):
+            r = yield from comm.recv(0, tag=i)
+            got.append(r)
+        return got
+    return rank_fn
+
+
+def _collective_rank_fn(op, payloads):
+    """Every rank contributes a distinct payload (base + rank) and
+    returns everything it received, so the clean/faulty comparison
+    covers the *relayed* hops — the keep-compressed collectives forward
+    the originating rank's wire image through intermediates, and a
+    corrupted or dropped relay must be re-fetched from its immediate
+    upstream bit-for-bit."""
+    def rank_fn(comm):
+        got = []
+        for p in payloads:
+            mine = p + np.asarray(comm.rank, dtype=p.dtype)
+            if op == "bcast":
+                out = yield from comm.bcast(p if comm.rank == 0 else None,
+                                            root=0)
+                got.append(np.asarray(out))
+            elif op == "allgather":
+                out = yield from comm.allgather(mine)
+                got.extend(np.asarray(c) for c in out)
+            elif op == "allreduce":
+                out = yield from comm.allreduce(mine)
+                got.append(np.asarray(out))
+            else:  # pragma: no cover - validated by run_chaos
+                raise ValueError(op)
+        return got
+    return rank_fn
+
+
+WORKLOADS = ("pt2pt", "bcast", "allgather", "allreduce")
+
+
 def run_chaos(
     machine: str = "longhorn",
     sizes: tuple = (1 << 18, 1 << 20),
@@ -110,11 +154,18 @@ def run_chaos(
     gpus_per_node: int = 1,
     max_time: float = 60.0,
     asan: bool = True,
+    workload: str = "pt2pt",
 ) -> ChaosReport:
-    """OMB pt2pt sweep under a fault plan, with bit-exactness checks.
+    """OMB-style sweep under a fault plan, with bit-exactness checks.
 
-    Rank 0 streams ``iterations`` distinct payloads per size to rank 1.
-    Returns a :class:`ChaosReport`; ``report.ok`` is the pass/fail.
+    ``workload="pt2pt"`` (default): rank 0 streams ``iterations``
+    distinct payloads per size to rank 1.  ``"bcast"`` /
+    ``"allgather"`` / ``"allreduce"``: all ``nodes * gpus_per_node``
+    ranks run the collective ``iterations`` times; the faulty run's
+    results on EVERY rank are compared to the clean run's, which
+    specifically exercises recovery on relayed (keep-compressed)
+    collective hops.  Returns a :class:`ChaosReport`; ``report.ok`` is
+    the pass/fail.
 
     ``asan`` (default on) runs every clean and faulty pass under the
     buffer sanitizer — the recovery paths are exactly where a stray
@@ -124,32 +175,34 @@ def run_chaos(
     from repro.mpi.cluster import Cluster
     from repro.omb.payload import make_payload
 
+    if workload not in WORKLOADS:
+        raise ValueError(f"unknown workload {workload!r}; known: {WORKLOADS}")
     config = config or CompressionConfig.mpc_opt()
     plan = plan or FaultPlan(seed=1, corrupt_rate=0.05)
+    if workload != "pt2pt" and gpus_per_node == 1 and nodes == 2:
+        gpus_per_node = 2  # default to a 4-rank, multi-hop communicator
     cluster = Cluster(machine, nodes=nodes, gpus_per_node=gpus_per_node)
     results = []
     for nbytes in sizes:
         payloads = [make_payload(payload, nbytes, seed=i)
                     for i in range(iterations)]
+        if workload == "pt2pt":
+            rank_fn = _pt2pt_rank_fn(payloads)
+        else:
+            rank_fn = _collective_rank_fn(workload, payloads)
 
-        def rank_fn(comm):
-            if comm.rank == 0:
-                for i, p in enumerate(payloads):
-                    yield from comm.send(p, 1, tag=i)
-                return None
-            got = []
-            for i in range(len(payloads)):
-                r = yield from comm.recv(0, tag=i)
-                got.append(r)
-            return got
-
-        clean = cluster.run(rank_fn, nprocs=2, config=config,
+        nprocs = 2 if workload == "pt2pt" else None
+        clean = cluster.run(rank_fn, nprocs=nprocs, config=config,
                             max_time=max_time, asan=asan)
-        faulty = cluster.run(rank_fn, nprocs=2, config=config, faults=plan,
-                             resilience=resilience, max_time=max_time,
-                             asan=asan)
-        expected = clean.values[1]
-        received = faulty.values[1]
+        faulty = cluster.run(rank_fn, nprocs=nprocs, config=config,
+                             faults=plan, resilience=resilience,
+                             max_time=max_time, asan=asan)
+        if workload == "pt2pt":
+            expected = clean.values[1]
+            received = faulty.values[1]
+        else:
+            expected = [a for per_rank in clean.values for a in per_rank]
+            received = [a for per_rank in faulty.values for a in per_rank]
         mismatches = sum(
             0 if (e.dtype == r.dtype and e.shape == r.shape
                   and np.array_equal(e, r)) else 1

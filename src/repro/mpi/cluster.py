@@ -65,6 +65,10 @@ class _RetransmitEntry:
     wire_nbytes: int
     crc: Optional[int]
     compressed: bool
+    #: wire-level CRC for relayed (keep-compressed) hops
+    wire_crc: Optional[int] = None
+    #: originating pack seq for relayed hops
+    origin_seq: Optional[int] = None
 
 
 class Runtime:
@@ -126,7 +130,9 @@ class Runtime:
 
     def register_retransmit(self, seq: int, src: int, dst: int, tag: int,
                             header, payload, wire_nbytes: int,
-                            crc: Optional[int], compressed: bool) -> bool:
+                            crc: Optional[int], compressed: bool,
+                            wire_crc: Optional[int] = None,
+                            origin_seq: Optional[int] = None) -> bool:
         """Retain sender-side wire bytes for possible retransmission.
         Only active under a fault plane — in a fault-free run nothing is
         retained and :meth:`retire` is a silent no-op."""
@@ -135,6 +141,7 @@ class Runtime:
         self._retransmit[seq] = _RetransmitEntry(
             src=src, dst=dst, tag=tag, header=header, payload=payload,
             wire_nbytes=wire_nbytes, crc=crc, compressed=compressed,
+            wire_crc=wire_crc, origin_seq=origin_seq,
         )
         return True
 
@@ -170,9 +177,11 @@ class Runtime:
             return False
 
         def proc():
+            extra = ({"origin_seq": entry.origin_seq}
+                     if entry.origin_seq is not None else {})
             with trace_scope(self.sim, "pipeline", "wire_transfer",
                              rank=entry.src, seq=seq, nbytes=entry.wire_nbytes,
-                             dst=entry.dst, attempt=attempt):
+                             dst=entry.dst, attempt=attempt, **extra):
                 delivered = yield from self.transfer(
                     entry.src, entry.dst, entry.wire_nbytes,
                     label="rndv_retry", payload=entry.payload,
@@ -184,7 +193,8 @@ class Runtime:
             self.matching_of(entry.dst).deliver_data(
                 Packet(PacketKind.DATA, entry.src, entry.dst, entry.tag, seq,
                        payload=delivered, wire_nbytes=entry.wire_nbytes,
-                       crc=entry.crc, attempt=attempt)
+                       crc=entry.crc, attempt=attempt,
+                       wire_crc=entry.wire_crc, origin_seq=entry.origin_seq)
             )
 
         self.sim.process(proc(), name=f"retransmit{seq}.{attempt}")

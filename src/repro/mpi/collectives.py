@@ -3,17 +3,28 @@
 Because the rendezvous path (and hence the compression framework) sits
 under every large transfer, collectives gain from compression without
 any algorithm changes — exactly how the paper evaluates MPI_Bcast and
-MPI_Allgather, and how the future-work Alltoall/Allreduce behave.
+MPI_Allgather.  On top of that, the gZCCL/ZCCL observation applies:
+when a collective *forwards* data across intermediate ranks, decoding
+and re-encoding at every hop wastes both kernel time and latency.  With
+``CompressionConfig.keep_compressed`` (the default for enabled
+configs), forwarding collectives compress once at the originating
+rank, relay the :class:`~repro.mpi.wire.WireImage` hop by hop — each
+relay verifying only the cheap wire CRC — and decompress once per
+consumer.  Reduction collectives additionally use the hZCCL-style
+:meth:`~repro.compression.base.Compressor.reduce_compressed` hook to
+sum in the partially-decoded domain when the codec supports it.
 
 Algorithms (classic MPICH choices for large messages on small ranks):
 
-* ``bcast`` — binomial tree.
-* ``gather``/``scatter`` — linear rooted.
-* ``allgather`` — ring.
+* ``bcast`` — binomial tree (keep-compressed relays on interior ranks).
+* ``gather``/``scatter`` — linear rooted (scatter packs per chunk).
+* ``allgather`` — ring (keep-compressed relays around the ring).
 * ``reduce`` — binomial tree with local combine.
-* ``allreduce`` — recursive doubling on power-of-two sizes, otherwise
-  reduce + bcast.
-* ``alltoall`` — pairwise exchange.
+* ``allreduce`` — selectable: ring (reduce-scatter + allgather, any
+  size), recursive doubling (power-of-two sizes), or reduce+bcast.
+  The default picks recursive doubling on power-of-two sizes and the
+  ring otherwise.
+* ``alltoall`` — pairwise exchange (pack once per destination chunk).
 * ``barrier`` — dissemination.
 
 All functions are generator subroutines; every rank of the
@@ -33,7 +44,7 @@ from repro.sim.trace import trace_scope
 
 __all__ = [
     "bcast", "gather", "scatter", "allgather", "reduce", "allreduce",
-    "alltoall", "barrier", "COLL_TAG_BASE",
+    "alltoall", "barrier", "COLL_TAG_BASE", "ALLREDUCE_ALGORITHMS",
 ]
 
 COLL_TAG_BASE = 1 << 20
@@ -44,6 +55,11 @@ _T_ALLGATHER = COLL_TAG_BASE + 4
 _T_REDUCE = COLL_TAG_BASE + 5
 _T_ALLTOALL = COLL_TAG_BASE + 6
 _T_BARRIER = COLL_TAG_BASE + 7
+_T_RING_RS = COLL_TAG_BASE + 8   # ring allreduce, reduce-scatter phase
+_T_RING_AG = COLL_TAG_BASE + 9   # ring allreduce, allgather phase
+
+#: names accepted by ``allreduce(..., algorithm=...)``
+ALLREDUCE_ALGORITHMS = ("ring", "recursive_doubling", "reduce_bcast")
 
 
 def _default_op(op: Optional[Callable]) -> Callable:
@@ -66,12 +82,19 @@ def _traced(fn):
 
 @_traced
 def bcast(comm, data: Any, root: int = 0):
-    """Binomial-tree broadcast; returns the data on every rank."""
+    """Binomial-tree broadcast; returns the data on every rank.
+
+    Keep-compressed mode: the root packs once, interior ranks relay the
+    wire image to their subtrees before (and while) decoding their own
+    copy."""
     size, rank = comm.size, comm.rank
     if not (0 <= root < size):
         raise MpiError(f"bcast root {root} out of range")
     if size == 1:
         return data
+    if comm.keep_compressed_active():
+        result = yield from _bcast_wire(comm, data, root)
+        return result
     rel = (rank - root) % size
 
     # Receive from the parent (the peer that owns our highest set bit).
@@ -93,6 +116,39 @@ def bcast(comm, data: Any, root: int = 0):
     for r in reqs:
         yield from r.wait()
     return data
+
+
+def _bcast_wire(comm, data: Any, root: int):
+    """Binomial tree over wire images: pack once at the root, relay."""
+    size, rank = comm.size, comm.rank
+    rel = (rank - root) % size
+    if rank == root:
+        wire = yield from comm.pack_wire(data)
+        mask = 1
+        while mask < size:
+            mask <<= 1
+    else:
+        wire = None
+        mask = 1
+        while mask < size:
+            if rel & mask:
+                parent = ((rel & ~mask) + root) % size
+                wire = yield from comm.recv_wire(parent, _T_BCAST)
+                break
+            mask <<= 1
+    mask >>= 1
+    reqs = []
+    while mask > 0:
+        if rel + mask < size and not (rel & mask):
+            child = ((rel | mask) + root) % size
+            reqs.append(comm.isend_wire(wire, child, _T_BCAST))
+        mask >>= 1
+    # Decode the local copy while the relays to the subtree are in
+    # flight — the single decompression of the keep-compressed path.
+    out = data if rank == root else (yield from comm.unpack_wire(wire))
+    for r in reqs:
+        yield from r.wait()
+    return out
 
 
 @_traced
@@ -119,17 +175,35 @@ def scatter(comm, chunks, root: int = 0):
     if rank == root:
         if chunks is None or len(chunks) != size:
             raise MpiError(f"scatter needs exactly {size} chunks at the root")
-        reqs = [comm.isend(chunks[dst], dst, _T_SCATTER) for dst in range(size) if dst != root]
+        if comm.keep_compressed_active():
+            reqs = []
+            for dst in range(size):
+                if dst == root:
+                    continue
+                wire = yield from comm.pack_wire(chunks[dst])
+                reqs.append(comm.isend_wire(wire, dst, _T_SCATTER))
+        else:
+            reqs = [comm.isend(chunks[dst], dst, _T_SCATTER)
+                    for dst in range(size) if dst != root]
         for r in reqs:
             yield from r.wait()
         return chunks[rank]
+    if comm.keep_compressed_active():
+        wire = yield from comm.recv_wire(root, _T_SCATTER)
+        data = yield from comm.unpack_wire(wire)
+        return data
     data = yield from comm.recv(root, _T_SCATTER)
     return data
 
 
 @_traced
 def allgather(comm, data: Any):
-    """Ring allgather; returns the list of all contributions."""
+    """Ring allgather; returns the list of all contributions.
+
+    Keep-compressed mode: every rank packs its own contribution once;
+    the ring then relays wire images — a block travels ``size - 1``
+    hops but is compressed exactly once and decompressed once per
+    consumer."""
     size, rank = comm.size, comm.rank
     out: list = [None] * size
     out[rank] = data
@@ -137,6 +211,20 @@ def allgather(comm, data: Any):
         return out
     right = (rank + 1) % size
     left = (rank - 1) % size
+    if comm.keep_compressed_active():
+        wires: list = [None] * size
+        wires[rank] = yield from comm.pack_wire(data)
+        send_block = rank
+        for _ in range(size - 1):
+            recv_block = (send_block - 1) % size
+            wires[recv_block] = yield from comm.sendrecv_wire(
+                wires[send_block], right, left, _T_ALLGATHER, _T_ALLGATHER
+            )
+            send_block = recv_block
+        for i in range(size):
+            if i != rank:
+                out[i] = yield from comm.unpack_wire(wires[i])
+        return out
     send_block = rank
     for _ in range(size - 1):
         recv_block = (send_block - 1) % size
@@ -170,42 +258,167 @@ def reduce(comm, data: Any, root: int = 0, op: Optional[Callable] = None):
     return result
 
 
+def _normalize_algorithm(algorithm: Optional[str], size: int) -> str:
+    if algorithm is None:
+        return "recursive_doubling" if size & (size - 1) == 0 else "ring"
+    name = algorithm.replace("-", "_")
+    if name in ("rdouble", "rd"):
+        name = "recursive_doubling"
+    if name not in ALLREDUCE_ALGORITHMS:
+        raise MpiError(
+            f"unknown allreduce algorithm {algorithm!r}; "
+            f"known: {ALLREDUCE_ALGORITHMS}"
+        )
+    return name
+
+
 @_traced
-def allreduce(comm, data: Any, op: Optional[Callable] = None):
-    """Recursive doubling (power-of-two ranks) or reduce+bcast."""
-    size, rank = comm.size, comm.rank
+def allreduce(comm, data: Any, op: Optional[Callable] = None,
+              algorithm: Optional[str] = None):
+    """Allreduce with a selectable algorithm (see
+    :data:`ALLREDUCE_ALGORITHMS`); defaults to recursive doubling on
+    power-of-two communicator sizes and the ring elsewhere."""
+    size = comm.size
     op = _default_op(op)
-    if size & (size - 1) == 0:
-        result = data
+    algo = _normalize_algorithm(algorithm, size)
+    if size == 1:
+        return data
+    if algo == "reduce_bcast":
+        result = yield from reduce(comm, data, 0, op)
+        result = yield from bcast(comm, result, 0)
+        return result
+    if algo == "recursive_doubling":
+        if size & (size - 1):
+            raise MpiError(
+                f"recursive_doubling needs a power-of-two size, got {size}"
+            )
+        result = yield from _allreduce_rdouble(comm, data, op)
+        return result
+    result = yield from _allreduce_ring(comm, data, op)
+    return result
+
+
+def _allreduce_rdouble(comm, data: Any, op: Callable):
+    """Recursive doubling: log2(size) exchanges of the full vector.
+
+    When the codec supports compressed-domain reduction, the vector is
+    packed once and every step combines wire images with one fused
+    kernel instead of a decompress + add + recompress sequence."""
+    size, rank = comm.size, comm.rank
+    if comm.keep_compressed_active(data) and comm.wire_reduce_capable(op):
+        acc = yield from comm.pack_wire(np.asarray(data).reshape(-1))
         mask = 1
         while mask < size:
             peer = rank ^ mask
-            received = yield from comm.sendrecv(
-                result, peer, peer, _T_REDUCE, _T_REDUCE
+            received = yield from comm.sendrecv_wire(
+                acc, peer, peer, _T_REDUCE, _T_REDUCE
             )
-            result = op(result, received)
+            acc = yield from comm.reduce_wires(acc, received, op)
             mask <<= 1
-        return result
-    result = yield from reduce(comm, data, 0, op)
-    result = yield from bcast(comm, result, 0)
+        result = yield from comm.unpack_wire(acc)
+        return result.reshape(np.asarray(data).shape)
+    result = data
+    mask = 1
+    while mask < size:
+        peer = rank ^ mask
+        received = yield from comm.sendrecv(
+            result, peer, peer, _T_REDUCE, _T_REDUCE
+        )
+        result = op(result, received)
+        mask <<= 1
     return result
+
+
+def _allreduce_ring(comm, data: Any, op: Callable):
+    """Ring allreduce: reduce-scatter then allgather, ``2 * (size - 1)``
+    steps over ``1/size``-sized chunks (the bandwidth-optimal large-
+    message algorithm; SNIPPETS.md snippet 1's ``mpiAllReduceCompressed``
+    follows the same shape).
+
+    Both phases run over wire images when the codec supports
+    compressed-domain reduction: the reduce-scatter combines incoming
+    chunks with fused kernels and the allgather phase relays the final
+    chunks keep-compressed.  Otherwise the reduce-scatter runs on raw
+    chunks (each hop compressing via the ordinary rendezvous path).
+    """
+    size, rank = comm.size, comm.rank
+    arr = np.asarray(data)
+    flat = arr.reshape(-1)
+    chunks = np.array_split(flat, size)
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+
+    if comm.keep_compressed_active(data) and comm.wire_reduce_capable(op):
+        state: list = []
+        for c in chunks:
+            wire = yield from comm.pack_wire(c)
+            state.append(wire)
+        send_idx = rank
+        for _ in range(size - 1):
+            recv_idx = (send_idx - 1) % size
+            received = yield from comm.sendrecv_wire(
+                state[send_idx], right, left, _T_RING_RS, _T_RING_RS
+            )
+            state[recv_idx] = yield from comm.reduce_wires(
+                state[recv_idx], received, op
+            )
+            send_idx = recv_idx
+        # Rank r now owns the fully-reduced chunk (r + 1) % size; walk
+        # it around the ring keep-compressed.
+        for s in range(size - 1):
+            send_idx = (rank + 1 - s) % size
+            recv_idx = (rank - s) % size
+            state[recv_idx] = yield from comm.sendrecv_wire(
+                state[send_idx], right, left, _T_RING_AG, _T_RING_AG
+            )
+        parts = []
+        for wire in state:
+            part = yield from comm.unpack_wire(wire)
+            parts.append(part)
+        return np.concatenate(parts).reshape(arr.shape)
+
+    acc = [np.array(c) for c in chunks]
+    send_idx = rank
+    for _ in range(size - 1):
+        recv_idx = (send_idx - 1) % size
+        received = yield from comm.sendrecv(
+            acc[send_idx], right, left, _T_RING_RS, _T_RING_RS
+        )
+        acc[recv_idx] = op(acc[recv_idx], received)
+        send_idx = recv_idx
+    for s in range(size - 1):
+        send_idx = (rank + 1 - s) % size
+        recv_idx = (rank - s) % size
+        acc[recv_idx] = yield from comm.sendrecv(
+            acc[send_idx], right, left, _T_RING_AG, _T_RING_AG
+        )
+    return np.concatenate(acc).reshape(arr.shape)
 
 
 @_traced
 def alltoall(comm, chunks):
     """Pairwise-exchange alltoall of ``size`` chunks; returns the
-    chunks received from each rank."""
+    chunks received from each rank.  Keep-compressed mode packs each
+    destination chunk once and ships the wire image directly."""
     size, rank = comm.size, comm.rank
     if chunks is None or len(chunks) != size:
         raise MpiError(f"alltoall needs exactly {size} chunks")
     out: list = [None] * size
     out[rank] = chunks[rank]
+    use_wires = comm.keep_compressed_active()
     for step in range(1, size):
         dst = (rank + step) % size
         src = (rank - step) % size
-        out[src] = yield from comm.sendrecv(
-            chunks[dst], dst, src, _T_ALLTOALL + step, _T_ALLTOALL + step
-        )
+        if use_wires:
+            wire = yield from comm.pack_wire(chunks[dst])
+            received = yield from comm.sendrecv_wire(
+                wire, dst, src, _T_ALLTOALL + step, _T_ALLTOALL + step
+            )
+            out[src] = yield from comm.unpack_wire(received)
+        else:
+            out[src] = yield from comm.sendrecv(
+                chunks[dst], dst, src, _T_ALLTOALL + step, _T_ALLTOALL + step
+            )
     return out
 
 

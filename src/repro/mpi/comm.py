@@ -35,11 +35,13 @@ from repro.errors import (
     RendezvousTimeoutError,
     RetryExhaustedError,
 )
+from repro.core.header import CompressionHeader
 from repro.faults import DROPPED
 from repro.mpi import collectives as _coll
 from repro.mpi.matching import ANY
 from repro.mpi.message import Packet, PacketKind
 from repro.mpi.request import Request
+from repro.mpi.wire import WireImage
 from repro.sim.trace import trace_scope
 from repro.utils.integrity import payload_crc32
 from repro.utils.units import KiB
@@ -555,6 +557,324 @@ class Communicator:
             data_pkt = yield from self._await_data(rt, data_ev)
             failure = None
 
+    # -- keep-compressed wire images ----------------------------------------------
+    #
+    # Collectives that forward data across intermediate ranks use these
+    # primitives to compress *once* at the originating rank, relay the
+    # resulting WireImage hop by hop (each hop verifying only the cheap
+    # wire CRC), and decompress *once* at each consumer — instead of a
+    # full decode/re-encode at every hop.  The spans these emit carry
+    # ``origin_seq`` (never ``seq``) so message stitching and critical-
+    # path tiling see only the per-hop protocol groups, while the trace
+    # sanitizer can still tie every relayed hop back to its pack site.
+
+    def pack_wire(self, data):
+        """Compress ``data`` into a relayable :class:`WireImage`
+        (generator subroutine).  Device staging buffers are returned
+        immediately — the image itself lives in the collective's
+        host-visible staging area and survives any number of sends."""
+        rt = self._rt
+        engine = rt.engine_of(self.rank)
+        origin_seq = rt.next_seq()
+        nbytes = self._payload_nbytes(data)
+        with trace_scope(self.sim, "pipeline", "pack_wire", rank=self.rank,
+                         nbytes=nbytes, origin_seq=origin_seq):
+            try:
+                plan = yield from engine.sender_prepare(data)
+            except _TRANSIENT as exc:
+                rt.resilience_event("fallback", rank=self.rank,
+                                    seq=origin_seq, error=type(exc).__name__)
+                plan = yield from engine.sender_prepare(
+                    data, force_uncompressed=True
+                )
+            yield from engine.sender_release(plan)
+        integrity = rt.resilience.integrity
+        return WireImage(
+            header=plan.header, payload=plan.payload,
+            wire_nbytes=plan.wire_nbytes,
+            crc=plan.crc if integrity else None,
+            wire_crc=payload_crc32(plan.payload) if integrity else None,
+            origin_seq=origin_seq,
+        )
+
+    def unpack_wire(self, wire: WireImage):
+        """Decode a received :class:`WireImage` into user data
+        (generator subroutine) — the single decompression of the
+        keep-compressed path, checked against the image's
+        post-decode CRC when integrity is on."""
+        rt = self._rt
+        engine = rt.engine_of(self.rank)
+        with trace_scope(self.sim, "pipeline", "unpack_wire", rank=self.rank,
+                         nbytes=wire.wire_nbytes, origin_seq=wire.origin_seq):
+            resources = yield from engine.receiver_prepare(wire.header)
+            try:
+                data = yield from engine.receiver_complete(
+                    wire.header, wire.payload, resources
+                )
+            except BaseException:
+                if resources:
+                    yield from engine._release(resources)
+                raise
+        if wire.crc is not None and payload_crc32(data) != wire.crc:
+            raise IntegrityError(
+                f"rank {self.rank}: wire image origin_seq={wire.origin_seq} "
+                f"failed its post-decode CRC"
+            )
+        return data
+
+    def reduce_wires(self, acc: WireImage, other: WireImage, op=None):
+        """Combine two wire images into a new one (generator
+        subroutine): the hZCCL-style fused partial-decode + op +
+        re-encode when both operands are compressed, a decode-and-raw-
+        accumulate fallback otherwise.  The result is a fresh image
+        with its own ``origin_seq``."""
+        rt = self._rt
+        engine = rt.engine_of(self.rank)
+        op = np.add if op is None else op
+        integrity = rt.resilience.integrity
+        origin_seq = rt.next_seq()
+        if acc.compressed and other.compressed \
+                and acc.header.algorithm == other.header.algorithm \
+                and acc.header.partition_sizes is not None \
+                and acc.header.n_partitions == other.header.n_partitions \
+                and op is np.add:
+            with trace_scope(self.sim, "pipeline", "reduce_wire",
+                             rank=self.rank, nbytes=acc.wire_nbytes,
+                             origin_seq=origin_seq, fused=True):
+                header, payload, crc = yield from engine.reduce_wire_payload(
+                    acc.header, acc.payload, other.header, other.payload,
+                    want_crc=integrity,
+                )
+            return WireImage(
+                header=header, payload=payload,
+                wire_nbytes=int(header.wire_bytes), crc=crc,
+                wire_crc=payload_crc32(payload) if integrity else None,
+                origin_seq=origin_seq,
+            )
+        # Mixed / uncompressed / non-sum: decode what needs decoding and
+        # keep this accumulator raw from here on.
+        with trace_scope(self.sim, "pipeline", "reduce_wire",
+                         rank=self.rank, nbytes=acc.wire_nbytes,
+                         origin_seq=origin_seq, fused=False):
+            a = acc.payload if not acc.compressed else (yield from self.unpack_wire(acc))
+            b = other.payload if not other.compressed else (yield from self.unpack_wire(other))
+            out = op(a, b)
+            nbytes = self._payload_nbytes(out)
+        return WireImage(
+            header=CompressionHeader.uncompressed(nbytes), payload=out,
+            wire_nbytes=nbytes,
+            crc=payload_crc32(out) if integrity else None,
+            wire_crc=payload_crc32(out) if integrity else None,
+            origin_seq=origin_seq,
+        )
+
+    def isend_wire(self, wire: WireImage, dest: int, tag: int = 0) -> Request:
+        """Nonblocking relay of an already-packed wire image."""
+        self._check_peer(dest, "destination")
+        req = Request(self.sim, kind=f"isend_wire->{dest}")
+        self.sim.process(self._send_wire_proc(wire, dest, tag, req),
+                         name=f"isendw{self.rank}->{dest}")
+        return req
+
+    def irecv_wire(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive of a wire image; the request's value is
+        the :class:`WireImage` (not decoded — pass it on or unpack)."""
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        req = Request(self.sim, kind=f"irecv_wire<-{source}")
+        self.sim.process(self._recv_wire_proc(source, tag, req),
+                         name=f"irecvw{self.rank}<-{source}")
+        return req
+
+    def send_wire(self, wire: WireImage, dest: int, tag: int = 0):
+        req = self.isend_wire(wire, dest, tag)
+        yield from req.wait()
+
+    def recv_wire(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        req = self.irecv_wire(source, tag)
+        wire = yield from req.wait()
+        return wire
+
+    def sendrecv_wire(self, wire: WireImage, dest: int,
+                      source: int = ANY_SOURCE, sendtag: int = 0,
+                      recvtag: int = ANY_TAG):
+        sreq = self.isend_wire(wire, dest, sendtag)
+        rreq = self.irecv_wire(source, recvtag)
+        received = yield from rreq.wait()
+        yield from sreq.wait()
+        return received
+
+    def _send_wire_proc(self, wire: WireImage, dest: int, tag: int,
+                        req: Request):
+        rt = self._rt
+        try:
+            yield self.sim.timeout(SETUP_TIME)
+            seq = rt.next_seq()
+            if dest == self.rank:
+                pkt = Packet(PacketKind.EAGER, self.rank, dest, tag, seq,
+                             payload=wire, wire_nbytes=wire.wire_nbytes)
+                rt.matching_of(dest).deliver_envelope(pkt)
+                self._count_send("self")
+                req.complete()
+                return
+            if wire.wire_nbytes < EAGER_THRESHOLD:
+                pkt = Packet(PacketKind.EAGER, self.rank, dest, tag, seq,
+                             payload=wire, wire_nbytes=wire.wire_nbytes)
+                yield from rt.transfer(self.rank, dest,
+                                       wire.wire_nbytes + pkt.control_bytes(),
+                                       label="eager")
+                rt.matching_of(dest).deliver_envelope(pkt)
+                self._count_send("wire_eager")
+                req.complete()
+                return
+            # Rendezvous relay: the RTS re-piggybacks the *original*
+            # header; no sender_prepare — the image is already packed.
+            rts = Packet(PacketKind.RTS, self.rank, dest, tag, seq,
+                         header=wire.header, wire_nbytes=wire.wire_nbytes,
+                         crc=wire.crc, wire_crc=wire.wire_crc,
+                         origin_seq=wire.origin_seq)
+            with trace_scope(self.sim, "pipeline", "rts", rank=self.rank,
+                             seq=seq, dst=dest, origin_seq=wire.origin_seq):
+                yield from rt.control_delay(self.rank, dest, rts.control_bytes())
+                cts_ev = rt.matching_of(self.rank).expect_cts(seq)
+                rt.matching_of(dest).deliver_envelope(rts)
+            yield from self._await_cts(rt, cts_ev, dest, seq)
+            rt.register_retransmit(seq, self.rank, dest, tag, wire.header,
+                                   wire.payload, wire.wire_nbytes, wire.crc,
+                                   wire.compressed, wire_crc=wire.wire_crc,
+                                   origin_seq=wire.origin_seq)
+            with trace_scope(self.sim, "pipeline", "wire_transfer",
+                             rank=self.rank, seq=seq,
+                             nbytes=wire.wire_nbytes, dst=dest,
+                             origin_seq=wire.origin_seq):
+                delivered = yield from rt.transfer(
+                    self.rank, dest, wire.wire_nbytes,
+                    label="rndv_data", payload=wire.payload,
+                )
+            if delivered is not DROPPED:
+                data_pkt = Packet(PacketKind.DATA, self.rank, dest, tag, seq,
+                                  payload=delivered,
+                                  wire_nbytes=wire.wire_nbytes, crc=wire.crc,
+                                  wire_crc=wire.wire_crc,
+                                  origin_seq=wire.origin_seq)
+                rt.matching_of(dest).deliver_data(data_pkt)
+            self._count_send("rndv_wire")
+            req.complete()
+        except BaseException as exc:
+            req.fail(exc)
+
+    def _recv_wire_proc(self, source: int, tag: int, req: Request):
+        rt = self._rt
+        try:
+            yield self.sim.timeout(SETUP_TIME)
+            match_ev = rt.matching_of(self.rank).post_recv(source, tag)
+            pkt = yield match_ev
+            if pkt.kind == PacketKind.EAGER:
+                req.complete(pkt.payload)  # the WireImage itself
+                return
+            if pkt.kind != PacketKind.RTS:
+                raise MpiError(f"unexpected envelope {pkt!r}")
+            engine = rt.engine_of(self.rank)
+            resources = yield from self._receiver_prepare_resilient(
+                rt, engine, pkt.header, pkt.seq, pkt.src
+            )
+            data_ev = rt.matching_of(self.rank).expect_data(pkt.seq)
+            cts = Packet(PacketKind.CTS, self.rank, pkt.src, tag, pkt.seq)
+            with trace_scope(self.sim, "pipeline", "cts", rank=self.rank,
+                             seq=pkt.seq, dst=pkt.src):
+                yield from rt.control_delay(self.rank, pkt.src, cts.control_bytes())
+                rt.matching_of(pkt.src).deliver_cts(cts)
+            data_pkt = yield from self._await_data(rt, data_ev)
+            wire = yield from self._wire_complete_with_retries(
+                rt, engine, pkt, data_pkt, resources
+            )
+            req.complete(wire)
+        except BaseException as exc:
+            req.fail(exc)
+
+    def _wire_complete_with_retries(self, rt, engine, pkt, data_pkt,
+                                    resources):
+        """The relay-side recovery loop: verify the wire CRC of the
+        arrived image *without decompressing*, NACKing the immediate
+        upstream hop for retransmission on mismatch or timeout."""
+        resil = rt.resilience
+        seq = pkt.seq
+        attempt = 0
+        failure: Optional[str] = None
+        while True:
+            if failure is None:
+                if data_pkt is None:
+                    failure = "data_timeout"
+                else:
+                    extra = {"attempt": attempt} if attempt else {}
+                    if pkt.origin_seq is not None:
+                        extra["origin_seq"] = pkt.origin_seq
+                    with trace_scope(self.sim, "pipeline", "receiver_complete",
+                                     rank=self.rank, seq=seq, src=pkt.src,
+                                     wire_nbytes=data_pkt.wire_nbytes,
+                                     **extra):
+                        wcrc = data_pkt.wire_crc if resil.integrity else None
+                        ok = wcrc is None \
+                            or payload_crc32(data_pkt.payload) == wcrc
+                    if ok:
+                        if resources:
+                            yield from engine._release(resources)
+                        rt.retire(seq, True)
+                        if attempt:
+                            rt.resilience_event("recovered", rank=self.rank,
+                                                seq=seq, attempts=attempt)
+                        return WireImage(
+                            header=pkt.header, payload=data_pkt.payload,
+                            wire_nbytes=data_pkt.wire_nbytes,
+                            crc=data_pkt.crc, wire_crc=data_pkt.wire_crc,
+                            origin_seq=pkt.origin_seq or 0,
+                        )
+                    failure = "wire_crc_mismatch"
+            attempt += 1
+            entry = rt.retransmit_entry(seq)
+            rt.resilience_event(failure, rank=self.rank, seq=seq,
+                                src=pkt.src, attempt=attempt)
+            if entry is None or attempt > resil.max_retries:
+                rt.retire(seq, False)
+                if resources:
+                    yield from engine._release(resources)
+                retries = attempt - 1
+                msg = (f"rank {self.rank}: wire image seq {seq} from rank "
+                       f"{pkt.src} failed ({failure}) after {retries} "
+                       f"retransmission(s)")
+                if failure == "data_timeout":
+                    raise RendezvousTimeoutError(
+                        msg, diagnostic=rt.matching_report())
+                raise IntegrityError(msg)
+            yield from self._backoff(rt, attempt, seq, failure)
+            nack = Packet(PacketKind.CTS, self.rank, pkt.src, pkt.tag, seq)
+            with trace_scope(self.sim, "resilience", "nack", rank=self.rank,
+                             track="faults", seq=seq, dst=pkt.src,
+                             attempt=attempt):
+                yield from rt.control_delay(self.rank, pkt.src,
+                                            nack.control_bytes())
+            rt.notify_nack(seq)
+            data_ev = rt.matching_of(self.rank).expect_data(seq, 0, attempt)
+            rt.spawn_retransmit(seq, attempt)
+            data_pkt = yield from self._await_data(rt, data_ev)
+            failure = None
+
+    def keep_compressed_active(self, data=None) -> bool:
+        """True when collectives should route ``data`` through the
+        keep-compressed wire-image path for this rank's config."""
+        cfg = self._rt.engine_of(self.rank).config
+        if not (cfg.enabled and cfg.keep_compressed):
+            return False
+        if data is None:
+            return True
+        return (isinstance(data, np.ndarray)
+                and data.dtype.type in (np.float32, np.float64))
+
+    def wire_reduce_capable(self, op) -> bool:
+        """True when this rank's engine can combine compressed wire
+        images directly (hZCCL-style) for reduction ``op``."""
+        return self._rt.engine_of(self.rank).reduce_capable(op)
+
     # -- collectives --------------------------------------------------------------
     def bcast(self, data, root: int = 0):
         """Binomial-tree broadcast (generator subroutine).  Returns the
@@ -579,8 +899,12 @@ class Communicator:
         result = yield from _coll.reduce(self, data, root, op)
         return result
 
-    def allreduce(self, data, op=None):
-        result = yield from _coll.allreduce(self, data, op)
+    def allreduce(self, data, op=None, algorithm=None):
+        """Allreduce via ``algorithm``: ``"ring"`` (reduce-scatter +
+        allgather, any size), ``"recursive_doubling"`` (power-of-two
+        sizes) or ``"reduce_bcast"``; ``None`` picks recursive doubling
+        for power-of-two sizes and the ring otherwise."""
+        result = yield from _coll.allreduce(self, data, op, algorithm)
         return result
 
     def alltoall(self, chunks):

@@ -51,6 +51,13 @@ class Packet:
     crc: Optional[int] = None
     #: retransmission attempt this DATA packet answers (0 = original)
     attempt: int = 0
+    #: CRC32 of the wire bytes themselves (the compressed image), used
+    #: by keep-compressed relays to verify their own hop *without*
+    #: decompressing.  Rides the same control fields as ``crc``.
+    wire_crc: Optional[int] = None
+    #: for relayed (keep-compressed) hops: the seq assigned when the
+    #: wire image was originally packed at the root/leaf
+    origin_seq: Optional[int] = None
 
     def control_bytes(self) -> int:
         """Bytes this packet occupies as a control message."""

@@ -1,9 +1,13 @@
-"""osu_bcast / osu_allgather (+ future-work alltoall, allreduce).
+"""osu_bcast / osu_allgather / osu_alltoall / osu_allreduce.
 
 Figure 11 runs the collectives on 8 nodes x 2 ppn with payloads drawn
 from the Table III datasets ("we modified OMB to transfer data from
 real datasets").  Each harness returns the max-over-ranks latency of
 one collective invocation after a warm-up, OMB-style.
+
+``osu_allreduce`` additionally accepts the allreduce ``algorithm``
+(``ring`` / ``recursive_doubling`` / ``reduce_bcast``; see
+:func:`repro.mpi.collectives.allreduce`).
 """
 
 from __future__ import annotations
@@ -30,22 +34,24 @@ class CollectiveRow:
     payload: str
     latency: float  # seconds, max across ranks
     breakdown: dict
+    #: allreduce algorithm (None for non-reduction collectives)
+    algorithm: Optional[str] = None
 
     @property
     def latency_us(self) -> float:
         return self.latency * 1e6
 
 
-def _collective_rank(comm, op: str, data, warmup: int):
+def _collective_rank(comm, op: str, data, warmup: int, algorithm):
     for _ in range(warmup):
-        yield from _run_op(comm, op, data)
+        yield from _run_op(comm, op, data, algorithm)
     yield from comm.barrier()
     t0 = comm.now
-    yield from _run_op(comm, op, data)
+    yield from _run_op(comm, op, data, algorithm)
     return comm.now - t0
 
 
-def _run_op(comm, op: str, data):
+def _run_op(comm, op: str, data, algorithm=None):
     if op == "bcast":
         yield from comm.bcast(data, root=0)
     elif op == "allgather":
@@ -54,7 +60,7 @@ def _run_op(comm, op: str, data):
         chunks = np.array_split(data, comm.size)
         yield from comm.alltoall(chunks)
     elif op == "allreduce":
-        yield from comm.allreduce(data)
+        yield from comm.allreduce(data, algorithm=algorithm)
     else:  # pragma: no cover - guarded by the public wrappers
         raise ValueError(op)
 
@@ -68,14 +74,17 @@ def _run_collective(
     payload: str,
     config: Optional[CompressionConfig],
     warmup: int = 1,
+    algorithm: Optional[str] = None,
 ) -> CollectiveRow:
     config = config or CompressionConfig.disabled()
     cluster = Cluster(machine_preset(machine), nodes=nodes, gpus_per_node=ppn)
     data = make_payload(payload, nbytes)
-    res = cluster.run(_collective_rank, config=config, args=(op, data, warmup))
+    res = cluster.run(_collective_rank, config=config,
+                      args=(op, data, warmup, algorithm))
     return CollectiveRow(
         op=op, nbytes=nbytes, payload=payload,
         latency=max(res.values), breakdown=res.breakdown(),
+        algorithm=algorithm,
     )
 
 
@@ -102,6 +111,8 @@ def osu_alltoall(machine: str = "frontera-liquid", nodes: int = 8, ppn: int = 2,
 
 def osu_allreduce(machine: str = "frontera-liquid", nodes: int = 8, ppn: int = 2,
                   nbytes: int = 1 << 20, payload: str = "omb",
-                  config: Optional[CompressionConfig] = None) -> CollectiveRow:
-    """MPI_Allreduce latency — the paper's future-work pattern."""
-    return _run_collective("allreduce", machine, nodes, ppn, nbytes, payload, config)
+                  config: Optional[CompressionConfig] = None,
+                  algorithm: Optional[str] = None) -> CollectiveRow:
+    """MPI_Allreduce latency with a selectable algorithm."""
+    return _run_collective("allreduce", machine, nodes, ppn, nbytes, payload,
+                           config, algorithm=algorithm)

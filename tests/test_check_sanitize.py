@@ -7,7 +7,8 @@ import pytest
 
 from repro.analysis.bench import named_config
 from repro.analysis.export import to_chrome_trace
-from repro.check.fixtures import acausal_records, overlap_records
+from repro.check.fixtures import (acausal_records, bad_collective_records,
+                                  overlap_records)
 from repro.check.sanitize import TraceSanitizer, TraceViolation
 from repro.mpi.cluster import Cluster
 from repro.network.presets import machine_preset
@@ -180,6 +181,60 @@ def test_tiling_holds_on_real_messages():
     ts = TraceSanitizer.from_tracer(res.tracer)
     assert ts.by_seq(), "expected rendezvous messages"
     assert ts.check_tiling() == []
+
+
+# -- collective causality ---------------------------------------------------
+
+def _collective_result(op, config_name="mpc-opt", faults=None):
+    data = make_payload("dataset:msg_sppm", 1 << 20, seed=1)
+
+    def rank_fn(comm):
+        if op == "bcast":
+            out = yield from comm.bcast(data if comm.rank == 0 else None,
+                                        root=0)
+        elif op == "allgather":
+            out = yield from comm.allgather(data)
+            return len(out)
+        else:
+            out = yield from comm.allreduce(data, algorithm=op)
+        return out.nbytes
+
+    cluster = Cluster(machine_preset("longhorn"), nodes=2, gpus_per_node=2)
+    return cluster.run(rank_fn, config=named_config(config_name), args=(),
+                       faults=faults)
+
+
+@pytest.mark.parametrize("op", ["bcast", "allgather", "ring",
+                                "recursive_doubling"])
+def test_collective_traces_pass_all_checks(op):
+    res = _collective_result(op)
+    assert TraceSanitizer.from_tracer(res.tracer).check_all() == []
+
+
+def test_faulty_collective_trace_is_clean():
+    """Retransmitted relay hops (attempt-stamped spans outliving the
+    collective span) must not trip the containment rule."""
+    from repro.faults import FaultPlan
+
+    res = _collective_result(
+        "bcast", faults=FaultPlan(seed=3, corrupt_rate=0.25, drop_rate=0.1))
+    assert res.tracer.metrics.counter_total("resilience.retransmit") > 0
+    assert TraceSanitizer.from_tracer(res.tracer).check_all() == []
+
+
+def test_bad_collective_fixture_detected():
+    viols = TraceSanitizer(bad_collective_records()).check_collectives()
+    msgs = " | ".join(v.message for v in viols)
+    assert len(viols) == 3
+    assert "dropped the originating seq" in msgs
+    assert "outside every collective span" in msgs
+    assert "no pack_wire/reduce_wire span minted it" in msgs
+    assert all(v.check == "collective" for v in viols)
+
+
+def test_collective_check_ignores_pt2pt_traces():
+    res = _pingpong_result("mpc-opt")
+    assert TraceSanitizer.from_tracer(res.tracer).check_collectives() == []
 
 
 def test_violation_shapes():

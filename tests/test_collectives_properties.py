@@ -1,0 +1,312 @@
+"""Property battery: every transport codec x collective x op x size.
+
+The keep-compressed collectives (ISSUE 6) must deliver the same bytes
+as the plain per-hop path for every codec the registry can put on the
+wire.  Lossless codecs must be bit-exact; lossy codecs must stay
+inside a per-hop error budget.  Rank counts include non-powers of two
+so the ring fallback and remainder chunk geometry are exercised.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionConfig
+from repro.compression import ZfpCompressor
+from repro.mpi.cluster import Cluster
+from repro.mpi.collectives import ALLREDUCE_ALGORITHMS
+from repro.network.presets import machine_preset
+from repro.utils.units import KiB
+
+# Every algorithm CompressionConfig accepts as a transport codec
+# (zfp2d is registry-only: it has no wire-header support).
+TRANSPORT_CODECS = ("mpc", "zfp", "sz", "gfc", "fpc", "null")
+LOSSLESS = ("mpc", "gfc", "fpc", "null")
+LOSSY = ("zfp", "sz")
+
+# Element counts: one below the eager threshold, one that forces
+# rendezvous (and spans multiple kernel partitions for mpc).
+SIZES = (1024, 6144)
+
+RANKS = (4, 5)  # power of two + non-power-of-two
+
+
+def _dtype(algo):
+    # GFC and FPC are double-precision designs (Table I).
+    return np.float64 if algo in ("gfc", "fpc") else np.float32
+
+
+def _payload(algo, n, seed=0):
+    rng = np.random.default_rng(seed)
+    # Smooth-ish signal: compressible for every codec family.
+    return np.cumsum(rng.standard_normal(n)).astype(_dtype(algo))
+
+
+def _config(algo, keep=True):
+    return CompressionConfig(enabled=True, algorithm=algo, threshold=2 * KiB,
+                             keep_compressed=keep)
+
+
+def _bound(algo, config, data, hops):
+    """Worst-case absolute error after ``hops`` compression stages."""
+    if algo == "zfp":
+        per_hop = ZfpCompressor(config.zfp_rate).max_abs_error_bound(data)
+    elif algo == "sz":
+        per_hop = config.sz_error_bound
+    else:
+        return 0.0
+    return per_hop * hops
+
+
+def _run(nprocs, rank_fn, config, ppn=2):
+    nodes = -(-nprocs // ppn)
+    cluster = Cluster(machine_preset("frontera-liquid"), nodes=nodes,
+                      gpus_per_node=ppn)
+    return cluster.run(rank_fn, nprocs=nprocs, config=config)
+
+
+def _assert_close(algo, got, want, bound):
+    got = np.asarray(got)
+    want = np.asarray(want)
+    assert got.shape == want.shape
+    assert got.dtype == want.dtype
+    if algo in LOSSLESS:
+        assert np.array_equal(got, want)
+    else:
+        assert np.abs(got.astype(np.float64)
+                      - want.astype(np.float64)).max() <= bound
+
+
+# ---------------------------------------------------------------- bcast
+
+@pytest.mark.parametrize("algo", TRANSPORT_CODECS)
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("nprocs", RANKS)
+def test_bcast_every_codec(algo, n, nprocs):
+    payload = _payload(algo, n)
+    config = _config(algo)
+
+    def rank_fn(comm):
+        data = payload if comm.rank == 0 else None
+        out = yield from comm.bcast(data, root=0)
+        return np.asarray(out)
+
+    res = _run(nprocs, rank_fn, config)
+    bound = _bound(algo, config, payload, hops=nprocs)
+    for got in res.values:
+        _assert_close(algo, got, payload, bound)
+
+
+# ------------------------------------------------------------ allgather
+
+@pytest.mark.parametrize("algo", TRANSPORT_CODECS)
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("nprocs", RANKS)
+def test_allgather_every_codec(algo, n, nprocs):
+    config = _config(algo)
+    payloads = [_payload(algo, n, seed=r) for r in range(nprocs)]
+
+    def rank_fn(comm):
+        out = yield from comm.allgather(payloads[comm.rank])
+        return [np.asarray(c) for c in out]
+
+    res = _run(nprocs, rank_fn, config)
+    bound = _bound(algo, config, payloads[0], hops=nprocs)
+    for got in res.values:
+        assert len(got) == nprocs
+        for r in range(nprocs):
+            _assert_close(algo, got[r], payloads[r], bound)
+
+
+# -------------------------------------------------------------- scatter
+
+@pytest.mark.parametrize("algo", TRANSPORT_CODECS)
+@pytest.mark.parametrize("nprocs", RANKS)
+def test_scatter_every_codec(algo, nprocs):
+    config = _config(algo)
+    chunks = [_payload(algo, 4096, seed=r) for r in range(nprocs)]
+
+    def rank_fn(comm):
+        mine = chunks if comm.rank == 0 else None
+        got = yield from comm.scatter(mine, root=0)
+        return np.asarray(got)
+
+    res = _run(nprocs, rank_fn, config)
+    bound = _bound(algo, config, chunks[0], hops=2)
+    for r, got in enumerate(res.values):
+        _assert_close(algo, got, chunks[r], bound)
+
+
+# ------------------------------------------------------------- alltoall
+
+@pytest.mark.parametrize("algo", TRANSPORT_CODECS)
+@pytest.mark.parametrize("nprocs", RANKS)
+def test_alltoall_every_codec(algo, nprocs):
+    config = _config(algo)
+    mats = [[_payload(algo, 3072, seed=100 * s + d) for d in range(nprocs)]
+            for s in range(nprocs)]
+
+    def rank_fn(comm):
+        out = yield from comm.alltoall(mats[comm.rank])
+        return [np.asarray(c) for c in out]
+
+    res = _run(nprocs, rank_fn, config)
+    bound = _bound(algo, config, mats[0][0], hops=2)
+    for d, got in enumerate(res.values):
+        for s in range(nprocs):
+            _assert_close(algo, got[s], mats[s][d], bound)
+
+
+# ------------------------------------------------------------ allreduce
+
+def _allreduce_cases():
+    for algo in TRANSPORT_CODECS:
+        for algorithm in ALLREDUCE_ALGORITHMS:
+            for nprocs in RANKS:
+                if algorithm == "recursive_doubling" and nprocs & (nprocs - 1):
+                    continue
+                yield algo, algorithm, nprocs
+
+
+@pytest.mark.parametrize("algo,algorithm,nprocs", list(_allreduce_cases()))
+def test_allreduce_every_codec(algo, algorithm, nprocs):
+    """Compression transparency: the same algorithm with a lossless
+    transport must equal the uncompressed run BITWISE (the reduction
+    order is pinned to op(acc, incoming) on every path); lossy
+    transports must stay inside the accumulated error budget."""
+    config = _config(algo)
+    n = 6144
+    payloads = [_payload(algo, n, seed=r) for r in range(nprocs)]
+
+    def rank_fn(comm):
+        out = yield from comm.allreduce(payloads[comm.rank],
+                                        algorithm=algorithm)
+        return np.asarray(out)
+
+    res = _run(nprocs, rank_fn, config)
+    ref = _run(nprocs, rank_fn, CompressionConfig.disabled())
+    # Reduction of `nprocs` lossy-coded operands over up to `nprocs`
+    # hops: errors add, so budget nprocs per-hop bounds per operand.
+    bound = _bound(algo, config, ref.values[0], hops=nprocs * nprocs)
+    for got, want in zip(res.values, ref.values):
+        _assert_close(algo, got, want, bound)
+
+
+@pytest.mark.parametrize("algo", ("mpc", "null"))
+@pytest.mark.parametrize("nprocs", RANKS)
+def test_allreduce_custom_op_every_codec(algo, nprocs):
+    """Non-add ops must bypass the compressed-domain reduction and
+    still come back exact for lossless transports."""
+    config = _config(algo)
+    payloads = [_payload(algo, 4096, seed=r) for r in range(nprocs)]
+    expected = np.maximum.reduce(payloads)
+
+    def rank_fn(comm):
+        out = yield from comm.allreduce(payloads[comm.rank], op=np.maximum)
+        return np.asarray(out)
+
+    res = _run(nprocs, rank_fn, config)
+    for got in res.values:
+        assert np.array_equal(np.asarray(got), expected)
+
+
+# ----------------------------------------- keep-compressed == per-hop
+
+@pytest.mark.parametrize("algo", LOSSLESS)
+@pytest.mark.parametrize("op", ("bcast", "allgather", "allreduce"))
+def test_keep_equals_rehop(algo, op):
+    """For lossless transports the keep-compressed relay must produce
+    bit-identical results to decode+re-encode at every hop."""
+    nprocs = 5
+    payloads = [_payload(algo, 6144, seed=r) for r in range(nprocs)]
+
+    def rank_fn(comm):
+        if op == "bcast":
+            data = payloads[0] if comm.rank == 0 else None
+            out = yield from comm.bcast(data, root=0)
+            return np.asarray(out).tobytes()
+        if op == "allgather":
+            out = yield from comm.allgather(payloads[comm.rank])
+            return b"".join(np.asarray(c).tobytes() for c in out)
+        out = yield from comm.allreduce(payloads[comm.rank])
+        return np.asarray(out).tobytes()
+
+    keep = _run(nprocs, rank_fn, _config(algo, keep=True))
+    rehop = _run(nprocs, rank_fn, _config(algo, keep=False))
+    assert keep.values == rehop.values
+
+
+# --------------------------------------------- keep-compressed is faster
+
+@pytest.mark.parametrize("op", ("bcast", "allgather"))
+def test_keep_compressed_is_faster(op):
+    """Acceptance: on a multi-hop topology the relayed wire image beats
+    per-hop recompression outright (it skips every intermediate
+    decode+encode kernel pair)."""
+    data = np.cumsum(np.ones(262144, dtype=np.float32))
+
+    def rank_fn(comm):
+        if op == "bcast":
+            payload = data if comm.rank == 0 else None
+            yield from comm.bcast(payload, root=0)
+        else:
+            yield from comm.allgather(data)
+        return comm.now
+
+    base = CompressionConfig.mpc_opt()
+    keep = _run(8, rank_fn, base.with_(keep_compressed=True))
+    rehop = _run(8, rank_fn, base.with_(keep_compressed=False))
+    assert keep.elapsed < rehop.elapsed
+
+
+# ---------------------------------- regression: algorithms agree (ISSUE 6.4)
+
+@pytest.mark.parametrize("nprocs", (4, 8))
+def test_allreduce_algorithms_agree_bitwise(nprocs):
+    """Ring, recursive doubling and reduce+bcast must produce EQUAL
+    arrays for exactly-representable payloads — pins the fix for the
+    old non-power-of-two fallback divergence."""
+    payload_of = lambda r: np.arange(2048, dtype=np.float32) + float(r)
+
+    outs = {}
+    for algorithm in ALLREDUCE_ALGORITHMS:
+        def rank_fn(comm, algorithm=algorithm):
+            out = yield from comm.allreduce(payload_of(comm.rank),
+                                            algorithm=algorithm)
+            return np.asarray(out).tobytes()
+
+        res = _run(nprocs, rank_fn, _config("mpc"))
+        outs[algorithm] = res.values
+
+    assert outs["ring"] == outs["recursive_doubling"] == outs["reduce_bcast"]
+
+
+def test_allreduce_non_power_of_two_default_is_ring():
+    """The non-power-of-two default must be the ring (not the old
+    reduce+bcast fallback) and must match it numerically."""
+    nprocs = 6
+    payload_of = lambda r: np.arange(2048, dtype=np.float32) * float(r + 1)
+
+    def run(algorithm):
+        def rank_fn(comm):
+            out = yield from comm.allreduce(payload_of(comm.rank),
+                                            algorithm=algorithm)
+            return np.asarray(out).tobytes()
+        return _run(nprocs, rank_fn, _config("mpc"))
+
+    default = run(None)
+    ring = run("ring")
+    fallback = run("reduce_bcast")
+    assert default.values == ring.values == fallback.values
+    # and the ring is what the default actually dispatched to
+    assert default.elapsed == ring.elapsed
+
+
+def test_recursive_doubling_rejects_non_power_of_two():
+    from repro.errors import MpiError
+
+    def rank_fn(comm):
+        yield from comm.allreduce(np.ones(64, np.float32),
+                                  algorithm="recursive_doubling")
+
+    with pytest.raises(MpiError):
+        _run(3, rank_fn, _config("null"))

@@ -429,6 +429,93 @@ def test_fallback_under_faults_still_bit_exact():
 
 
 # ---------------------------------------------------------------------------
+# faults on relayed (keep-compressed) collective hops
+# ---------------------------------------------------------------------------
+
+def _run_bcast_4ranks(faults=None, iters=3):
+    """4-rank binomial bcast on 2x2 longhorn: hops 0->2, 0->1, 2->3.
+    The 2->3 hop relays rank 0's wire image, so faults there exercise
+    NACK + retransmit from the *intermediate* rank's retained copy."""
+    cluster = Cluster(machine_preset("longhorn"), nodes=2, gpus_per_node=2)
+    payloads = [make_payload("dataset:msg_sppm", 1 << 18, seed=i)
+                for i in range(iters)]
+
+    def rank_fn(comm):
+        got = []
+        for p in payloads:
+            out = yield from comm.bcast(p if comm.rank == 0 else None, root=0)
+            got.append(np.asarray(out))
+        return got
+
+    return cluster.run(rank_fn, config=MPC, faults=faults, max_time=120.0)
+
+
+def _relay_retransmits(res, root=0):
+    """Retransmitted wire spans whose sender is NOT the collective root
+    — i.e. a relayed hop was re-fed from its immediate upstream."""
+    return [r for r in res.tracer.records
+            if r.label == "wire_transfer" and r.meta.get("attempt")
+            and r.rank != root]
+
+
+def test_relayed_hop_corruption_and_drop_recover_bit_exact():
+    clean = _run_bcast_4ranks()
+    # seed 3 corrupts AND drops on the relayed 2->3 hop (among others)
+    faulty = _run_bcast_4ranks(
+        faults=FaultPlan(seed=3, corrupt_rate=0.25, drop_rate=0.1))
+    for want, got in zip(clean.values, faulty.values):
+        for w, g in zip(want, got):
+            assert w.tobytes() == g.tobytes()
+    m = faulty.tracer.metrics
+    assert m.counter("faults.injected", kind="corrupt") > 0
+    assert m.counter("faults.injected", kind="drop") > 0
+    # the wire CRC (checked WITHOUT decompressing) caught the flip...
+    assert m.counter_total("resilience.wire_crc_mismatch") > 0
+    assert m.counter_total("resilience.data_timeout") > 0
+    assert m.counter_total("resilience.retransmit") > 0
+    # ...and at least one recovery was served by an intermediate rank
+    relays = _relay_retransmits(faulty)
+    assert relays
+    # the relayed retransmit still carries the ORIGINATING seq, so the
+    # trace can stitch the recovered hop back to its pack_wire span
+    assert all("origin_seq" in r.meta for r in relays)
+
+
+def test_relayed_hop_drop_only_recovers():
+    clean = _run_bcast_4ranks()
+    faulty = _run_bcast_4ranks(faults=FaultPlan(seed=5, drop_rate=0.1))
+    for want, got in zip(clean.values, faulty.values):
+        for w, g in zip(want, got):
+            assert w.tobytes() == g.tobytes()
+    m = faulty.tracer.metrics
+    assert m.counter("faults.injected", kind="drop") > 0
+    assert m.counter_total("resilience.data_timeout") > 0
+    assert _relay_retransmits(faulty)
+
+
+def test_allgather_ring_under_faults_bit_exact():
+    """Every allgather hop beyond the first is a relay; corruption on
+    any of them must recover from the immediate upstream."""
+    cluster = Cluster(machine_preset("longhorn"), nodes=2, gpus_per_node=2)
+    base = make_payload("dataset:msg_sppm", 1 << 18, seed=0)
+
+    def rank_fn(comm):
+        mine = base + np.asarray(comm.rank, dtype=base.dtype)
+        out = yield from comm.allgather(mine)
+        return [np.asarray(c) for c in out]
+
+    clean = cluster.run(rank_fn, config=MPC, max_time=120.0)
+    faulty = cluster.run(rank_fn, config=MPC, max_time=120.0,
+                         faults=FaultPlan(seed=2, corrupt_rate=0.2))
+    for want, got in zip(clean.values, faulty.values):
+        for w, g in zip(want, got):
+            assert w.tobytes() == g.tobytes()
+    m = faulty.tracer.metrics
+    assert m.counter("faults.injected", kind="corrupt") > 0
+    assert m.counter_total("resilience.retransmit") > 0
+
+
+# ---------------------------------------------------------------------------
 # chaos harness
 # ---------------------------------------------------------------------------
 
@@ -446,3 +533,18 @@ def test_chaos_harness_lossy_codec():
                        config=CompressionConfig.zfp_opt(8),
                        plan=FaultPlan(seed=2, corrupt_rate=0.2, drop_rate=0.1))
     assert report.ok
+
+
+@pytest.mark.parametrize("workload", ["bcast", "allgather", "allreduce"])
+def test_chaos_harness_collective_workloads(workload):
+    report = run_chaos(sizes=(256 * 1024,), iterations=2,
+                       payload="dataset:msg_sppm", workload=workload,
+                       plan=FaultPlan(seed=1, corrupt_rate=0.15,
+                                      drop_rate=0.05))
+    assert report.ok
+    assert report.total_messages > 0
+
+
+def test_chaos_rejects_unknown_workload():
+    with pytest.raises(ValueError):
+        run_chaos(workload="gatherv")
