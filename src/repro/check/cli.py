@@ -168,6 +168,10 @@ def _pass_selftest() -> dict:
     if len(coll) < 3:
         failures.append("collective check missed a defect on the known-bad "
                         f"relayed hops (found {len(coll)}/3)")
+    live = TraceSanitizer(fixtures.bad_liveness_records()).check_liveness()
+    if len(live) != 1:
+        failures.append("liveness check missed work attributed to a "
+                        f"fail-stopped rank (found {len(live)}/1)")
 
     for fn, exc_type in ((fixtures.run_double_release, DoubleReleaseError),
                          (fixtures.run_use_after_free, UseAfterFreeError),

@@ -16,6 +16,8 @@ catch and asserts it is reported:
   committing all three collective-causality crimes: a relayed hop that
   dropped the originating seq, a wire span outside any collective span
   on its rank, and an ``origin_seq`` no pack/reduce span minted;
+* :func:`bad_liveness_records` — a rank doing pipeline work after its
+  own ``rank_kill``, the fail-stop use-after-free;
 * :func:`run_double_release` / :func:`run_use_after_free` /
   :func:`run_leak` — minimal simulations committing each buffer
   lifecycle crime under an enabled :class:`BufferSanitizer`; callers
@@ -34,7 +36,7 @@ from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecord
 
 __all__ = ["BAD_LINT_SOURCE", "overlap_records", "acausal_records",
-           "bad_collective_records",
+           "bad_collective_records", "bad_liveness_records",
            "run_double_release", "run_use_after_free", "run_leak"]
 
 #: one violation per linter rule; lint_source() must flag all six codes
@@ -111,6 +113,23 @@ def bad_collective_records() -> list[TraceRecord]:
         # an origin nobody minted
         _rec(2.5e-6, 3e-6, "pipeline", "rts",
              {"seq": 8, "origin_seq": 99}, span_id=7),
+    ]
+
+
+def bad_liveness_records() -> list[TraceRecord]:
+    """Rank 1 is fail-stopped at t=2us yet a kernel span starts on it
+    at t=3us — work attributed to a dead rank."""
+    return [
+        _rec(0.0, 1e-6, "pipeline", "sender_prepare", {"seq": 1},
+             rank=1, span_id=1),
+        _rec(2e-6, 2e-6, "faults", "rank_kill", {"incarnation": 0},
+             rank=1, track="faults", span_id=2),
+        # legitimate: a survivor detecting the death (faults track)
+        _rec(3e-6, 3e-6, "resilience", "rank_failed", {"peer": 1},
+             rank=0, track="faults", span_id=3),
+        # the violation: the dead rank runs a kernel after its kill
+        _rec(3e-6, 4e-6, "compression_kernel", "mpc_part0", {},
+             rank=1, track="stream0", span_id=4),
     ]
 
 

@@ -41,12 +41,14 @@ from repro.errors import DeadlockError, MpiError
 from repro.faults import DROPPED, FaultInjector, FaultPlan
 from repro.gpu.device import Device
 from repro.mpi.comm import Communicator
+from repro.mpi.failstop import (FailStopManager, KillCause, KilledRank,
+                                RankKilled)
 from repro.mpi.matching import MatchingEngine
 from repro.mpi.message import Packet, PacketKind
 from repro.mpi.resilience import CircuitBreaker, ResilienceConfig
 from repro.network.presets import MachinePreset, machine_preset
 from repro.network.topology import Topology
-from repro.sim import Simulator, Tracer
+from repro.sim import Interrupt, Simulator, Tracer
 from repro.sim.trace import trace_scope
 
 __all__ = ["Cluster", "ClusterResult", "Runtime"]
@@ -76,18 +78,39 @@ class Runtime:
 
     def __init__(self, sim: Simulator, topology: Topology, devices: list[Device],
                  config: CompressionConfig,
-                 resilience: Optional[ResilienceConfig] = None):
+                 resilience: Optional[ResilienceConfig] = None,
+                 failstop=None, checkpoint_every: int = 0):
         self.sim = sim
         self.topology = topology
         self.devices = devices
         self.config = config
         self.resilience = resilience or ResilienceConfig()
         self.resil_rng = random.Random(self.resilience.seed)
+        #: fail-stop manager (None unless the plan kills ranks)
+        self.failstop = failstop
+        #: application checkpoint cadence in steps (0 = never)
+        self.checkpoint_every = checkpoint_every
         self._engines = [CompressionEngine(sim, dev, config) for dev in devices]
-        self._matching = [MatchingEngine(sim, r) for r in range(len(devices))]
+        #: (listener grank, peer grank) -> sim time of the last packet
+        #: heard; host-side bookkeeping, always on (it costs no
+        #: simulated time and enriches every hang diagnostic)
+        self._last_heard: dict[tuple[int, int], float] = {}
+        self._matching = [
+            MatchingEngine(sim, r, on_deliver=self._heard_observer(r))
+            for r in range(len(devices))
+        ]
         self._seq = 0
         self._breakers: dict[tuple[int, int], CircuitBreaker] = {}
         self._retransmit: dict[int, _RetransmitEntry] = {}
+        #: communicator-id registry: group tuple -> comm id.  Keyed by
+        #: the group itself, so every rank derives identical ids
+        #: without communication (id 0 is the implicit world group).
+        self._comm_ids: dict[tuple, int] = {}
+        self._next_comm_id = 1
+        #: comm id -> decided failure set (the agreement board)
+        self._agreements: dict[int, tuple] = {}
+        #: global rank -> {step -> checkpointed state}
+        self._checkpoints: dict[int, dict[int, Any]] = {}
 
     @property
     def faults(self):
@@ -97,6 +120,89 @@ class Runtime:
     def next_seq(self) -> int:
         self._seq += 1
         return self._seq
+
+    # -- fail-stop plumbing ----------------------------------------------
+    def note_send(self, grank: int) -> None:
+        """Count a send against ``grank``'s ``after_sends`` bomb (may
+        raise :class:`~repro.mpi.failstop.RankKilled` in-frame)."""
+        if self.failstop is not None:
+            self.failstop.note_send(grank)
+
+    def adopt(self, grank: int, proc) -> None:
+        """Register a protocol/helper process under its owning rank so
+        a fail-stop kill can interrupt it."""
+        if self.failstop is not None:
+            self.failstop.adopt(grank, proc)
+
+    def is_dead(self, grank: int) -> bool:
+        return self.failstop is not None and self.failstop.is_dead(grank)
+
+    def _heard_observer(self, listener: int):
+        def observe(pkt):
+            self._last_heard[(listener, pkt.src)] = self.sim.now
+        return observe
+
+    def last_heard_of(self, listener: int, peer: int) -> Optional[float]:
+        """Sim time ``listener`` last received any packet from ``peer``
+        (None = never)."""
+        return self._last_heard.get((listener, peer))
+
+    def heard_map(self, listener: int) -> dict:
+        """``peer -> last-heard time`` for one listener; dead peers the
+        listener never heard from appear with ``None``."""
+        out: dict = {}
+        fs = self.failstop
+        if fs is not None:
+            for peer in fs.dead:
+                if peer != listener:
+                    out[peer] = None
+        for (l, p), t in self._last_heard.items():
+            if l == listener:
+                out[p] = t
+        return out
+
+    # -- communicator derivation / agreement -----------------------------
+    def comm_id_for(self, group) -> int:
+        """Stable communicator id for a global-rank group — identical
+        on every rank because the registry is keyed by the group
+        itself, and run-deterministic because derivation order is."""
+        group = tuple(group)
+        cid = self._comm_ids.get(group)
+        if cid is None:
+            cid = self._next_comm_id
+            self._next_comm_id += 1
+            self._comm_ids[group] = cid
+        return cid
+
+    def derive_comm(self, grank: int, group) -> Communicator:
+        """A re-ranked communicator over ``group`` for member ``grank``."""
+        group = tuple(group)
+        return Communicator(self, group.index(grank), len(group),
+                            group=group, comm_id=self.comm_id_for(group))
+
+    def record_agreement(self, comm_id: int, decided: tuple) -> None:
+        """Post a decided failure set to the agreement board (first
+        decision per communicator wins; see ``Comm.agree_failures``)."""
+        self._agreements.setdefault(comm_id, tuple(decided))
+
+    def agreed_failures(self, comm_id: int) -> Optional[tuple]:
+        return self._agreements.get(comm_id)
+
+    # -- application checkpoints -----------------------------------------
+    def store_checkpoint(self, grank: int, step: int, state) -> None:
+        self._checkpoints.setdefault(grank, {})[step] = state
+
+    def load_checkpoint(self, grank: int, step: Optional[int] = None):
+        """``(step, state)`` of the requested (default: latest)
+        checkpoint for ``grank``, or None."""
+        ckpts = self._checkpoints.get(grank)
+        if not ckpts:
+            return None
+        if step is None:
+            step = max(ckpts)
+        elif step not in ckpts:
+            return None
+        return step, ckpts[step]
 
     # -- resilience ------------------------------------------------------
     def resilience_event(self, kind: str, rank: Optional[int] = None, **meta):
@@ -123,6 +229,13 @@ class Runtime:
                                 previous=old)
                     tracer.metrics.inc("resilience.breaker_transitions",
                                        state=new)
+                    if new == CircuitBreaker.OPEN:
+                        # A failed half-open trial re-trips with a fresh
+                        # cool-down; count it apart from first trips.
+                        kind = ("retrip" if old == CircuitBreaker.HALF_OPEN
+                                else "trip")
+                        tracer.metrics.inc("resilience.breaker_trips",
+                                           kind=kind)
             br = CircuitBreaker(self.resilience.breaker_threshold,
                                 self.resilience.breaker_cooldown, on_transition)
             self._breakers[key] = br
@@ -175,6 +288,8 @@ class Runtime:
         entry = self._retransmit.get(seq)
         if entry is None:
             return False
+        if self.is_dead(entry.src):
+            return False  # dead senders retransmit nothing
 
         def proc():
             extra = ({"origin_seq": entry.origin_seq}
@@ -197,12 +312,14 @@ class Runtime:
                        wire_crc=entry.wire_crc, origin_seq=entry.origin_seq)
             )
 
-        self.sim.process(proc(), name=f"retransmit{seq}.{attempt}")
+        p = self.sim.process(proc(), name=f"retransmit{seq}.{attempt}")
+        self.adopt(entry.src, p)
         return True
 
     def matching_report(self) -> str:
         """Per-rank matching diagnostics for deadlock/timeout errors."""
-        parts = [m.diagnostics() for m in self._matching if not m.idle]
+        parts = [m.diagnostics(last_heard=self.heard_map(m.rank))
+                 for m in self._matching if not m.idle]
         return "\n".join(parts) if parts else "all ranks idle"
 
     def _gpu_of(self, rank: int) -> int:
@@ -258,10 +375,30 @@ class ClusterResult:
     #: cached, so it is deliberately kept out of the tracer metrics
     #: that the determinism suite fingerprints.
     codec_cache: dict = field(repr=False, default_factory=dict)
+    #: :class:`~repro.mpi.failstop.KilledRank` sentinels for ranks the
+    #: fault plan fail-stopped mid-run (empty for fault-free runs)
+    killed: tuple = ()
 
     def breakdown(self) -> dict[str, float]:
         """Summed tracer spans per category (see Figs 6/8/10)."""
         return self.tracer.breakdown()
+
+
+def _supervised(gen, rank: int, fs: FailStopManager):
+    """Wrap a rank's main generator so its *own* fail-stop death ends
+    the process normally with a :class:`KilledRank` sentinel — the run
+    then completes on the survivors instead of re-raising the kill."""
+    try:
+        value = yield from gen
+        return value
+    except RankKilled:
+        inc, t = fs.dead[rank]
+        return KilledRank(rank, inc, t)
+    except Interrupt as intr:
+        if isinstance(intr.cause, KillCause) and intr.cause.rank == rank:
+            inc, t = fs.dead[rank]
+            return KilledRank(rank, inc, t)
+        raise
 
 
 class Cluster:
@@ -288,6 +425,7 @@ class Cluster:
         faults: Optional[FaultPlan] = None,
         resilience: Optional[ResilienceConfig] = None,
         asan: Optional[bool] = None,
+        checkpoint_every: int = 0,
     ) -> ClusterResult:
         """Run ``rank_fn(comm, *args)`` as an SPMD job.
 
@@ -314,6 +452,10 @@ class Cluster:
             this run; the run is leak-checked at successful completion.
             ``None`` defers to the process default
             (:func:`repro.check.asan.asan_default`).
+        checkpoint_every:
+            Checkpoint cadence hint exposed to ranks via
+            ``comm.should_checkpoint(step)`` (0 = never); the
+            checkpoint store itself lives on the :class:`Runtime`.
         """
         from repro.check.asan import BufferSanitizer, asan_default
 
@@ -331,11 +473,26 @@ class Cluster:
         resilience = resilience or ResilienceConfig.for_plan(faults)
         topology = Topology(sim, self.preset, self.nodes, self.gpus_per_node)
         devices = [Device(sim, self.preset.device, i) for i in range(self.n_gpus)]
-        runtime = Runtime(sim, topology, devices, config, resilience=resilience)
+        fs = None
+        if faults is not None and faults.has_rank_failures:
+            fs = FailStopManager(sim, nprocs, injector=injector)
+            sim.failstop = fs
+        runtime = Runtime(sim, topology, devices, config, resilience=resilience,
+                          failstop=fs, checkpoint_every=checkpoint_every)
         comms = [Communicator(runtime, r, nprocs) for r in range(nprocs)]
-        procs = [
-            sim.process(rank_fn(comms[r], *args), name=f"rank{r}") for r in range(nprocs)
-        ]
+        if fs is None:
+            procs = [
+                sim.process(rank_fn(comms[r], *args), name=f"rank{r}")
+                for r in range(nprocs)
+            ]
+        else:
+            procs = []
+            for r in range(nprocs):
+                p = sim.process(_supervised(rank_fn(comms[r], *args), r, fs),
+                                name=f"rank{r}")
+                fs.adopt(r, p)
+                procs.append(p)
+            fs.install(faults.rank_failures)
         if injector is not None:
             install_fault_wrapper(injector.wrap_codec)
         cache_before = GLOBAL_CODEC_CACHE.stats()
@@ -360,12 +517,16 @@ class Cluster:
                 diagnostic=runtime.matching_report(),
             )
         values = [p.value for p in procs]
-        if sanitizer is not None:
+        killed = tuple(v for v in values if isinstance(v, KilledRank))
+        if sanitizer is not None and not killed:
             # Every rank completed: all checked-out buffers must be home.
+            # (A fail-stopped rank abandons its in-flight buffers by
+            # design, so leak-checking a kill run would be a false
+            # positive on the victim's strandings.)
             sanitizer.assert_clean()
         return ClusterResult(values=values, elapsed=sim.now, tracer=tracer,
                              runtime=runtime, asan=sanitizer,
-                             codec_cache=cache_delta)
+                             codec_cache=cache_delta, killed=killed)
 
     def __repr__(self) -> str:
         return f"<Cluster {self.preset.name} {self.nodes}x{self.gpus_per_node}>"

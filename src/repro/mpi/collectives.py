@@ -39,7 +39,9 @@ from typing import Any, Callable, Optional
 
 import numpy as np
 
-from repro.errors import MpiError
+from repro.errors import CollectiveAbortedError, MpiError, RankFailedError
+from repro.mpi.failstop import RevokeCause
+from repro.sim import Interrupt
 from repro.sim.trace import trace_scope
 
 __all__ = [
@@ -68,14 +70,55 @@ def _default_op(op: Optional[Callable]) -> Callable:
 
 def _traced(fn):
     """Wrap a collective in a per-rank ``collective`` span; the
-    point-to-point hops it issues nest underneath it in the trace."""
+    point-to-point hops it issues nest underneath it in the trace.
+
+    With a fail-stop manager installed the wrapper is also the
+    collective's ULFM guard: entering on a revoked communicator raises
+    :class:`CollectiveAbortedError` immediately; a peer failure
+    detected mid-collective revokes the communicator (waking every
+    other blocked member) before aborting; and a revocation interrupt
+    delivered by another member aborts symmetrically — so *all*
+    survivors of a failed collective raise the same error
+    deterministically.  Without a fail-stop plan the fs-None fast path
+    is byte-identical to the plain traced wrapper.
+    """
 
     @functools.wraps(fn)
     def wrapper(comm, *args, **kwargs):
-        with trace_scope(comm.sim, "collective", fn.__name__,
-                         rank=comm.rank, size=comm.size):
-            result = yield from fn(comm, *args, **kwargs)
-        return result
+        fs = comm.failstop
+        if fs is None:
+            with trace_scope(comm.sim, "collective", fn.__name__,
+                             rank=comm.grank, size=comm.size):
+                result = yield from fn(comm, *args, **kwargs)
+            return result
+        comm.check_revoked()
+        fs.enter_collective(comm.grank, comm.comm_id,
+                            comm.sim.active_process)
+        try:
+            with trace_scope(comm.sim, "collective", fn.__name__,
+                             rank=comm.grank, size=comm.size):
+                result = yield from fn(comm, *args, **kwargs)
+            return result
+        except RankFailedError as exc:
+            comm.revoke((exc.failed_rank,))
+            raise CollectiveAbortedError(
+                f"rank {comm.grank}: {fn.__name__} aborted — rank "
+                f"{exc.failed_rank} failed",
+                failed_ranks=(exc.failed_rank,),
+                collective=fn.__name__) from exc
+        except Interrupt as intr:
+            cause = intr.cause
+            if isinstance(cause, RevokeCause) \
+                    and cause.comm_id == comm.comm_id:
+                raise CollectiveAbortedError(
+                    f"rank {comm.grank}: {fn.__name__} aborted — "
+                    f"communicator {comm.comm_id} revoked (failed ranks "
+                    f"{sorted(cause.failed_ranks)})",
+                    failed_ranks=cause.failed_ranks,
+                    collective=fn.__name__) from intr
+            raise
+        finally:
+            fs.exit_collective(comm.grank, comm.comm_id)
 
     return wrapper
 

@@ -28,10 +28,12 @@ import numpy as np
 
 from repro.errors import (
     BufferPoolExhaustedError,
+    CollectiveAbortedError,
     CompressionError,
     IntegrityError,
     MpiError,
     OutOfDeviceMemoryError,
+    RankFailedError,
     RendezvousTimeoutError,
     RetryExhaustedError,
 )
@@ -47,10 +49,21 @@ from repro.utils.integrity import payload_crc32
 from repro.utils.units import KiB
 
 __all__ = ["Communicator", "ANY_SOURCE", "ANY_TAG", "EAGER_THRESHOLD",
-           "PIPELINE_STEPS"]
+           "PIPELINE_STEPS", "TAG_STRIDE"]
 
 ANY_SOURCE = ANY
 ANY_TAG = ANY
+
+#: tag-space stride between communicators: every tag of comm ``c`` is
+#: shifted by ``c * TAG_STRIDE`` at the point-to-point boundary, so
+#: messages of a shrunk (derived) communicator can never match posts of
+#: the revoked one.  Sits above the collective tag block (``1 << 20``)
+#: and the agreement block (``1 << 19``).
+TAG_STRIDE = 1 << 24
+
+#: tag blocks of the failure-agreement protocol (below COLL_TAG_BASE)
+_AGREE_TAG = 1 << 19
+_AGREE_REPLY_TAG = _AGREE_TAG + 256
 
 #: eager/rendezvous protocol switch point (MVAPICH2-GDR GPU default scale)
 EAGER_THRESHOLD = 16 * KiB
@@ -84,13 +97,47 @@ _TRANSIENT = (CompressionError, OutOfDeviceMemoryError, BufferPoolExhaustedError
 _DECODE_ERRORS = (CompressionError, ValueError, IndexError)
 
 
-class Communicator:
-    """An MPI communicator bound to one rank of a running job."""
+class _AgreementRestart(Exception):
+    """Internal: a believed-alive member died mid-agreement round; all
+    participants restart with the larger snapshot (never escapes
+    :meth:`Communicator.agree_failures`)."""
 
-    def __init__(self, runtime, rank: int, size: int):
+
+class _AgreementDecided(Exception):
+    """Internal: a decision reached this participant outside its current
+    round — an earlier round's reply, or the decision board after a
+    death wake-up (never escapes :meth:`Communicator.agree_failures`)."""
+
+    def __init__(self, decided: tuple):
+        super().__init__(decided)
+        self.decided = tuple(decided)
+
+
+class Communicator:
+    """An MPI communicator bound to one rank of a running job.
+
+    A communicator is a *view* over a group of global ranks (GPUs):
+    ``rank``/``size`` are communicator-local, ``grank`` is the global
+    rank this instance is bound to, and every point-to-point call
+    translates local peers to global ones and shifts user tags by
+    ``comm_id * TAG_STRIDE`` so traffic on different communicators can
+    never cross-match.  The base (world) communicator has
+    ``comm_id == 0`` and an identity group, making the translation a
+    no-op — byte-identical to the pre-shrink protocol.
+    """
+
+    def __init__(self, runtime, rank: int, size: int,
+                 group: Optional[tuple] = None, comm_id: int = 0):
         self._rt = runtime
         self.rank = rank
         self.size = size
+        self._group = tuple(group) if group is not None else tuple(range(size))
+        if len(self._group) != size:
+            raise MpiError(
+                f"group of {len(self._group)} ranks for a size-{size} comm")
+        self._comm_id = comm_id
+        self._tag_shift = comm_id * TAG_STRIDE
+        self._grank = self._group[rank]
 
     # -- introspection ------------------------------------------------------
     @property
@@ -102,30 +149,61 @@ class Communicator:
         """Current simulation time (seconds)."""
         return self._rt.sim.now
 
+    @property
+    def grank(self) -> int:
+        """The global rank (GPU index) this communicator view is bound to."""
+        return self._grank
+
+    @property
+    def group(self) -> tuple:
+        """Global ranks of the members, indexed by local rank."""
+        return self._group
+
+    @property
+    def comm_id(self) -> int:
+        return self._comm_id
+
     def device(self):
         """This rank's GPU."""
-        return self._rt.device_of(self.rank)
+        return self._rt.device_of(self._grank)
 
     def _check_peer(self, peer: int, what: str) -> None:
         if not (0 <= peer < self.size):
             raise MpiError(f"{what} rank {peer} out of range [0, {self.size})")
 
+    def _to_global(self, peer: int) -> int:
+        return self._group[peer]
+
+    def _shift_tag(self, tag: int) -> int:
+        return tag if tag == ANY_TAG else tag + self._tag_shift
+
     # -- nonblocking point-to-point ----------------------------------------------
     def isend(self, data: Any, dest: int, tag: int = 0) -> Request:
         """Start a nonblocking send of ``data`` (a numpy array resident
-        on this rank's GPU) to ``dest``."""
+        on this rank's GPU) to local rank ``dest``."""
         self._check_peer(dest, "destination")
-        req = Request(self.sim, kind=f"isend->{dest}")
-        self.sim.process(self._send_proc(data, dest, tag, req), name=f"isend{self.rank}->{dest}")
+        rt = self._rt
+        rt.note_send(self._grank)  # may trip an after_sends kill (in-frame)
+        gdest = self._to_global(dest)
+        req = Request(self.sim, kind=f"isend->{gdest}")
+        proc = self.sim.process(
+            self._send_proc(data, gdest, self._shift_tag(tag), req),
+            name=f"isend{self._grank}->{gdest}")
+        rt.adopt(self._grank, proc)
         return req
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         """Start a nonblocking receive.  The request's value is the
         received array."""
+        gsource = source
         if source != ANY_SOURCE:
             self._check_peer(source, "source")
-        req = Request(self.sim, kind=f"irecv<-{source}")
-        self.sim.process(self._recv_proc(source, tag, req), name=f"irecv{self.rank}<-{source}")
+            gsource = self._to_global(source)
+        req = Request(self.sim, kind=f"irecv<-{gsource}")
+        proc = self.sim.process(
+            self._recv_proc(gsource, self._shift_tag(tag), req),
+            name=f"irecv{self._grank}<-{gsource}")
+        self._rt.adopt(self._grank, proc)
         return req
 
     # -- blocking wrappers ------------------------------------------------------
@@ -166,9 +244,9 @@ class Communicator:
             yield self.sim.timeout(SETUP_TIME)
             seq = rt.next_seq()
             nbytes = self._payload_nbytes(data)
-            if dest == self.rank:
+            if dest == self._grank:
                 # Self-send: no wire, deliver the envelope directly.
-                pkt = Packet(PacketKind.EAGER, self.rank, dest, tag, seq,
+                pkt = Packet(PacketKind.EAGER, self._grank, dest, tag, seq,
                              payload=data, wire_nbytes=nbytes)
                 rt.matching_of(dest).deliver_envelope(pkt)
                 self._count_send("self")
@@ -176,9 +254,9 @@ class Communicator:
                 return
 
             if nbytes < EAGER_THRESHOLD:
-                pkt = Packet(PacketKind.EAGER, self.rank, dest, tag, seq,
+                pkt = Packet(PacketKind.EAGER, self._grank, dest, tag, seq,
                              payload=data, wire_nbytes=nbytes)
-                yield from rt.transfer(self.rank, dest, nbytes + pkt.control_bytes(),
+                yield from rt.transfer(self._grank, dest, nbytes + pkt.control_bytes(),
                                        label="eager")
                 rt.matching_of(dest).deliver_envelope(pkt)
                 self._count_send("eager")
@@ -186,25 +264,25 @@ class Communicator:
                 return
 
             # Rendezvous with on-the-fly compression.
-            engine = rt.engine_of(self.rank)
+            engine = rt.engine_of(self._grank)
             resil = rt.resilience
             breaker = None
             force_uncompressed = False
             if engine.config.enabled:
-                breaker = rt.breaker_of(self.rank, dest)
+                breaker = rt.breaker_of(self._grank, dest)
                 if not breaker.allow(self.now):
                     force_uncompressed = True
-                    rt.resilience_event("breaker_veto", rank=self.rank,
+                    rt.resilience_event("breaker_veto", rank=self._grank,
                                         dst=dest, seq=seq)
             if engine.config.enabled and engine.config.pipeline \
                     and not force_uncompressed:
                 pplan = None
                 with trace_scope(self.sim, "pipeline", "sender_prepare",
-                                 rank=self.rank, nbytes=nbytes, seq=seq,
+                                 rank=self._grank, nbytes=nbytes, seq=seq,
                                  dst=dest):
                     try:
                         pplan = yield from engine.sender_prepare_pipelined(
-                            data, path_bandwidth=rt.path_bandwidth(self.rank, dest)
+                            data, path_bandwidth=rt.path_bandwidth(self._grank, dest)
                         )
                     except _TRANSIENT as exc:
                         self._compression_failed(rt, breaker, dest, seq, exc)
@@ -215,11 +293,11 @@ class Communicator:
                     req.complete()
                     return
             with trace_scope(self.sim, "pipeline", "sender_prepare",
-                             rank=self.rank, nbytes=nbytes, seq=seq,
+                             rank=self._grank, nbytes=nbytes, seq=seq,
                              dst=dest):
                 try:
                     plan = yield from engine.sender_prepare(
-                        data, path_bandwidth=rt.path_bandwidth(self.rank, dest),
+                        data, path_bandwidth=rt.path_bandwidth(self._grank, dest),
                         force_uncompressed=force_uncompressed,
                     )
                 except _TRANSIENT as exc:
@@ -228,32 +306,32 @@ class Communicator:
                         data, force_uncompressed=True
                     )
             crc = plan.crc if resil.integrity else None
-            rts = Packet(PacketKind.RTS, self.rank, dest, tag, seq,
+            rts = Packet(PacketKind.RTS, self._grank, dest, tag, seq,
                          header=plan.header, wire_nbytes=plan.wire_nbytes,
                          crc=crc)
-            with trace_scope(self.sim, "pipeline", "rts", rank=self.rank,
+            with trace_scope(self.sim, "pipeline", "rts", rank=self._grank,
                              seq=seq, dst=dest):
-                yield from rt.control_delay(self.rank, dest, rts.control_bytes())
-                cts_ev = rt.matching_of(self.rank).expect_cts(seq)
+                yield from rt.control_delay(self._grank, dest, rts.control_bytes())
+                cts_ev = rt.matching_of(self._grank).expect_cts(seq)
                 rt.matching_of(dest).deliver_envelope(rts)
             yield from self._await_cts(rt, cts_ev, dest, seq)
-            rt.register_retransmit(seq, self.rank, dest, tag, plan.header,
+            rt.register_retransmit(seq, self._grank, dest, tag, plan.header,
                                    plan.payload, plan.wire_nbytes, crc,
                                    plan.compressed)
             with trace_scope(self.sim, "pipeline", "wire_transfer",
-                             rank=self.rank, seq=seq,
+                             rank=self._grank, seq=seq,
                              nbytes=plan.wire_nbytes, dst=dest):
                 delivered = yield from rt.transfer(
-                    self.rank, dest, plan.wire_nbytes,
+                    self._grank, dest, plan.wire_nbytes,
                     label="rndv_data", payload=plan.payload,
                 )
             if delivered is not DROPPED:
-                data_pkt = Packet(PacketKind.DATA, self.rank, dest, tag, seq,
+                data_pkt = Packet(PacketKind.DATA, self._grank, dest, tag, seq,
                                   payload=delivered,
                                   wire_nbytes=plan.wire_nbytes, crc=crc)
                 rt.matching_of(dest).deliver_data(data_pkt)
             with trace_scope(self.sim, "pipeline", "sender_release",
-                             rank=self.rank, seq=seq, dst=dest):
+                             rank=self._grank, seq=seq, dst=dest):
                 yield from engine.sender_release(plan)
             self._count_send("rndv")
             req.complete()
@@ -265,38 +343,104 @@ class Communicator:
         failure: feed the breaker, record the uncompressed fallback."""
         if breaker is not None:
             breaker.record_failure(self.now)
-        rt.resilience_event("fallback", rank=self.rank, dst=dest, seq=seq,
+        rt.resilience_event("fallback", rank=self._grank, dst=dest, seq=seq,
                             error=type(exc).__name__)
 
+    # -- failure detection -------------------------------------------------------
+    def _guarded_wait(self, rt, ev, peer, phase: str, seq=None, timeout=None):
+        """Wait on ``ev``, racing an optional ``timeout`` and — when the
+        failure detector is armed — the death event of (global) ``peer``.
+
+        Returns ``(value, timed_out)``.  A peer death grants a
+        ``detect_timeout`` grace window for in-flight data, then raises
+        :class:`RankFailedError`.  With no detector and no timeout this
+        is a bare ``yield ev``: zero extra events on the fault-free
+        path, preserving trace identity.
+        """
+        fs = rt.failstop
+        detect = rt.resilience.detect_timeout
+        watch = (fs is not None and detect is not None
+                 and peer is not None and peer != ANY)
+        if not watch:
+            if timeout is None:
+                val = yield ev
+                return val, False
+            timer = self.sim.timeout(timeout)
+            yield self.sim.any_of([ev, timer])
+            if not ev.triggered:
+                return None, True
+            timer.cancel()
+            return ev.value, False
+        death = fs.death_event(peer)
+        races = [ev, death]
+        timer = None
+        if timeout is not None:
+            timer = self.sim.timeout(timeout)
+            races.append(timer)
+        yield self.sim.any_of(races)
+        if ev.triggered:
+            if timer is not None and not timer.triggered:
+                timer.cancel()
+            return ev.value, False
+        if death.triggered:
+            # Grace window: a message already on the wire outlives its
+            # sender — prefer delivered data over declaring failure.
+            grace = self.sim.timeout(detect)
+            yield self.sim.any_of([ev, grace])
+            if timer is not None and not timer.triggered:
+                timer.cancel()
+            if ev.triggered:
+                if not grace.triggered:
+                    grace.cancel()
+                return ev.value, False
+            self._raise_rank_failed(rt, peer, phase, seq)
+        return None, True
+
+    def _raise_rank_failed(self, rt, peer: int, phase: str, seq=None):
+        """Translate a detected peer death into :class:`RankFailedError`
+        with the detector's full context (incarnation, kill time,
+        last-heard, matching state)."""
+        fs = rt.failstop
+        inc, killed_at = fs.dead[peer]
+        heard = rt.last_heard_of(self._grank, peer)
+        heard_s = "never" if heard is None else f"t={heard:.9f}"
+        rt.resilience_event("rank_failed", rank=self._grank, peer=peer,
+                            phase=phase)
+        detail = f" for seq {seq}" if seq is not None else ""
+        raise RankFailedError(
+            f"rank {self._grank}: peer rank {peer} (incarnation {inc}) "
+            f"failed at t={killed_at:.9f} while awaiting {phase}{detail}; "
+            f"last heard {heard_s}",
+            failed_rank=peer, incarnation=inc, last_heard=heard,
+            diagnostic=rt.matching_report(),
+        )
+
     def _await_cts(self, rt, cts_ev, dest: int, seq: int):
-        """Wait for the CTS, optionally under the handshake timeout."""
+        """Wait for the CTS under the handshake timeout and the
+        receiver's death watch."""
         t = rt.resilience.handshake_timeout
-        if t is None:
-            yield cts_ev
-            return
-        timer = self.sim.timeout(t)
-        yield self.sim.any_of([cts_ev, timer])
-        if not cts_ev.triggered:
-            rt.resilience_event("timeout", rank=self.rank, seq=seq,
+        _, timed_out = yield from self._guarded_wait(
+            rt, cts_ev, dest, "cts", seq=seq, timeout=t)
+        if timed_out:
+            rt.resilience_event("timeout", rank=self._grank, seq=seq,
                                 dst=dest, phase="cts")
             raise RendezvousTimeoutError(
-                f"rank {self.rank}: no CTS from rank {dest} for seq {seq} "
+                f"rank {self._grank}: no CTS from rank {dest} for seq {seq} "
                 f"within {t}s",
                 diagnostic=rt.matching_report(),
             )
-        timer.cancel()
 
     def _send_pipelined(self, rt, dest: int, tag: int, seq: int, pplan):
         """Stream each partition as its compression kernel completes."""
-        engine = rt.engine_of(self.rank)
+        engine = rt.engine_of(self._grank)
         crc = pplan.crc if rt.resilience.integrity else None
         total = pplan.header.wire_bytes
-        rts = Packet(PacketKind.RTS, self.rank, dest, tag, seq,
+        rts = Packet(PacketKind.RTS, self._grank, dest, tag, seq,
                      header=pplan.header, wire_nbytes=total, crc=crc)
-        with trace_scope(self.sim, "pipeline", "rts", rank=self.rank,
+        with trace_scope(self.sim, "pipeline", "rts", rank=self._grank,
                          seq=seq, dst=dest):
-            yield from rt.control_delay(self.rank, dest, rts.control_bytes())
-            cts_ev = rt.matching_of(self.rank).expect_cts(seq)
+            yield from rt.control_delay(self._grank, dest, rts.control_bytes())
+            cts_ev = rt.matching_of(self._grank).expect_cts(seq)
             rt.matching_of(dest).deliver_envelope(rts)
         yield from self._await_cts(rt, cts_ev, dest, seq)
         if rt.faults is not None:
@@ -304,7 +448,7 @@ class Communicator:
             # pipelined message is retransmitted as one un-pipelined
             # DATA packet (the header's partition table still applies).
             rt.register_retransmit(
-                seq, self.rank, dest, tag, pplan.header,
+                seq, self._grank, dest, tag, pplan.header,
                 np.concatenate([c.payload for c in pplan.comps]),
                 total, crc, True,
             )
@@ -313,16 +457,16 @@ class Communicator:
             yield from pplan.kernel_run(i)
             comp = pplan.comps[i]
             with trace_scope(self.sim, "pipeline", "wire_transfer",
-                             rank=self.rank, seq=seq, part=i,
+                             rank=self._grank, seq=seq, part=i,
                              nbytes=comp.nbytes, dst=dest):
                 delivered = yield from rt.transfer(
-                    self.rank, dest, comp.nbytes,
+                    self._grank, dest, comp.nbytes,
                     label="pipe_data", payload=comp.payload,
                 )
             if delivered is DROPPED:
                 return
             rt.matching_of(dest).deliver_data(
-                Packet(PacketKind.DATA, self.rank, dest, tag, seq,
+                Packet(PacketKind.DATA, self._grank, dest, tag, seq,
                        payload=delivered, wire_nbytes=comp.nbytes, part=i)
             )
 
@@ -330,9 +474,11 @@ class Communicator:
             self.sim.process(part_sender(i), name=f"pipe-send{i}")
             for i in range(pplan.n_parts)
         ]
+        for p in procs:
+            rt.adopt(self._grank, p)
         yield self.sim.all_of(procs)
         with trace_scope(self.sim, "pipeline", "sender_release",
-                         rank=self.rank, seq=seq, dst=dest):
+                         rank=self._grank, seq=seq, dst=dest):
             yield from engine.pipelined_release(pplan)
 
     def _recv_pipelined(self, rt, pkt, req: Request):
@@ -342,31 +488,32 @@ class Communicator:
         CRC mismatch falls back to the un-pipelined recovery loop: one
         NACK, one full retransmission of the concatenated wire image.
         """
-        engine = rt.engine_of(self.rank)
+        engine = rt.engine_of(self._grank)
         resil = rt.resilience
         header = pkt.header
         resources = yield from self._receiver_prepare_resilient(
             rt, engine, header, pkt.seq, pkt.src
         )
         data_evs = [
-            rt.matching_of(self.rank).expect_data(pkt.seq, part=i)
+            rt.matching_of(self._grank).expect_data(pkt.seq, part=i)
             for i in range(header.n_partitions)
         ]
-        cts = Packet(PacketKind.CTS, self.rank, pkt.src, pkt.tag, pkt.seq)
-        with trace_scope(self.sim, "pipeline", "cts", rank=self.rank,
+        cts = Packet(PacketKind.CTS, self._grank, pkt.src, pkt.tag, pkt.seq)
+        with trace_scope(self.sim, "pipeline", "cts", rank=self._grank,
                          seq=pkt.seq, dst=pkt.src):
-            yield from rt.control_delay(self.rank, pkt.src, cts.control_bytes())
+            yield from rt.control_delay(self._grank, pkt.src, cts.control_bytes())
             rt.matching_of(pkt.src).deliver_cts(cts)
 
         failures: list = []
 
         def part_receiver(i):
-            data_pkt = yield from self._await_data(rt, data_evs[i])
+            data_pkt = yield from self._await_data(rt, data_evs[i],
+                                                   src=pkt.src, seq=pkt.seq)
             if data_pkt is None:
                 failures.append(("data_timeout", None))
                 return None
             with trace_scope(self.sim, "pipeline", "receiver_complete",
-                             rank=self.rank, seq=pkt.seq, src=pkt.src,
+                             rank=self._grank, seq=pkt.seq, src=pkt.src,
                              part=i):
                 try:
                     out = yield from engine.pipelined_receive_part(
@@ -383,6 +530,8 @@ class Communicator:
             self.sim.process(part_receiver(i), name=f"pipe-recv{i}")
             for i in range(header.n_partitions)
         ]
+        for p in procs:
+            rt.adopt(self._grank, p)
         results = yield self.sim.all_of(procs)
         if not failures:
             parts = [results[i] for i in range(header.n_partitions)]
@@ -405,8 +554,9 @@ class Communicator:
         rt = self._rt
         try:
             yield self.sim.timeout(SETUP_TIME)
-            match_ev = rt.matching_of(self.rank).post_recv(source, tag)
-            pkt = yield match_ev
+            match_ev = rt.matching_of(self._grank).post_recv(source, tag)
+            pkt, _ = yield from self._guarded_wait(rt, match_ev, source,
+                                                   "envelope")
             if pkt.kind == PacketKind.EAGER:
                 req.complete(pkt.payload)
                 return
@@ -415,17 +565,18 @@ class Communicator:
             if pkt.header is not None and pkt.header.pipelined:
                 yield from self._recv_pipelined(rt, pkt, req)
                 return
-            engine = rt.engine_of(self.rank)
+            engine = rt.engine_of(self._grank)
             resources = yield from self._receiver_prepare_resilient(
                 rt, engine, pkt.header, pkt.seq, pkt.src
             )
-            data_ev = rt.matching_of(self.rank).expect_data(pkt.seq)
-            cts = Packet(PacketKind.CTS, self.rank, pkt.src, tag, pkt.seq)
-            with trace_scope(self.sim, "pipeline", "cts", rank=self.rank,
+            data_ev = rt.matching_of(self._grank).expect_data(pkt.seq)
+            cts = Packet(PacketKind.CTS, self._grank, pkt.src, tag, pkt.seq)
+            with trace_scope(self.sim, "pipeline", "cts", rank=self._grank,
                              seq=pkt.seq, dst=pkt.src):
-                yield from rt.control_delay(self.rank, pkt.src, cts.control_bytes())
+                yield from rt.control_delay(self._grank, pkt.src, cts.control_bytes())
                 rt.matching_of(pkt.src).deliver_cts(cts)
-            data_pkt = yield from self._await_data(rt, data_ev)
+            data_pkt = yield from self._await_data(rt, data_ev,
+                                                   src=pkt.src, seq=pkt.seq)
             data = yield from self._complete_with_retries(
                 rt, engine, pkt, data_pkt, resources
             )
@@ -444,7 +595,7 @@ class Communicator:
             extra = {"attempt": attempt} if attempt else {}
             err = None
             with trace_scope(self.sim, "pipeline", "receiver_prepare",
-                             rank=self.rank, seq=seq, src=src, **extra):
+                             rank=self._grank, seq=seq, src=src, **extra):
                 try:
                     resources = yield from engine.receiver_prepare(header)
                     return resources
@@ -453,7 +604,7 @@ class Communicator:
                         raise
                     err = exc
             attempt += 1
-            rt.resilience_event("retry", rank=self.rank, seq=seq,
+            rt.resilience_event("retry", rank=self._grank, seq=seq,
                                 stage="receiver_prepare",
                                 error=type(err).__name__)
             yield from self._backoff(rt, attempt, seq, "receiver_prepare")
@@ -461,24 +612,19 @@ class Communicator:
     def _backoff(self, rt, attempt: int, seq: int, reason: str):
         """Exponential backoff + jitter on the simulated clock."""
         delay = rt.resilience.backoff_delay(attempt, rt.resil_rng)
-        with trace_scope(self.sim, "resilience", "backoff", rank=self.rank,
+        with trace_scope(self.sim, "resilience", "backoff", rank=self._grank,
                          track="faults", seq=seq, attempt=attempt,
                          reason=reason):
             yield self.sim.timeout(delay)
 
-    def _await_data(self, rt, data_ev):
+    def _await_data(self, rt, data_ev, src=None, seq=None):
         """Wait for a DATA packet; ``None`` signals a delivery timeout
-        (only possible when the resilience config arms one)."""
-        t = rt.resilience.data_timeout
-        if t is None:
-            pkt = yield data_ev
-            return pkt
-        timer = self.sim.timeout(t)
-        yield self.sim.any_of([data_ev, timer])
-        if not data_ev.triggered:
-            return None
-        timer.cancel()
-        return data_ev.value
+        (only possible when the resilience config arms one).  A dead
+        sender raises :class:`RankFailedError` via the death watch."""
+        pkt, timed_out = yield from self._guarded_wait(
+            rt, data_ev, src, "data", seq=seq,
+            timeout=rt.resilience.data_timeout)
+        return None if timed_out else pkt
 
     def _complete_with_retries(self, rt, engine, pkt, data_pkt, resources,
                                initial_failure: Optional[str] = None,
@@ -499,7 +645,7 @@ class Communicator:
                 else:
                     extra = {"attempt": attempt} if attempt else {}
                     with trace_scope(self.sim, "pipeline", "receiver_complete",
-                                     rank=self.rank, seq=seq, src=pkt.src,
+                                     rank=self._grank, seq=seq, src=pkt.src,
                                      wire_nbytes=data_pkt.wire_nbytes,
                                      **extra):
                         try:
@@ -517,19 +663,26 @@ class Communicator:
                         else:
                             rt.retire(seq, True)
                             if attempt:
-                                rt.resilience_event("recovered", rank=self.rank,
+                                rt.resilience_event("recovered", rank=self._grank,
                                                     seq=seq, attempts=attempt)
                             return data
             attempt += 1
+            if rt.is_dead(pkt.src):
+                # No point NACKing a dead sender; surface the failure
+                # instead of burning the retry budget.
+                rt.retire(seq, False)
+                if resources:
+                    yield from engine._release(resources)
+                self._raise_rank_failed(rt, pkt.src, failure, seq)
             entry = rt.retransmit_entry(seq)
-            rt.resilience_event(failure, rank=self.rank, seq=seq,
+            rt.resilience_event(failure, rank=self._grank, seq=seq,
                                 src=pkt.src, attempt=attempt)
             if entry is None or attempt > resil.max_retries:
                 rt.retire(seq, False)
                 if resources:
                     yield from engine._release(resources)
                 retries = attempt - 1
-                msg = (f"rank {self.rank}: message seq {seq} from rank "
+                msg = (f"rank {self._grank}: message seq {seq} from rank "
                        f"{pkt.src} failed ({failure}) after {retries} "
                        f"retransmission(s)")
                 if failure == "data_timeout":
@@ -545,16 +698,17 @@ class Communicator:
                 resources = yield from self._receiver_prepare_resilient(
                     rt, engine, header, seq, pkt.src
                 )
-            nack = Packet(PacketKind.CTS, self.rank, pkt.src, pkt.tag, seq)
-            with trace_scope(self.sim, "resilience", "nack", rank=self.rank,
+            nack = Packet(PacketKind.CTS, self._grank, pkt.src, pkt.tag, seq)
+            with trace_scope(self.sim, "resilience", "nack", rank=self._grank,
                              track="faults", seq=seq, dst=pkt.src,
                              attempt=attempt):
-                yield from rt.control_delay(self.rank, pkt.src,
+                yield from rt.control_delay(self._grank, pkt.src,
                                             nack.control_bytes())
             rt.notify_nack(seq)
-            data_ev = rt.matching_of(self.rank).expect_data(seq, 0, attempt)
+            data_ev = rt.matching_of(self._grank).expect_data(seq, 0, attempt)
             rt.spawn_retransmit(seq, attempt)
-            data_pkt = yield from self._await_data(rt, data_ev)
+            data_pkt = yield from self._await_data(rt, data_ev,
+                                                   src=pkt.src, seq=pkt.seq)
             failure = None
 
     # -- keep-compressed wire images ----------------------------------------------
@@ -574,15 +728,15 @@ class Communicator:
         immediately — the image itself lives in the collective's
         host-visible staging area and survives any number of sends."""
         rt = self._rt
-        engine = rt.engine_of(self.rank)
+        engine = rt.engine_of(self._grank)
         origin_seq = rt.next_seq()
         nbytes = self._payload_nbytes(data)
-        with trace_scope(self.sim, "pipeline", "pack_wire", rank=self.rank,
+        with trace_scope(self.sim, "pipeline", "pack_wire", rank=self._grank,
                          nbytes=nbytes, origin_seq=origin_seq):
             try:
                 plan = yield from engine.sender_prepare(data)
             except _TRANSIENT as exc:
-                rt.resilience_event("fallback", rank=self.rank,
+                rt.resilience_event("fallback", rank=self._grank,
                                     seq=origin_seq, error=type(exc).__name__)
                 plan = yield from engine.sender_prepare(
                     data, force_uncompressed=True
@@ -603,8 +757,8 @@ class Communicator:
         keep-compressed path, checked against the image's
         post-decode CRC when integrity is on."""
         rt = self._rt
-        engine = rt.engine_of(self.rank)
-        with trace_scope(self.sim, "pipeline", "unpack_wire", rank=self.rank,
+        engine = rt.engine_of(self._grank)
+        with trace_scope(self.sim, "pipeline", "unpack_wire", rank=self._grank,
                          nbytes=wire.wire_nbytes, origin_seq=wire.origin_seq):
             resources = yield from engine.receiver_prepare(wire.header)
             try:
@@ -617,7 +771,7 @@ class Communicator:
                 raise
         if wire.crc is not None and payload_crc32(data) != wire.crc:
             raise IntegrityError(
-                f"rank {self.rank}: wire image origin_seq={wire.origin_seq} "
+                f"rank {self._grank}: wire image origin_seq={wire.origin_seq} "
                 f"failed its post-decode CRC"
             )
         return data
@@ -629,7 +783,7 @@ class Communicator:
         accumulate fallback otherwise.  The result is a fresh image
         with its own ``origin_seq``."""
         rt = self._rt
-        engine = rt.engine_of(self.rank)
+        engine = rt.engine_of(self._grank)
         op = np.add if op is None else op
         integrity = rt.resilience.integrity
         origin_seq = rt.next_seq()
@@ -639,7 +793,7 @@ class Communicator:
                 and acc.header.n_partitions == other.header.n_partitions \
                 and op is np.add:
             with trace_scope(self.sim, "pipeline", "reduce_wire",
-                             rank=self.rank, nbytes=acc.wire_nbytes,
+                             rank=self._grank, nbytes=acc.wire_nbytes,
                              origin_seq=origin_seq, fused=True):
                 header, payload, crc = yield from engine.reduce_wire_payload(
                     acc.header, acc.payload, other.header, other.payload,
@@ -654,7 +808,7 @@ class Communicator:
         # Mixed / uncompressed / non-sum: decode what needs decoding and
         # keep this accumulator raw from here on.
         with trace_scope(self.sim, "pipeline", "reduce_wire",
-                         rank=self.rank, nbytes=acc.wire_nbytes,
+                         rank=self._grank, nbytes=acc.wire_nbytes,
                          origin_seq=origin_seq, fused=False):
             a = acc.payload if not acc.compressed else (yield from self.unpack_wire(acc))
             b = other.payload if not other.compressed else (yield from self.unpack_wire(other))
@@ -671,19 +825,28 @@ class Communicator:
     def isend_wire(self, wire: WireImage, dest: int, tag: int = 0) -> Request:
         """Nonblocking relay of an already-packed wire image."""
         self._check_peer(dest, "destination")
-        req = Request(self.sim, kind=f"isend_wire->{dest}")
-        self.sim.process(self._send_wire_proc(wire, dest, tag, req),
-                         name=f"isendw{self.rank}->{dest}")
+        rt = self._rt
+        rt.note_send(self._grank)  # may trip an after_sends kill (in-frame)
+        gdest = self._to_global(dest)
+        req = Request(self.sim, kind=f"isend_wire->{gdest}")
+        proc = self.sim.process(
+            self._send_wire_proc(wire, gdest, self._shift_tag(tag), req),
+            name=f"isendw{self._grank}->{gdest}")
+        rt.adopt(self._grank, proc)
         return req
 
     def irecv_wire(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         """Nonblocking receive of a wire image; the request's value is
         the :class:`WireImage` (not decoded — pass it on or unpack)."""
+        gsource = source
         if source != ANY_SOURCE:
             self._check_peer(source, "source")
-        req = Request(self.sim, kind=f"irecv_wire<-{source}")
-        self.sim.process(self._recv_wire_proc(source, tag, req),
-                         name=f"irecvw{self.rank}<-{source}")
+            gsource = self._to_global(source)
+        req = Request(self.sim, kind=f"irecv_wire<-{gsource}")
+        proc = self.sim.process(
+            self._recv_wire_proc(gsource, self._shift_tag(tag), req),
+            name=f"irecvw{self._grank}<-{gsource}")
+        self._rt.adopt(self._grank, proc)
         return req
 
     def send_wire(self, wire: WireImage, dest: int, tag: int = 0):
@@ -710,17 +873,17 @@ class Communicator:
         try:
             yield self.sim.timeout(SETUP_TIME)
             seq = rt.next_seq()
-            if dest == self.rank:
-                pkt = Packet(PacketKind.EAGER, self.rank, dest, tag, seq,
+            if dest == self._grank:
+                pkt = Packet(PacketKind.EAGER, self._grank, dest, tag, seq,
                              payload=wire, wire_nbytes=wire.wire_nbytes)
                 rt.matching_of(dest).deliver_envelope(pkt)
                 self._count_send("self")
                 req.complete()
                 return
             if wire.wire_nbytes < EAGER_THRESHOLD:
-                pkt = Packet(PacketKind.EAGER, self.rank, dest, tag, seq,
+                pkt = Packet(PacketKind.EAGER, self._grank, dest, tag, seq,
                              payload=wire, wire_nbytes=wire.wire_nbytes)
-                yield from rt.transfer(self.rank, dest,
+                yield from rt.transfer(self._grank, dest,
                                        wire.wire_nbytes + pkt.control_bytes(),
                                        label="eager")
                 rt.matching_of(dest).deliver_envelope(pkt)
@@ -729,30 +892,30 @@ class Communicator:
                 return
             # Rendezvous relay: the RTS re-piggybacks the *original*
             # header; no sender_prepare — the image is already packed.
-            rts = Packet(PacketKind.RTS, self.rank, dest, tag, seq,
+            rts = Packet(PacketKind.RTS, self._grank, dest, tag, seq,
                          header=wire.header, wire_nbytes=wire.wire_nbytes,
                          crc=wire.crc, wire_crc=wire.wire_crc,
                          origin_seq=wire.origin_seq)
-            with trace_scope(self.sim, "pipeline", "rts", rank=self.rank,
+            with trace_scope(self.sim, "pipeline", "rts", rank=self._grank,
                              seq=seq, dst=dest, origin_seq=wire.origin_seq):
-                yield from rt.control_delay(self.rank, dest, rts.control_bytes())
-                cts_ev = rt.matching_of(self.rank).expect_cts(seq)
+                yield from rt.control_delay(self._grank, dest, rts.control_bytes())
+                cts_ev = rt.matching_of(self._grank).expect_cts(seq)
                 rt.matching_of(dest).deliver_envelope(rts)
             yield from self._await_cts(rt, cts_ev, dest, seq)
-            rt.register_retransmit(seq, self.rank, dest, tag, wire.header,
+            rt.register_retransmit(seq, self._grank, dest, tag, wire.header,
                                    wire.payload, wire.wire_nbytes, wire.crc,
                                    wire.compressed, wire_crc=wire.wire_crc,
                                    origin_seq=wire.origin_seq)
             with trace_scope(self.sim, "pipeline", "wire_transfer",
-                             rank=self.rank, seq=seq,
+                             rank=self._grank, seq=seq,
                              nbytes=wire.wire_nbytes, dst=dest,
                              origin_seq=wire.origin_seq):
                 delivered = yield from rt.transfer(
-                    self.rank, dest, wire.wire_nbytes,
+                    self._grank, dest, wire.wire_nbytes,
                     label="rndv_data", payload=wire.payload,
                 )
             if delivered is not DROPPED:
-                data_pkt = Packet(PacketKind.DATA, self.rank, dest, tag, seq,
+                data_pkt = Packet(PacketKind.DATA, self._grank, dest, tag, seq,
                                   payload=delivered,
                                   wire_nbytes=wire.wire_nbytes, crc=wire.crc,
                                   wire_crc=wire.wire_crc,
@@ -767,24 +930,26 @@ class Communicator:
         rt = self._rt
         try:
             yield self.sim.timeout(SETUP_TIME)
-            match_ev = rt.matching_of(self.rank).post_recv(source, tag)
-            pkt = yield match_ev
+            match_ev = rt.matching_of(self._grank).post_recv(source, tag)
+            pkt, _ = yield from self._guarded_wait(rt, match_ev, source,
+                                                   "envelope")
             if pkt.kind == PacketKind.EAGER:
                 req.complete(pkt.payload)  # the WireImage itself
                 return
             if pkt.kind != PacketKind.RTS:
                 raise MpiError(f"unexpected envelope {pkt!r}")
-            engine = rt.engine_of(self.rank)
+            engine = rt.engine_of(self._grank)
             resources = yield from self._receiver_prepare_resilient(
                 rt, engine, pkt.header, pkt.seq, pkt.src
             )
-            data_ev = rt.matching_of(self.rank).expect_data(pkt.seq)
-            cts = Packet(PacketKind.CTS, self.rank, pkt.src, tag, pkt.seq)
-            with trace_scope(self.sim, "pipeline", "cts", rank=self.rank,
+            data_ev = rt.matching_of(self._grank).expect_data(pkt.seq)
+            cts = Packet(PacketKind.CTS, self._grank, pkt.src, tag, pkt.seq)
+            with trace_scope(self.sim, "pipeline", "cts", rank=self._grank,
                              seq=pkt.seq, dst=pkt.src):
-                yield from rt.control_delay(self.rank, pkt.src, cts.control_bytes())
+                yield from rt.control_delay(self._grank, pkt.src, cts.control_bytes())
                 rt.matching_of(pkt.src).deliver_cts(cts)
-            data_pkt = yield from self._await_data(rt, data_ev)
+            data_pkt = yield from self._await_data(rt, data_ev,
+                                                   src=pkt.src, seq=pkt.seq)
             wire = yield from self._wire_complete_with_retries(
                 rt, engine, pkt, data_pkt, resources
             )
@@ -810,7 +975,7 @@ class Communicator:
                     if pkt.origin_seq is not None:
                         extra["origin_seq"] = pkt.origin_seq
                     with trace_scope(self.sim, "pipeline", "receiver_complete",
-                                     rank=self.rank, seq=seq, src=pkt.src,
+                                     rank=self._grank, seq=seq, src=pkt.src,
                                      wire_nbytes=data_pkt.wire_nbytes,
                                      **extra):
                         wcrc = data_pkt.wire_crc if resil.integrity else None
@@ -821,7 +986,7 @@ class Communicator:
                             yield from engine._release(resources)
                         rt.retire(seq, True)
                         if attempt:
-                            rt.resilience_event("recovered", rank=self.rank,
+                            rt.resilience_event("recovered", rank=self._grank,
                                                 seq=seq, attempts=attempt)
                         return WireImage(
                             header=pkt.header, payload=data_pkt.payload,
@@ -831,15 +996,22 @@ class Communicator:
                         )
                     failure = "wire_crc_mismatch"
             attempt += 1
+            if rt.is_dead(pkt.src):
+                # No point NACKing a dead sender; surface the failure
+                # instead of burning the retry budget.
+                rt.retire(seq, False)
+                if resources:
+                    yield from engine._release(resources)
+                self._raise_rank_failed(rt, pkt.src, failure, seq)
             entry = rt.retransmit_entry(seq)
-            rt.resilience_event(failure, rank=self.rank, seq=seq,
+            rt.resilience_event(failure, rank=self._grank, seq=seq,
                                 src=pkt.src, attempt=attempt)
             if entry is None or attempt > resil.max_retries:
                 rt.retire(seq, False)
                 if resources:
                     yield from engine._release(resources)
                 retries = attempt - 1
-                msg = (f"rank {self.rank}: wire image seq {seq} from rank "
+                msg = (f"rank {self._grank}: wire image seq {seq} from rank "
                        f"{pkt.src} failed ({failure}) after {retries} "
                        f"retransmission(s)")
                 if failure == "data_timeout":
@@ -847,22 +1019,23 @@ class Communicator:
                         msg, diagnostic=rt.matching_report())
                 raise IntegrityError(msg)
             yield from self._backoff(rt, attempt, seq, failure)
-            nack = Packet(PacketKind.CTS, self.rank, pkt.src, pkt.tag, seq)
-            with trace_scope(self.sim, "resilience", "nack", rank=self.rank,
+            nack = Packet(PacketKind.CTS, self._grank, pkt.src, pkt.tag, seq)
+            with trace_scope(self.sim, "resilience", "nack", rank=self._grank,
                              track="faults", seq=seq, dst=pkt.src,
                              attempt=attempt):
-                yield from rt.control_delay(self.rank, pkt.src,
+                yield from rt.control_delay(self._grank, pkt.src,
                                             nack.control_bytes())
             rt.notify_nack(seq)
-            data_ev = rt.matching_of(self.rank).expect_data(seq, 0, attempt)
+            data_ev = rt.matching_of(self._grank).expect_data(seq, 0, attempt)
             rt.spawn_retransmit(seq, attempt)
-            data_pkt = yield from self._await_data(rt, data_ev)
+            data_pkt = yield from self._await_data(rt, data_ev,
+                                                   src=pkt.src, seq=pkt.seq)
             failure = None
 
     def keep_compressed_active(self, data=None) -> bool:
         """True when collectives should route ``data`` through the
         keep-compressed wire-image path for this rank's config."""
-        cfg = self._rt.engine_of(self.rank).config
+        cfg = self._rt.engine_of(self._grank).config
         if not (cfg.enabled and cfg.keep_compressed):
             return False
         if data is None:
@@ -873,7 +1046,161 @@ class Communicator:
     def wire_reduce_capable(self, op) -> bool:
         """True when this rank's engine can combine compressed wire
         images directly (hZCCL-style) for reduction ``op``."""
-        return self._rt.engine_of(self.rank).reduce_capable(op)
+        return self._rt.engine_of(self._grank).reduce_capable(op)
+
+    # -- ULFM-style failure recovery ----------------------------------------------
+    @property
+    def failstop(self):
+        """The cluster's fail-stop manager (None without a fail-stop
+        plan — the entire recovery surface is inert then)."""
+        return self._rt.failstop
+
+    def revoke(self, failed_ranks: tuple = ()) -> None:
+        """ULFM ``MPI_Comm_revoke``: mark this communicator revoked and
+        interrupt every member still blocked inside a collective on it,
+        so all survivors abort the collective deterministically."""
+        fs = self._rt.failstop
+        if fs is not None:
+            fs.revoke(self._comm_id, tuple(failed_ranks))
+
+    def check_revoked(self) -> None:
+        """Raise :class:`~repro.errors.CollectiveAbortedError` if this
+        communicator has been revoked — new operations must move to a
+        shrunk communicator."""
+        fs = self._rt.failstop
+        if fs is not None and fs.is_revoked(self._comm_id):
+            failed = fs.revoked_failures(self._comm_id)
+            raise CollectiveAbortedError(
+                f"rank {self._grank}: communicator {self._comm_id} is "
+                f"revoked (failed ranks {sorted(failed)})",
+                failed_ranks=failed)
+
+    def agree_failures(self):
+        """ULFM ``MPI_Comm_agree`` on the failed set (generator
+        subroutine): every survivor of this communicator returns the
+        *same* tuple of dead global ranks.
+
+        Protocol: leader (lowest surviving rank) gathers each
+        survivor's failure snapshot, unions them, records the decision,
+        and replies with the decided set.  Round ``k`` is keyed (via
+        tags) by the snapshot size, which only grows — so rounds cannot
+        cross-match, and any wait that observes a *new* death restarts
+        at the bigger snapshot, re-aligning all participants.  A reply
+        from an older round is still a valid agreement (a death it
+        misses is found by the next recovery cycle, as in ULFM); the
+        decision board covers the window where a deciding leader dies
+        mid-reply-distribution.
+        """
+        rt = self._rt
+        fs = rt.failstop
+        if fs is None:
+            return ()
+        board = rt.agreed_failures(self._comm_id)
+        if board is not None:
+            return board
+        pending: dict = {}  # round key -> pending reply Request
+        while True:
+            snapshot = tuple(sorted(g for g in self._group
+                                    if fs.is_dead(g)))
+            key = len(snapshot)
+            survivors = [r for r in range(self.size)
+                         if self._group[r] not in snapshot]
+            watch = [g for g in self._group if g not in snapshot]
+            leader = survivors[0]
+            try:
+                if self.rank == leader:
+                    views = set(snapshot)
+                    for peer in survivors[1:]:
+                        req = self.irecv(peer, _AGREE_TAG + key)
+                        view = yield from self._agree_wait(
+                            rt, fs, req.completion_event(), watch, pending)
+                        views.update(view)
+                    decided = tuple(sorted(views))
+                    # Board first: the decision survives even if this
+                    # leader dies while distributing the replies.
+                    rt.record_agreement(self._comm_id, decided)
+                    for peer in survivors[1:]:
+                        self.isend(decided, peer, _AGREE_REPLY_TAG + key)
+                    return decided
+                yield from self.send(snapshot, leader, _AGREE_TAG + key)
+                if key not in pending:
+                    pending[key] = self.irecv(
+                        leader, _AGREE_REPLY_TAG + key)
+                yield from self._agree_wait(rt, fs, None, watch, pending)
+                raise _AgreementRestart()  # no reply, no death: re-poll
+            except _AgreementRestart:
+                continue
+            except _AgreementDecided as done:
+                return done.decided
+
+    def _agree_wait(self, rt, fs, ev, watch, pending):
+        """One guarded agreement wait.  Returns ``ev``'s value; raises
+        :class:`_AgreementDecided` when a decision arrives by any other
+        path, :class:`_AgreementRestart` when a watched member dies
+        first."""
+        # Purge reply requests whose round collapsed (leader died).
+        for k in [k for k, r in pending.items()
+                  if r.done and r._failed is not None]:
+            del pending[k]
+        reply_evs = {k: r.completion_event() for k, r in pending.items()}
+        deaths = [fs.death_event(g) for g in watch]
+        race = ([ev] if ev is not None else []) \
+            + list(reply_evs.values()) + deaths
+        try:
+            yield self.sim.any_of(race)
+        except RankFailedError:
+            raise _AgreementRestart()
+        for k in sorted(reply_evs, reverse=True):
+            e = reply_evs[k]
+            if e.triggered and e.ok:
+                raise _AgreementDecided(tuple(e.value))
+        if any(d.triggered for d in deaths):
+            board = rt.agreed_failures(self._comm_id)
+            if board is not None:
+                raise _AgreementDecided(board)
+            raise _AgreementRestart()
+        if ev is not None and ev.triggered and ev.ok:
+            return ev.value
+        raise _AgreementRestart()
+
+    def shrink(self):
+        """ULFM ``MPI_Comm_shrink`` (generator subroutine): agree on
+        the failed set and derive a fresh, re-ranked communicator over
+        the survivors.  Every survivor must call it; all get the same
+        group and a new ``comm_id`` (so the revoked communicator's
+        traffic can never leak into the new one)."""
+        failed = yield from self.agree_failures()
+        new_group = tuple(g for g in self._group if g not in failed)
+        return self._rt.derive_comm(self._grank, new_group)
+
+    def subset(self, granks) -> "Communicator":
+        """Derive (non-collectively, host-side) a communicator over
+        global ranks ``granks`` — the deterministic constructor used by
+        failure-free reference runs to mirror a shrunk communicator."""
+        group = tuple(granks)
+        if self._grank not in group:
+            raise MpiError(
+                f"rank {self._grank} is not in subset group {group}")
+        return self._rt.derive_comm(self._grank, group)
+
+    # -- application checkpoint/restart --------------------------------------------
+    def checkpoint(self, step: int, state) -> None:
+        """Store this rank's application state for ``step`` (host-side
+        bookkeeping: zero simulated time, zero spans).  Callers own the
+        copy-on-write discipline — pass a snapshot, not a live buffer."""
+        self._rt.store_checkpoint(self._grank, step, state)
+
+    def restore(self, step=None):
+        """``(step, state)`` checkpoint of this rank — the latest one,
+        or a specific ``step`` (so survivors can roll back to an agreed
+        common step after a failure).  None when absent."""
+        return self._rt.load_checkpoint(self._grank, step)
+
+    def should_checkpoint(self, step: int) -> bool:
+        """True when the cluster's ``checkpoint_every`` cadence says
+        step ``step`` (0-based) should end with a checkpoint."""
+        n = self._rt.checkpoint_every
+        return bool(n) and (step + 1) % n == 0
 
     # -- collectives --------------------------------------------------------------
     def bcast(self, data, root: int = 0):

@@ -37,7 +37,7 @@ def _matches(post_src: int, post_tag: int, pkt: Packet) -> bool:
 class MatchingEngine:
     """Per-rank matching state."""
 
-    def __init__(self, sim: Simulator, rank: int):
+    def __init__(self, sim: Simulator, rank: int, on_deliver=None):
         self.sim = sim
         self.rank = rank
         self._posted: deque[_PostedRecv] = deque()
@@ -45,6 +45,9 @@ class MatchingEngine:
         self._cts_waiters: dict[int, Event] = {}
         self._data_waiters: dict[int, Event] = {}
         self._early: dict[tuple[str, int], Packet] = {}
+        #: optional ``fn(pkt)`` observer invoked on every delivered
+        #: packet — the failure detector's last-heard bookkeeping.
+        self._on_deliver = on_deliver
 
     def _metrics(self):
         tracer = self.sim.tracer
@@ -69,6 +72,8 @@ class MatchingEngine:
 
     def deliver_envelope(self, pkt: Packet) -> None:
         """An EAGER or RTS packet arrived."""
+        if self._on_deliver is not None:
+            self._on_deliver(pkt)
         for i, post in enumerate(self._posted):
             if _matches(post.source, post.tag, pkt):
                 del self._posted[i]
@@ -102,9 +107,13 @@ class MatchingEngine:
         return ev
 
     def deliver_cts(self, pkt: Packet) -> None:
+        if self._on_deliver is not None:
+            self._on_deliver(pkt)
         self._route("cts", (pkt.seq, 0), pkt, self._cts_waiters)
 
     def deliver_data(self, pkt: Packet) -> None:
+        if self._on_deliver is not None:
+            self._on_deliver(pkt)
         self._route("data", (pkt.seq, pkt.part, pkt.attempt), pkt,
                     self._data_waiters)
 
@@ -132,9 +141,21 @@ class MatchingEngine:
         return not (self._posted or self._unexpected or self._cts_waiters
                     or self._data_waiters or self._early)
 
-    def diagnostics(self) -> str:
+    def outstanding_seqs(self) -> dict[str, list]:
+        """Summary of in-flight handshake waiters, for liveness triage."""
+        return {
+            "cts": sorted(k[0] for k in self._cts_waiters),
+            "data": sorted(self._data_waiters),
+        }
+
+    def diagnostics(self, last_heard=None) -> str:
         """Multi-line dump of the matching state, used to explain hangs
-        (:class:`~repro.errors.DeadlockError`) and rendezvous timeouts."""
+        (:class:`~repro.errors.DeadlockError`) and rendezvous timeouts.
+
+        ``last_heard`` optionally maps ``peer rank -> sim time`` of the
+        last packet this rank received from that peer (the failure
+        detector's table), so a dead peer is visible in the dump.
+        """
         def name(v: int) -> str:
             return "ANY" if v == ANY else str(v)
 
@@ -146,15 +167,20 @@ class MatchingEngine:
             lines.append(f"  unexpected envelope: {pkt!r}")
         if self._cts_waiters:
             lines.append(
-                f"  awaiting CTS for seq(s) "
+                f"  outstanding CTS waits for seq(s) "
                 f"{sorted(k[0] for k in self._cts_waiters)}")
         if self._data_waiters:
             lines.append(
-                "  awaiting DATA for (seq, part, attempt) "
+                "  outstanding DATA waits for (seq, part, attempt) "
                 f"{sorted(self._data_waiters)}")
         if self._early:
             lines.append(
                 f"  early packets never claimed: {sorted(self._early)}")
         if not lines:
             lines.append("  idle (no posted receives or pending packets)")
+        if last_heard:
+            for peer in sorted(last_heard):
+                t = last_heard[peer]
+                heard = "never" if t is None else f"t={t:.9f}"
+                lines.append(f"  last heard from rank {peer}: {heard}")
         return f"rank {self.rank}:\n" + "\n".join(lines)

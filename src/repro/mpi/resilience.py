@@ -48,6 +48,9 @@ __all__ = ["ResilienceConfig", "CircuitBreaker"]
 #: simulated seconds cost nothing to wait through.
 DEFAULT_HANDSHAKE_TIMEOUT = 10.0
 DEFAULT_DATA_TIMEOUT = 0.25
+#: grace period between a peer's death event firing and the detector
+#: declaring it (models a heartbeat round-trip; simulated seconds)
+DEFAULT_DETECT_TIMEOUT = 1e-3
 
 
 @dataclass(frozen=True)
@@ -68,6 +71,9 @@ class ResilienceConfig:
     handshake_timeout: Optional[float] = None
     #: CTS->DATA delivery timeout (None = wait forever)
     data_timeout: Optional[float] = None
+    #: grace period before declaring a dead peer failed (fail-stop
+    #: detection latency; None = failure detector disabled)
+    detect_timeout: Optional[float] = None
     #: consecutive failures that trip a peer's compression breaker
     #: (0 disables the breaker)
     breaker_threshold: int = 3
@@ -83,7 +89,7 @@ class ResilienceConfig:
             raise ConfigError("backoff parameters must be positive (factor >= 1)")
         if not 0.0 <= self.jitter <= 1.0:
             raise ConfigError(f"jitter must be in [0, 1], got {self.jitter}")
-        for name in ("handshake_timeout", "data_timeout"):
+        for name in ("handshake_timeout", "data_timeout", "detect_timeout"):
             v = getattr(self, name)
             if v is not None and v <= 0:
                 raise ConfigError(f"{name} must be positive or None, got {v}")
@@ -95,10 +101,14 @@ class ResilienceConfig:
         """The policy matching a fault plan: timeouts are armed only
         when the plan can actually lose data, so fault-free (and
         zero-rate) runs keep their exact deadlock semantics."""
-        if plan is None or plan.is_zero or not plan.can_lose_data:
+        if plan is None or plan.is_zero:
             return cls()
+        detect = DEFAULT_DETECT_TIMEOUT if plan.has_rank_failures else None
+        if not plan.can_lose_data:
+            return cls(detect_timeout=detect)
         return cls(handshake_timeout=DEFAULT_HANDSHAKE_TIMEOUT,
-                   data_timeout=DEFAULT_DATA_TIMEOUT)
+                   data_timeout=DEFAULT_DATA_TIMEOUT,
+                   detect_timeout=detect)
 
     def backoff_delay(self, attempt: int, rng: random.Random) -> float:
         """Backoff before retransmission ``attempt`` (1-based), with

@@ -77,9 +77,10 @@ class Link:
         if nbytes < 0:
             raise NetworkError(f"negative transfer size: {nbytes}")
         req = self._res.request()
-        yield req
         t0 = self.sim.now
         try:
+            yield req
+            t0 = self.sim.now
             duration = self.spec.serialization_time(nbytes)
             faults = self.sim.faults
             if faults is not None:
@@ -88,7 +89,10 @@ class Link:
                 duration += faults.extra_wire_delay((self.label,), duration)
             yield self.sim.timeout(duration)
         finally:
-            self._res.release(req)
+            # cancel() == release() once the slot was granted, and also
+            # covers unwinding while still queued (an interrupted
+            # process must not strand a slot other ranks share).
+            self._res.cancel(req)
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.span(

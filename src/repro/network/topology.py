@@ -131,10 +131,11 @@ class Topology:
         bw = min(l.spec.bandwidth for l in links)
         lat = sum(l.spec.latency for l in links)
         reqs = [l._res.request() for l in links]
-        for r in reqs:
-            yield r
         t0 = self.sim.now
         try:
+            for r in reqs:
+                yield r
+            t0 = self.sim.now
             duration = lat + nbytes / bw
             faults = self.sim.faults
             if faults is not None:
@@ -142,8 +143,11 @@ class Topology:
                     tuple(l.label for l in links), duration)
             yield self.sim.timeout(duration)
         finally:
+            # cancel() == release() for granted slots and withdraws
+            # still-queued requests, so an interrupted (killed) sender
+            # cannot strand the HCA links survivors share.
             for l, r in zip(links, reqs):
-                l._res.release(r)
+                l._res.cancel(r)
         tracer = self.sim.tracer
         if tracer is not None:
             route = "+".join(l.label for l in links)

@@ -213,6 +213,12 @@ class Process(Event):
                 tgt._cb1 = None
             elif tgt.callbacks is not None and self._resume_cb in tgt.callbacks:
                 tgt.callbacks.remove(self._resume_cb)
+            if tgt._cb1 is None and not tgt.callbacks:
+                # Nobody is left to observe the target; if it later
+                # fails (e.g. a peer process crashing) the failure must
+                # not be re-raised at end of run on behalf of a waiter
+                # that was deliberately interrupted away from it.
+                tgt._defused = True
         poke = Event(self.sim)
         poke._ok = False
         poke._value = Interrupt(cause)
@@ -281,6 +287,11 @@ class AllOf(_Condition):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            if not event._ok:
+                # The condition already resolved (possibly by another
+                # child's failure); this late failure has been raced
+                # away and has no other observer.
+                event._defused = True
             return
         if not event._ok:
             event._defused = True
@@ -301,6 +312,8 @@ class AnyOf(_Condition):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            if not event._ok:
+                event._defused = True
             return
         if not event._ok:
             event._defused = True
@@ -334,6 +347,7 @@ class Simulator:
         self.tracer = None  # attached by repro.sim.trace.Tracer
         self.faults = None  # attached by repro.faults.FaultInjector
         self.asan = None  # attached by repro.check.asan.BufferSanitizer
+        self.failstop = None  # attached by repro.mpi.failstop.FailStopManager
 
     # -- clock ---------------------------------------------------------
     @property

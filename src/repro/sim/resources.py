@@ -88,6 +88,20 @@ class Resource:
         else:
             self._in_use -= 1
 
+    def cancel(self, req: _Request) -> None:
+        """Withdraw a request whose owner will never consume it (the
+        owning process was interrupted, e.g. by a fail-stop rank kill).
+
+        A still-queued request is removed from the admission queue; a
+        request whose slot was already granted releases it — either way
+        the slot cannot leak to a dead waiter and stall survivors
+        sharing the resource.
+        """
+        if req in self._queue:
+            self._queue.remove(req)
+        elif req.triggered:
+            self.release(req)
+
 
 class Store:
     """FIFO object store with blocking get and (optionally) bounded put.

@@ -331,6 +331,53 @@ def test_breaker_disabled_with_zero_threshold():
     assert br.state == CircuitBreaker.CLOSED and br.allow(0.0)
 
 
+def test_breaker_half_open_retrip_restarts_cooldown():
+    """A failed half-open trial re-opens with a *fresh* cool-down."""
+    br = CircuitBreaker(threshold=2, cooldown=1.0)
+    br.record_failure(0.0)
+    br.record_failure(0.0)                    # trip at t=0
+    assert not br.allow(0.5)
+    assert br.allow(1.5)                      # half-open trial
+    br.record_failure(1.5)                    # trial fails -> re-trip
+    assert br.state == CircuitBreaker.OPEN
+    assert not br.allow(2.0)                  # old cooldown would allow
+    assert not br.allow(2.4)
+    assert br.allow(2.6)                      # fresh cooldown from t=1.5
+    assert br.state == CircuitBreaker.HALF_OPEN
+    br.record_success(2.6)
+    assert br.state == CircuitBreaker.CLOSED
+
+
+def test_breaker_trip_vs_retrip_metrics():
+    """Runtime's breaker transition hook counts first trips apart from
+    half-open re-trips."""
+    from repro.core.config import CompressionConfig
+    from repro.gpu.device import Device
+    from repro.mpi.cluster import Runtime
+    from repro.network.topology import Topology
+    from repro.sim import Tracer
+
+    sim = Simulator()
+    tracer = Tracer(sim)
+    preset = machine_preset("longhorn")
+    topology = Topology(sim, preset, 2, 1)
+    devices = [Device(sim, preset.device, i) for i in range(2)]
+    rt = Runtime(sim, topology, devices, CompressionConfig.disabled(),
+                 resilience=ResilienceConfig(breaker_threshold=2,
+                                             breaker_cooldown=1.0))
+    br = rt.breaker_of(0, 1)
+    br.record_failure(0.0)
+    br.record_failure(0.0)                    # first trip
+    br.allow(1.5)                             # half-open
+    br.record_failure(1.5)                    # re-trip
+    br.allow(3.0)                             # half-open again
+    br.record_success(3.0)                    # close
+    m = tracer.metrics
+    assert m.counter("resilience.breaker_trips", kind="trip") == 1
+    assert m.counter("resilience.breaker_trips", kind="retrip") == 1
+    assert m.counter("resilience.breaker_transitions", state="open") == 2
+
+
 def test_breaker_trips_under_persistent_compressor_failure():
     res, payloads = run_pt2pt(
         faults=FaultPlan(seed=13, compress_fail_rate=0.9),
@@ -364,6 +411,10 @@ def test_handshake_timeout_raises_with_diagnostic():
     msg = str(exc.value)
     assert "CTS" in msg or "handshake" in msg
     assert "rank" in msg  # carries the matching-state dump
+    # the dump is enriched with per-peer last-heard sim times: rank 1
+    # received rank 0's RTS, so its lane shows when it last heard 0
+    assert "last heard" in msg
+    assert "outstanding" in msg
 
 
 def test_deadlock_error_carries_matching_dump():
