@@ -14,7 +14,8 @@ Commands
 ``explain``               critical-path report for the slowest messages
 ``bench``                 benchmark-trajectory snapshot + regression gate
 ``perf``                  host-performance snapshot + relative regression gate
-``trace``                 export a Chrome-trace JSON of one workload
+``trace``                 export a trace of one workload (Chrome JSON or
+                          binary RPRT), or convert between the formats
 ``chaos``                 fault-injection sweep with bit-exactness checks
 ``check``                 determinism linter + trace sanitizer + buffer asan
 
@@ -24,7 +25,10 @@ Examples::
     python -m repro bcast --dataset msg_sppm --config mpc-opt
     python -m repro awp --gpus 16 --config zfp8
     python -m repro trace latency --codec mpc --out trace.json
+    python -m repro trace latency --codec mpc --out trace.rprt
+    python -m repro trace convert trace.rprt trace.json
     python -m repro explain --codec mpc --size 4M
+    python -m repro explain --trace trace.rprt
     python -m repro bench --quick --out BENCH_dev.json --compare BENCH_main.json
     python -m repro perf --quick --compare tests/data/HOSTPERF_baseline.json
     python -m repro chaos --config mpc-opt --corrupt-rate 0.05 --seed 3
@@ -152,16 +156,24 @@ def cmd_profile(args) -> None:
     from repro.mpi.cluster import Cluster
     from repro.network.presets import machine_preset
 
-    cluster = Cluster(machine_preset(args.machine), nodes=args.nodes,
-                      gpus_per_node=args.ppn)
-    data = np.cumsum(np.ones(parse_size(args.size) // 4, dtype=np.float32))
+    if args.trace:
+        from repro.analysis.rprt import RprtError
 
-    def rank_fn(comm):
-        out = yield from comm.allgather(data)
-        return len(out)
+        try:
+            profile = CommProfile.from_trace_file(args.trace)
+        except (OSError, RprtError, ValueError) as exc:
+            raise SystemExit(f"cannot read {args.trace}: {exc}")
+    else:
+        cluster = Cluster(machine_preset(args.machine), nodes=args.nodes,
+                          gpus_per_node=args.ppn)
+        data = np.cumsum(np.ones(parse_size(args.size) // 4, dtype=np.float32))
 
-    res = cluster.run(rank_fn, config=_config(args.config))
-    profile = CommProfile.from_result(res)
+        def rank_fn(comm):
+            out = yield from comm.allgather(data)
+            return len(out)
+
+        res = cluster.run(rank_fn, config=_config(args.config))
+        profile = CommProfile.from_result(res)
     if args.format == "json":
         text = json.dumps(profile.as_dict(), indent=1, sort_keys=True) + "\n"
     else:
@@ -181,11 +193,37 @@ def cmd_profile(args) -> None:
 _CODECS = {"mpc": "mpc-opt", "zfp": "zfp8", "none": "baseline"}
 
 
+def _trace_convert(args) -> None:
+    from repro.analysis.rprt import RprtError
+    from repro.analysis.traceio import convert
+
+    if len(args.paths) != 2:
+        raise SystemExit("usage: repro trace convert SRC DST [--format ...]")
+    src, dst = args.paths
+    try:
+        stats = convert(src, dst, to=args.format)
+    except (OSError, RprtError, ValueError) as exc:
+        raise SystemExit(f"cannot convert {src}: {exc}")
+    if stats["format"] == "rprt":
+        print(f"wrote {dst} [rprt]: {stats['stored_bytes']} bytes stored "
+              f"({stats['raw_bytes']} raw, {stats['ratio']:.2f}x block "
+              f"compression)")
+    else:
+        print(f"wrote {dst} [json]: {stats['events']} events")
+
+
 def cmd_trace(args) -> None:
     from repro.analysis import write_chrome_trace
+    from repro.analysis.rprt import write_trace_rprt
     from repro.mpi.cluster import Cluster
     from repro.network.presets import machine_preset
     from repro.omb.payload import make_payload
+
+    if args.workload == "convert":
+        _trace_convert(args)
+        return
+    if args.paths:
+        raise SystemExit(f"unexpected arguments: {' '.join(args.paths)}")
 
     config = _config(_CODECS.get(args.codec, args.codec))
     nbytes = parse_size(args.size)
@@ -211,14 +249,22 @@ def cmd_trace(args) -> None:
             return len(out)
 
     res = cluster.run(rank_fn, config=config)
+    fmt = args.format
+    if fmt is None:
+        fmt = "rprt" if args.out.lower().endswith(".rprt") else "json"
     try:
-        write_chrome_trace(res.tracer, args.out, elapsed=res.elapsed)
+        if fmt == "rprt":
+            stats = write_trace_rprt(res.tracer, args.out, elapsed=res.elapsed)
+        else:
+            write_chrome_trace(res.tracer, args.out, elapsed=res.elapsed)
     except OSError as exc:
         raise SystemExit(f"cannot write {args.out}: {exc}")
     n_spans = len(res.tracer.records)
-    print(f"wrote {args.out}: {n_spans} spans, "
+    extra = (f", {stats['ratio']:.2f}x block compression"
+             if fmt == "rprt" else "")
+    print(f"wrote {args.out} [{fmt}]: {n_spans} spans, "
           f"{res.elapsed * 1e6:.1f} us simulated "
-          f"[{args.workload}, {args.codec}, {args.machine}]")
+          f"[{args.workload}, {args.codec}, {args.machine}]{extra}")
 
 
 def cmd_explain(args) -> None:
@@ -226,6 +272,17 @@ def cmd_explain(args) -> None:
     from repro.mpi.cluster import Cluster
     from repro.network.presets import machine_preset
     from repro.omb.payload import make_payload
+
+    if args.trace:
+        from repro.analysis.rprt import RprtError
+        from repro.analysis.traceio import load_trace_records
+
+        try:
+            records = load_trace_records(args.trace)
+        except (OSError, RprtError, ValueError) as exc:
+            raise SystemExit(f"cannot read {args.trace}: {exc}")
+        print(CritPathAnalyzer(records).explain(n=args.top))
+        return
 
     config = _config(_CODECS.get(args.codec, args.codec))
     nbytes = parse_size(args.size)
@@ -425,6 +482,9 @@ def main(argv=None) -> int:
     p.add_argument("--ppn", type=int, default=2)
     p.add_argument("--size", default="2M")
     p.add_argument("--config", default="mpc-opt")
+    p.add_argument("--trace", default=None, metavar="TRACE",
+                   help="profile an exported trace file (Chrome JSON or "
+                        "RPRT) instead of running a workload")
     p.add_argument("--out", default=None,
                    help="write the profile to FILE instead of stdout")
     p.add_argument("--format", choices=("text", "json"), default="text")
@@ -435,6 +495,9 @@ def main(argv=None) -> int:
     p.add_argument("--machine", default="longhorn")
     p.add_argument("--size", default="1M")
     p.add_argument("--payload", default="omb")
+    p.add_argument("--trace", default=None, metavar="TRACE",
+                   help="explain an exported trace file (Chrome JSON or "
+                        "RPRT) instead of running a workload")
     p.add_argument("--top", type=int, default=5)
 
     p = sub.add_parser("bench")
@@ -479,20 +542,30 @@ def main(argv=None) -> int:
                    help="prove the gate flags an injected synthetic regression")
 
     p = sub.add_parser("trace")
-    p.add_argument("workload", choices=("latency", "bcast", "allgather"))
+    p.add_argument("workload",
+                   choices=("latency", "bcast", "allgather", "convert"),
+                   help="workload to trace, or 'convert' to translate an "
+                        "existing trace between JSON and RPRT")
+    p.add_argument("paths", nargs="*", metavar="SRC DST",
+                   help="source and destination files (convert only)")
     p.add_argument("--codec", default="mpc",
                    help="mpc | zfp | none, or any config name")
     p.add_argument("--machine", default="longhorn")
     p.add_argument("--size", default="1M")
     p.add_argument("--payload", default="omb")
+    p.add_argument("--format", choices=("json", "rprt"), default=None,
+                   help="export container (default: by --out extension, "
+                        "else json; for convert: by DST extension, else "
+                        "the opposite of SRC)")
     p.add_argument("--out", default="trace.json")
 
     p = sub.add_parser("check")
     p.add_argument("--lint", action="store_true",
                    help="run only the determinism linter")
-    p.add_argument("--trace", nargs="*", metavar="TRACE.json", default=None,
+    p.add_argument("--trace", nargs="*", metavar="TRACE", default=None,
                    help="run only the trace sanitizer; with files, check "
-                        "exported Chrome traces instead of in-process runs")
+                        "exported traces (Chrome JSON or RPRT) instead of "
+                        "in-process runs")
     p.add_argument("--asan", action="store_true",
                    help="run only the buffer sanitizer smoke")
     p.add_argument("--selftest", action="store_true",

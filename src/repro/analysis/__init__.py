@@ -5,6 +5,9 @@ from repro.analysis.export import to_chrome_trace, write_chrome_trace
 from repro.analysis.metrics import HistogramStat, MetricsRegistry
 from repro.analysis.profile import CommProfile, LinkStats
 from repro.analysis.report import ExperimentRecord, comparison_table, reduction_pct
+from repro.analysis.rprt import (RprtError, RprtReader, RprtWriter, is_rprt,
+                                 write_trace_rprt)
+from repro.analysis.traceio import convert, iter_trace_records, load_trace_records
 
 __all__ = [
     "ExperimentRecord",
@@ -19,4 +22,12 @@ __all__ = [
     "CollectivePath",
     "to_chrome_trace",
     "write_chrome_trace",
+    "RprtError",
+    "RprtReader",
+    "RprtWriter",
+    "is_rprt",
+    "write_trace_rprt",
+    "convert",
+    "iter_trace_records",
+    "load_trace_records",
 ]

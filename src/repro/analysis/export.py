@@ -15,15 +15,25 @@ events), viewable in ``chrome://tracing`` or https://ui.perfetto.dev:
 Span hierarchy (``span_id`` / ``parent_id``) and the raw meta ride along
 in each event's ``args``; the run's metrics registry is embedded under
 ``otherData.metrics``.
+
+:func:`write_chrome_trace` **streams**: events are generated and
+serialized one at a time straight to the file handle (the document dict
+is never materialized), yet the bytes are identical to
+``json.dump(to_chrome_trace(...), indent=1, sort_keys=True)`` — the
+golden-trace test pins this.  The pid/tid table and metadata-event
+helpers are shared with :mod:`repro.analysis.rprt`, whose binary
+container reconstructs the very same events.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Optional
+from typing import Iterable, Iterator, Optional
 
 __all__ = ["to_chrome_trace", "write_chrome_trace",
-           "NETWORK_PID", "UNATTRIBUTED_PID"]
+           "NETWORK_PID", "UNATTRIBUTED_PID",
+           "pid_of", "chrome_metadata_events", "chrome_time",
+           "json_safe_meta", "iter_x_events", "write_chrome_json"]
 
 #: pid hosting one thread per fabric link
 NETWORK_PID = 1_000_000
@@ -31,13 +41,19 @@ NETWORK_PID = 1_000_000
 UNATTRIBUTED_PID = 1_000_001
 
 
-def _pid_track(rec) -> tuple[int, str]:
-    track = rec.track or "main"
+def pid_of(rank: Optional[int], track: Optional[str]) -> tuple[int, str]:
+    """Map a span's (rank, track) attribution to its (pid, thread name)
+    in the exported trace."""
+    track = track or "main"
     if track.startswith("link:"):
         return NETWORK_PID, track[5:]
-    if rec.rank is not None:
-        return int(rec.rank), track
+    if rank is not None:
+        return int(rank), track
     return UNATTRIBUTED_PID, track
+
+
+def _pid_track(rec) -> tuple[int, str]:
+    return pid_of(rec.rank, rec.track)
 
 
 def _json_safe(value):
@@ -52,6 +68,18 @@ def _json_safe(value):
     return repr(value)
 
 
+def json_safe_meta(meta: dict) -> dict:
+    """A span's meta dict reduced to JSON-clean values, keys sorted —
+    exactly the form the exporter writes into an event's ``args``."""
+    return {k: _json_safe(v) for k, v in sorted(meta.items())}
+
+
+def chrome_time(t_seconds: float) -> float:
+    """Simulated seconds -> the exported microsecond value (the 1e-6 us
+    rounding makes the JSON human-diffable without losing ordering)."""
+    return round(t_seconds * 1e6, 6)
+
+
 def _process_name(pid: int) -> str:
     if pid == NETWORK_PID:
         return "network"
@@ -60,17 +88,15 @@ def _process_name(pid: int) -> str:
     return f"rank {pid}"
 
 
-def to_chrome_trace(tracer, elapsed: Optional[float] = None) -> dict:
-    """Build the Chrome-trace document (a plain dict) from a tracer."""
-    recs = sorted(tracer.records, key=lambda r: (r.t_start, r.t_end, r.span_id))
-
-    # Deterministic pid/tid table: "main" first within each pid, then
-    # alphabetical, so track 0 is always the protocol lane.
-    pairs = sorted({_pid_track(r) for r in recs},
-                   key=lambda pt: (pt[0], pt[1] != "main", pt[1]))
+def chrome_metadata_events(pairs: Iterable[tuple[int, str]]):
+    """Deterministic pid/tid table plus the ``M`` metadata events for a
+    set of (pid, thread-name) pairs: "main" first within each pid, then
+    alphabetical, so track 0 is always the protocol lane.  Returns
+    ``(tids, events)``."""
+    ordered = sorted(set(pairs), key=lambda pt: (pt[0], pt[1] != "main", pt[1]))
     tids: dict[tuple[int, str], int] = {}
     per_pid_count: dict[int, int] = {}
-    for pid, name in pairs:
+    for pid, name in ordered:
         tids[(pid, name)] = per_pid_count.get(pid, 0)
         per_pid_count[pid] = per_pid_count.get(pid, 0) + 1
 
@@ -81,39 +107,91 @@ def to_chrome_trace(tracer, elapsed: Optional[float] = None) -> dict:
     for (pid, name), tid in sorted(tids.items(), key=lambda kv: (kv[0][0], kv[1])):
         events.append({"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
                        "args": {"name": name}})
+    return tids, events
 
-    for rec in recs:
+
+def iter_x_events(records, tids: dict) -> Iterator[dict]:
+    """Generate the ``X`` event dicts for time-sorted records, one at a
+    time (nothing is accumulated)."""
+    for rec in records:
         pid, tname = _pid_track(rec)
         args = {"span_id": rec.span_id}
         if rec.parent_id is not None:
             args["parent_id"] = rec.parent_id
-        for k, v in sorted(rec.meta.items()):
-            args[k] = _json_safe(v)
-        events.append({
+        args.update(json_safe_meta(rec.meta))
+        yield {
             "name": rec.label or rec.category,
             "cat": rec.category,
             "ph": "X",
             "pid": pid,
             "tid": tids[(pid, tname)],
-            "ts": round(rec.t_start * 1e6, 6),
-            "dur": round(rec.duration * 1e6, 6),
+            "ts": chrome_time(rec.t_start),
+            "dur": chrome_time(rec.duration),
             "args": args,
-        })
+        }
 
-    other = {"metrics": tracer.metrics.as_dict()}
+
+def _sorted_records(tracer):
+    return sorted(tracer.records, key=lambda r: (r.t_start, r.t_end, r.span_id))
+
+
+def _other_data(metrics_dict: dict, elapsed: Optional[float]) -> dict:
+    other = {"metrics": metrics_dict}
     if elapsed is not None:
         other["elapsed_seconds"] = elapsed
+    return other
+
+
+def to_chrome_trace(tracer, elapsed: Optional[float] = None) -> dict:
+    """Build the Chrome-trace document (a plain dict) from a tracer."""
+    recs = _sorted_records(tracer)
+    tids, events = chrome_metadata_events(_pid_track(r) for r in recs)
+    events.extend(iter_x_events(recs, tids))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": other,
+        "otherData": _other_data(tracer.metrics.as_dict(), elapsed),
     }
 
 
-def write_chrome_trace(tracer, path, elapsed: Optional[float] = None) -> dict:
-    """Write the Chrome-trace JSON to ``path``; returns the document."""
-    doc = to_chrome_trace(tracer, elapsed=elapsed)
+def write_chrome_json(fh, other: dict, events: Iterable[dict]) -> int:
+    """Stream a Chrome-trace document to a text file handle, byte-for-
+    byte what ``json.dump(doc, fh, indent=1, sort_keys=True)`` plus a
+    trailing newline would produce, without ever holding the event list.
+    Returns the number of events written.
+
+    ``json`` never emits a raw newline inside a serialized value (they
+    are escaped), so re-indenting an embedded dump is a plain string
+    replace.
+    """
+    fh.write('{\n "displayTimeUnit": "ms",\n "otherData": ')
+    fh.write(json.dumps(other, indent=1, sort_keys=True).replace("\n", "\n "))
+    fh.write(',\n "traceEvents": [')
+    n = 0
+    for ev in events:
+        fh.write("," if n else "")
+        fh.write("\n  ")
+        fh.write(json.dumps(ev, indent=1, sort_keys=True)
+                 .replace("\n", "\n  "))
+        n += 1
+    fh.write("\n ]\n}\n" if n else "]\n}\n")
+    return n
+
+
+def write_chrome_trace(tracer, path, elapsed: Optional[float] = None) -> None:
+    """Stream the Chrome-trace JSON to ``path``.
+
+    Events are serialized one at a time (peak memory is one event, not
+    the document) and the output is byte-identical to serializing
+    :func:`to_chrome_trace` with ``indent=1, sort_keys=True``.
+    """
+    recs = _sorted_records(tracer)
+    tids, meta_events = chrome_metadata_events(_pid_track(r) for r in recs)
+
+    def events():
+        yield from meta_events
+        yield from iter_x_events(recs, tids)
+
     with open(path, "w") as fh:
-        json.dump(doc, fh, indent=1, sort_keys=True)
-        fh.write("\n")
-    return doc
+        write_chrome_json(fh, _other_data(tracer.metrics.as_dict(), elapsed),
+                          events())

@@ -249,13 +249,25 @@ def dumps(doc: dict) -> str:
 
 
 def write(doc: dict, path) -> None:
+    """Write a snapshot — canonical JSON, or a binary RPRT container
+    when ``path`` ends in ``.rprt``."""
+    if str(path).lower().endswith(".rprt"):
+        from repro.analysis.rprt import write_snapshot_rprt
+
+        write_snapshot_rprt(doc, path, kind="hostperf")
+        return
     with open(path, "w") as fh:
         fh.write(dumps(doc))
 
 
 def load(path) -> dict:
-    with open(path) as fh:
-        doc = json.load(fh)
+    from repro.analysis.rprt import is_rprt, read_snapshot_rprt
+
+    if is_rprt(path):
+        doc = read_snapshot_rprt(path)
+    else:
+        with open(path) as fh:
+            doc = json.load(fh)
     version = doc.get("schema_version")
     if version != SCHEMA_VERSION:
         raise ValueError(

@@ -45,6 +45,11 @@ name                            kind     emitted by
                                          ``recovered``, ``fallback``,
                                          ``breaker_veto``, ``timeout``)
 ``resilience.breaker_transitions{state}`` counter circuit-breaker state changes
+``telemetry.rprt_bytes_written``  counter :func:`repro.analysis.rprt.write_trace_rprt`
+                                         — stored bytes of every RPRT
+                                         container written this run
+``telemetry.rprt_compress_ratio`` gauge  raw/stored block-byte ratio of
+                                         the most recent RPRT export
 ==============================  =======  ====================================
 """
 

@@ -34,6 +34,17 @@ def _is_wire(rec) -> bool:
     return (rec.track or "").startswith("link:") or "links" in rec.meta
 
 
+def _telemetry_slice(metrics: dict) -> dict:
+    """The ``telemetry.*`` entries of a metrics-registry dump, flattened
+    to ``{short_name: value}`` (counters and gauges alike)."""
+    out = {}
+    for section in ("counters", "gauges"):
+        for key, value in (metrics.get(section) or {}).items():
+            if key.startswith("telemetry."):
+                out[key[len("telemetry."):]] = value
+    return out
+
+
 def _wire_links(rec) -> tuple:
     links = rec.meta.get("links")
     if links:
@@ -71,6 +82,10 @@ class CommProfile:
     #: run, when built from a ClusterResult.  Wall-clock bookkeeping,
     #: not simulated time.
     codec_cache: dict = field(default_factory=dict)
+    #: telemetry-container self-metrics (``telemetry.*`` counters and
+    #: gauges — RPRT bytes written, block compression ratio), pulled
+    #: from the run's metrics registry or an ingested trace file.
+    telemetry: dict = field(default_factory=dict)
 
     @classmethod
     def from_result(cls, result) -> "CommProfile":
@@ -82,8 +97,17 @@ class CommProfile:
     @classmethod
     def from_tracer(cls, tracer, elapsed: float) -> "CommProfile":
         """Build from any tracer plus the run's elapsed simulated time."""
+        prof = cls.from_records(tracer.records, elapsed)
+        prof.telemetry = _telemetry_slice(tracer.metrics.as_dict())
+        return prof
+
+    @classmethod
+    def from_records(cls, records, elapsed: float) -> "CommProfile":
+        """Build from any iterable of span records — a tracer's list or
+        a streamed file iterator; state is accumulated per record, so a
+        generator never has to materialize."""
         prof = cls(elapsed=elapsed)
-        for rec in tracer.records:
+        for rec in records:
             prof.category_time[rec.category] = (
                 prof.category_time.get(rec.category, 0.0) + rec.duration
             )
@@ -102,6 +126,32 @@ class CommProfile:
                 prof.n_messages += 1
                 bucket = max(0, (max(nbytes, 1) - 1).bit_length())
                 prof.size_histogram[bucket] = prof.size_histogram.get(bucket, 0) + 1
+        return prof
+
+    @classmethod
+    def from_trace_file(cls, path) -> "CommProfile":
+        """Ingest an exported trace file — Chrome-trace JSON or a binary
+        RPRT container — streaming events without loading the file.
+        Elapsed time and the telemetry metrics come from the trace's
+        embedded ``otherData``."""
+        from repro.analysis.traceio import iter_trace_records, read_otherdata
+
+        other = read_otherdata(path)
+        elapsed = float(other.get("elapsed_seconds") or 0.0)
+        horizon = 0.0
+
+        def tracked():
+            nonlocal horizon
+            for rec in iter_trace_records(path):
+                if rec.t_end > horizon:
+                    horizon = rec.t_end
+                yield rec
+
+        prof = cls.from_records(tracked(), elapsed)
+        if not prof.elapsed:
+            # No recorded elapsed: fall back to the span horizon.
+            prof.elapsed = horizon
+        prof.telemetry = _telemetry_slice(other.get("metrics", {}))
         return prof
 
     def as_dict(self) -> dict:
@@ -134,6 +184,8 @@ class CommProfile:
             },
             "codec_cache": {k: self.codec_cache[k]
                             for k in sorted(self.codec_cache)},
+            "telemetry": {k: self.telemetry[k]
+                          for k in sorted(self.telemetry)},
         }
 
     @property
@@ -184,4 +236,16 @@ class CommProfile:
                 "codec cache (host-side): "
                 f"{hits} hits / {misses} misses ({rate:.1f}% hit rate), "
                 f"{saved / 1e6:.1f} MB of codec input re-used")
+        if self.telemetry:
+            parts = []
+            if "rprt_bytes_written" in self.telemetry:
+                parts.append(f"{fmt_bytes(int(self.telemetry['rprt_bytes_written']))} "
+                             f"of RPRT blocks written")
+            if "rprt_compress_ratio" in self.telemetry:
+                parts.append(f"block compression ratio "
+                             f"{self.telemetry['rprt_compress_ratio']:.2f}x")
+            for k in sorted(self.telemetry):
+                if k not in ("rprt_bytes_written", "rprt_compress_ratio"):
+                    parts.append(f"{k}={self.telemetry[k]}")
+            sections.append("telemetry container: " + ", ".join(parts))
         return "\n\n".join(sections)

@@ -1,0 +1,722 @@
+"""RPRT — self-describing binary telemetry container.
+
+Chrome-trace JSON is the lingua franca for *viewing* a trace, but it is
+a terrible container at scale: the whole document must be materialized
+to read one lane, floats are spelled out in ASCII, and every span
+repeats its key names.  ``RPRT`` is the repository's binary telemetry
+container, GGUF-style: a magic/versioned header, typed metadata
+key-values, then 8-byte-aligned **columnar blocks** that numpy can map
+straight out of the file — span records split into per-field columns,
+a deduplicated string table, and (optionally) whole bench/hostperf
+snapshot documents.
+
+Dogfooding is the point: each block may be compressed through the
+existing codec registry (the lossless paths — MPC by default, which is
+bit-exact on arbitrary bit patterns, or ``null``).  The writer verifies
+every compressed block round-trips bit-for-bit before committing to it
+and falls back to raw storage otherwise, and every block carries a
+CRC-32 of its stored bytes so truncation or corruption is detected on
+read, not silently analyzed.
+
+File layout (all integers little-endian)::
+
+    magic   b"RPRT"
+    u32     container version (1)
+    u64     n_kv
+    u64     n_blocks
+    n_kv    typed key-values:
+              u32 key_len | key utf-8 | u8 type | value
+              type 1=i64, 2=f64, 3=bool(u8), 4=str, 5=json
+              (str/json: u64 byte_len | utf-8 bytes)
+    n_blocks block-table entries:
+              u32 name_len | name | u8 dtype code | u32 codec_len | codec
+              | u32 params_len | params json | u64 n_elements
+              | u64 raw_nbytes | u64 stored_nbytes | u64 offset | u32 crc32
+    ...     zero padding so every block offset is 8-byte aligned
+    blocks  stored bytes (raw little-endian column data, or the codec
+            payload when ``codec`` is non-empty)
+
+Span records are stored in groups of :data:`SPANS_PER_BLOCK` rows
+(``spans/<g>/<column>``), each group carrying ``t_min_us``/``t_max_us``
+metadata so a time-windowed reader skips whole groups without touching
+their bytes.  Timestamps are stored in *exported* units (microseconds,
+as rounded by the Chrome exporter) so JSON -> RPRT -> JSON is
+byte-identical and RPRT -> JSON -> RPRT is bit-stable.
+
+``RprtReader`` memory-maps the file: raw blocks are zero-copy views
+into the map, compressed blocks decode one at a time, and
+:meth:`RprtReader.spans` streams :class:`~repro.sim.trace.TraceRecord`
+objects group by group — analysis never holds the whole file.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = [
+    "RPRT_MAGIC", "RPRT_VERSION", "SPANS_PER_BLOCK", "RprtError",
+    "RprtWriter", "RprtReader", "is_rprt", "write_trace_rprt",
+    "write_snapshot_rprt", "read_snapshot_rprt", "DEFAULT_BLOCK_CODEC",
+]
+
+RPRT_MAGIC = b"RPRT"
+RPRT_VERSION = 1
+#: span rows per columnar group — bounds reader working-set size
+SPANS_PER_BLOCK = 4096
+#: registry codec applied to blocks (lossless; ``"none"`` disables)
+DEFAULT_BLOCK_CODEC = "mpc"
+
+# KV type tags
+_KV_I64, _KV_F64, _KV_BOOL, _KV_STR, _KV_JSON = 1, 2, 3, 4, 5
+
+#: block dtype codes <-> numpy dtypes (little-endian on disk)
+_DTYPES = ("u1", "i1", "u4", "i4", "i8", "u8", "f8")
+_DTYPE_CODE = {d: i for i, d in enumerate(_DTYPES)}
+
+_ALIGN = 8
+#: columns below this raw size are never worth a codec header
+_MIN_COMPRESS_BYTES = 64
+
+
+class RprtError(ValueError):
+    """Malformed, truncated or corrupt RPRT container."""
+
+
+def is_rprt(path) -> bool:
+    """True if ``path`` starts with the RPRT magic."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(4) == RPRT_MAGIC
+    except OSError:
+        return False
+
+
+def _canonical_json(value) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+# -- writer ------------------------------------------------------------------
+
+class _Block:
+    __slots__ = ("name", "dtype", "codec", "params", "n_elements",
+                 "raw_nbytes", "stored", "offset", "crc32")
+
+    def __init__(self, name, dtype, codec, params, n_elements, raw_nbytes,
+                 stored):
+        self.name = name
+        self.dtype = dtype
+        self.codec = codec
+        self.params = params
+        self.n_elements = n_elements
+        self.raw_nbytes = raw_nbytes
+        self.stored = stored
+        self.offset = 0
+        self.crc32 = zlib.crc32(stored) & 0xFFFFFFFF
+
+
+class RprtWriter:
+    """Accumulates key-values and columnar blocks, then serializes.
+
+    The writer is deterministic: identical inputs produce identical
+    bytes (insertion order of KVs/blocks is preserved, offsets are a
+    pure function of the table, and codec choices depend only on the
+    data), which the bit-stability tests rely on.
+    """
+
+    def __init__(self, block_codec: str = DEFAULT_BLOCK_CODEC):
+        self._kvs: list[tuple[str, int, object]] = []
+        self._blocks: list[_Block] = []
+        self._codec_name = (block_codec or "none").lower()
+        self._codec = None
+        if self._codec_name not in ("none", ""):
+            from repro.compression import get_compressor
+
+            self._codec = get_compressor(self._codec_name)
+            if not self._codec.lossless:
+                raise RprtError(
+                    f"block codec {self._codec_name!r} is lossy; telemetry "
+                    f"blocks require a lossless registry codec")
+
+    # -- metadata ----------------------------------------------------------
+    def add_kv(self, key: str, value) -> None:
+        """Add a typed metadata key-value (type inferred from ``value``;
+        dicts/lists are stored as canonical JSON)."""
+        if isinstance(value, bool):
+            self._kvs.append((key, _KV_BOOL, value))
+        elif isinstance(value, int):
+            self._kvs.append((key, _KV_I64, value))
+        elif isinstance(value, float):
+            self._kvs.append((key, _KV_F64, value))
+        elif isinstance(value, str):
+            self._kvs.append((key, _KV_STR, value))
+        elif isinstance(value, (dict, list, tuple)):
+            self._kvs.append((key, _KV_JSON, _canonical_json(value)))
+        else:
+            raise RprtError(f"unsupported KV type for {key!r}: {type(value)}")
+
+    # -- blocks ------------------------------------------------------------
+    def add_block(self, name: str, data, compress: bool = True) -> None:
+        """Add a columnar block from a 1-D numpy array (or raw bytes,
+        stored as a ``u1`` column)."""
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            data = np.frombuffer(bytes(data), dtype=np.uint8)
+        arr = np.ascontiguousarray(data)
+        dtype = arr.dtype.newbyteorder("<")
+        code = dtype.str[1:]  # e.g. "<f8" -> "f8"
+        if code not in _DTYPE_CODE:
+            raise RprtError(f"block {name!r}: unsupported dtype {arr.dtype}")
+        raw = arr.astype(dtype, copy=False).tobytes()
+        codec_name, params, stored = "", {}, raw
+        if compress and self._codec is not None \
+                and len(raw) >= _MIN_COMPRESS_BYTES:
+            packed = self._try_compress(raw)
+            if packed is not None:
+                codec_name, params, stored = packed
+        self._blocks.append(_Block(name, code, codec_name, params,
+                                   arr.size, len(raw), stored))
+
+    def _try_compress(self, raw: bytes):
+        """Compress ``raw`` through the registry codec, keeping the
+        result only if it is smaller *and* round-trips bit-for-bit."""
+        pad = (-len(raw)) % 8
+        view = np.frombuffer(raw + b"\x00" * pad, dtype="<f8")
+        try:
+            comp = self._codec.compress(view)
+        except Exception:
+            return None
+        payload = comp.payload.tobytes()
+        if len(payload) >= len(raw):
+            return None
+        if self._codec.decompress(comp).tobytes() != raw + b"\x00" * pad:
+            return None  # pragma: no cover - lossless codecs round-trip
+        return self._codec_name, dict(comp.params), payload
+
+    # -- serialization -----------------------------------------------------
+    def _header_bytes(self) -> bytes:
+        out = [RPRT_MAGIC, struct.pack("<IQQ", RPRT_VERSION,
+                                       len(self._kvs), len(self._blocks))]
+        for key, kind, value in self._kvs:
+            kb = key.encode("utf-8")
+            out.append(struct.pack("<I", len(kb)))
+            out.append(kb)
+            out.append(struct.pack("<B", kind))
+            if kind == _KV_I64:
+                out.append(struct.pack("<q", value))
+            elif kind == _KV_F64:
+                out.append(struct.pack("<d", value))
+            elif kind == _KV_BOOL:
+                out.append(struct.pack("<B", int(value)))
+            else:  # str / json
+                vb = value.encode("utf-8")
+                out.append(struct.pack("<Q", len(vb)))
+                out.append(vb)
+        for b in self._blocks:
+            nb = b.name.encode("utf-8")
+            cb = b.codec.encode("utf-8")
+            pb = (_canonical_json(b.params) if b.codec else "").encode("utf-8")
+            out.append(struct.pack("<I", len(nb)))
+            out.append(nb)
+            out.append(struct.pack("<B", _DTYPE_CODE[b.dtype]))
+            out.append(struct.pack("<I", len(cb)))
+            out.append(cb)
+            out.append(struct.pack("<I", len(pb)))
+            out.append(pb)
+            out.append(struct.pack("<QQQQI", b.n_elements, b.raw_nbytes,
+                                   len(b.stored), b.offset, b.crc32))
+        return b"".join(out)
+
+    def write(self, path) -> dict:
+        """Serialize to ``path``; returns block-level size statistics
+        (``raw_bytes``, ``stored_bytes``, ``ratio``, ``file_bytes``)."""
+        # Offsets are fixed-width, so the header size is known before
+        # offsets are assigned: lay out blocks in two passes.
+        header_len = len(self._header_bytes())
+        offset = header_len + ((-header_len) % _ALIGN)
+        for b in self._blocks:
+            b.offset = offset
+            offset += len(b.stored) + ((-len(b.stored)) % _ALIGN)
+        header = self._header_bytes()
+        with open(path, "wb") as fh:
+            fh.write(header)
+            fh.write(b"\x00" * ((-len(header)) % _ALIGN))
+            for b in self._blocks:
+                fh.write(b.stored)
+                fh.write(b"\x00" * ((-len(b.stored)) % _ALIGN))
+            file_bytes = fh.tell()
+        raw = sum(b.raw_nbytes for b in self._blocks)
+        stored = sum(len(b.stored) for b in self._blocks)
+        return {"raw_bytes": raw, "stored_bytes": stored,
+                "ratio": raw / stored if stored else 1.0,
+                "file_bytes": file_bytes}
+
+    def stats(self) -> dict:
+        """Block-level sizes known before serialization (used to stamp
+        the telemetry metrics *into* the file's own metadata)."""
+        raw = sum(b.raw_nbytes for b in self._blocks)
+        stored = sum(len(b.stored) for b in self._blocks)
+        return {"raw_bytes": raw, "stored_bytes": stored,
+                "ratio": raw / stored if stored else 1.0}
+
+
+# -- reader ------------------------------------------------------------------
+
+class _BlockInfo:
+    __slots__ = ("name", "dtype", "codec", "params", "n_elements",
+                 "raw_nbytes", "stored_nbytes", "offset", "crc32")
+
+
+class RprtReader:
+    """Memory-mapped RPRT reader.
+
+    Raw blocks are returned as zero-copy numpy views into the map;
+    compressed blocks are decoded one at a time through the codec
+    registry.  Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fh = open(path, "rb")
+        try:
+            self._mm = mmap.mmap(self._fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError:
+            self._fh.close()
+            raise RprtError(f"{path}: empty file is not an RPRT container")
+        try:
+            self._parse_header()
+        except (struct.error, IndexError, UnicodeDecodeError) as exc:
+            self.close()
+            raise RprtError(f"{path}: truncated or corrupt header: {exc}")
+
+    # -- header parsing ----------------------------------------------------
+    def _take(self, n: int) -> bytes:
+        end = self._pos + n
+        if end > len(self._mm):
+            raise struct.error(f"need {n} bytes at {self._pos}, have "
+                               f"{len(self._mm) - self._pos}")
+        out = self._mm[self._pos:end]
+        self._pos = end
+        return out
+
+    def _parse_header(self) -> None:
+        self._pos = 0
+        if self._take(4) != RPRT_MAGIC:
+            raise RprtError(f"{self.path}: bad magic (not an RPRT container)")
+        (self.version, n_kv, n_blocks) = struct.unpack("<IQQ", self._take(20))
+        if self.version != RPRT_VERSION:
+            raise RprtError(f"{self.path}: container version {self.version} "
+                            f"unsupported (expected {RPRT_VERSION})")
+        self.kvs: dict[str, object] = {}
+        for _ in range(n_kv):
+            (klen,) = struct.unpack("<I", self._take(4))
+            key = self._take(klen).decode("utf-8")
+            (kind,) = struct.unpack("<B", self._take(1))
+            if kind == _KV_I64:
+                value = struct.unpack("<q", self._take(8))[0]
+            elif kind == _KV_F64:
+                value = struct.unpack("<d", self._take(8))[0]
+            elif kind == _KV_BOOL:
+                value = bool(struct.unpack("<B", self._take(1))[0])
+            elif kind in (_KV_STR, _KV_JSON):
+                (vlen,) = struct.unpack("<Q", self._take(8))
+                value = self._take(vlen).decode("utf-8")
+                if kind == _KV_JSON:
+                    value = json.loads(value)
+            else:
+                raise RprtError(f"{self.path}: unknown KV type {kind} "
+                                f"for key {key!r}")
+            self.kvs[key] = value
+        self._blocks: dict[str, _BlockInfo] = {}
+        for _ in range(n_blocks):
+            b = _BlockInfo()
+            (nlen,) = struct.unpack("<I", self._take(4))
+            b.name = self._take(nlen).decode("utf-8")
+            (code,) = struct.unpack("<B", self._take(1))
+            if code >= len(_DTYPES):
+                raise RprtError(f"{self.path}: block {b.name!r} has unknown "
+                                f"dtype code {code}")
+            b.dtype = _DTYPES[code]
+            (clen,) = struct.unpack("<I", self._take(4))
+            b.codec = self._take(clen).decode("utf-8")
+            (plen,) = struct.unpack("<I", self._take(4))
+            params = self._take(plen).decode("utf-8")
+            b.params = json.loads(params) if params else {}
+            (b.n_elements, b.raw_nbytes, b.stored_nbytes, b.offset,
+             b.crc32) = struct.unpack("<QQQQI", self._take(36))
+            if b.offset + b.stored_nbytes > len(self._mm):
+                raise RprtError(f"{self.path}: block {b.name!r} extends past "
+                                f"end of file (truncated?)")
+            self._blocks[b.name] = b
+
+    # -- generic access ----------------------------------------------------
+    def kv(self, key: str, default=None):
+        return self.kvs.get(key, default)
+
+    @property
+    def block_names(self) -> list[str]:
+        return list(self._blocks)
+
+    def block_info(self, name: str) -> _BlockInfo:
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise RprtError(f"{self.path}: no block {name!r}") from None
+
+    def read(self, name: str, verify: bool = True) -> np.ndarray:
+        """Load one column.  Raw blocks come back as a read-only view
+        into the mmap (zero copy); compressed blocks are decoded.  With
+        ``verify`` (default), the stored bytes must match the block's
+        CRC-32."""
+        b = self.block_info(name)
+        stored = memoryview(self._mm)[b.offset:b.offset + b.stored_nbytes]
+        if verify and (zlib.crc32(stored) & 0xFFFFFFFF) != b.crc32:
+            raise RprtError(f"{self.path}: CRC mismatch on block {b.name!r} "
+                            f"(corrupt or truncated container)")
+        if b.codec:
+            from repro.compression import get_compressor
+            from repro.compression.base import CompressedData
+
+            codec = get_compressor(b.codec, **b.params)
+            comp = CompressedData(
+                algorithm=b.codec,
+                payload=np.frombuffer(stored, dtype=np.uint8),
+                n_elements=(b.raw_nbytes + 7) // 8,
+                dtype=np.dtype("<f8"), params=dict(b.params))
+            raw = codec.decompress(comp).tobytes()[:b.raw_nbytes]
+        else:
+            raw = stored
+        out = np.frombuffer(raw, dtype="<" + b.dtype)
+        if out.size != b.n_elements:
+            raise RprtError(f"{self.path}: block {b.name!r} decoded to "
+                            f"{out.size} elements, expected {b.n_elements}")
+        return out
+
+    def close(self) -> None:
+        if getattr(self, "_mm", None) is not None:
+            self._mm.close()
+            self._mm = None
+        if getattr(self, "_fh", None) is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RprtReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- trace-specific access --------------------------------------------
+    def strings(self) -> list[str]:
+        """The deduplicated string table."""
+        offsets = self.read("strings/offsets")
+        blob = self.read("strings/blob").tobytes()
+        return [blob[offsets[i]:offsets[i + 1]].decode("utf-8")
+                for i in range(len(offsets) - 1)]
+
+    @property
+    def n_spans(self) -> int:
+        return int(self.kv("spans/count", 0))
+
+    @property
+    def n_span_groups(self) -> int:
+        return int(self.kv("spans/groups", 0))
+
+    def otherdata(self) -> dict:
+        """The Chrome-trace ``otherData`` dict (metrics + elapsed)."""
+        return dict(self.kv("trace/otherdata", {}))
+
+    def metrics(self) -> dict:
+        return dict(self.otherdata().get("metrics", {}))
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        return self.otherdata().get("elapsed_seconds")
+
+    def span_group(self, g: int) -> dict:
+        """All columns of span group ``g`` as numpy arrays."""
+        return {col: self.read(f"spans/{g}/{col}") for col in _SPAN_COLUMNS}
+
+    def spans(self, track: Optional[str] = None, rank: Optional[int] = None,
+              time_range: Optional[tuple] = None) -> Iterator:
+        """Stream :class:`~repro.sim.trace.TraceRecord` objects block by
+        block, optionally filtered by ``track`` name, ``rank``, and a
+        ``(t0, t1)`` window in simulated seconds.  Groups entirely
+        outside the window are skipped without touching their bytes."""
+        from repro.sim.trace import TraceRecord
+
+        strings = self.strings() if self.n_spans else []
+        meta_cache: dict[int, dict] = {}
+        want_rank = -1 if rank is None else int(rank)
+        track_ids = (np.asarray([i for i, s in enumerate(strings)
+                                 if s == track], dtype=np.int64)
+                     if track is not None else None)
+        for g in range(self.n_span_groups):
+            if time_range is not None:
+                g_min = self.kv(f"spans/{g}/t_min_us", 0.0) / 1e6
+                g_max = self.kv(f"spans/{g}/t_max_us", 0.0) / 1e6
+                if g_max < time_range[0] or g_min > time_range[1]:
+                    continue
+            cols = self.span_group(g)
+            n = len(cols["ts_us"])
+            mask = np.ones(n, dtype=bool)
+            if rank is not None:
+                mask &= cols["rank"] == want_rank
+            if track_ids is not None:
+                mask &= np.isin(cols["track"], track_ids)
+            t0 = cols["ts_us"] / 1e6
+            t1 = (cols["ts_us"] + cols["dur_us"]) / 1e6
+            if time_range is not None:
+                mask &= (t1 >= time_range[0]) & (t0 <= time_range[1])
+            for i in np.flatnonzero(mask):
+                mi = int(cols["meta"][i])
+                meta = meta_cache.get(mi)
+                if meta is None:
+                    meta = json.loads(strings[mi]) if strings[mi] else {}
+                    meta_cache[mi] = meta
+                r = int(cols["rank"][i])
+                p = int(cols["parent_id"][i])
+                yield TraceRecord(
+                    t_start=float(t0[i]), t_end=float(t1[i]),
+                    category=strings[int(cols["category"][i])],
+                    label=strings[int(cols["label"][i])],
+                    meta=dict(meta),
+                    rank=None if r < 0 else r,
+                    track=strings[int(cols["track"][i])],
+                    span_id=int(cols["span_id"][i]),
+                    parent_id=None if p < 0 else p)
+
+    def iter_chrome_events(self) -> Iterator[dict]:
+        """Yield Chrome-trace events (metadata first, then X events)
+        reconstructing the exporter's exact output: timestamps come
+        straight from the stored microsecond columns, so converting to
+        JSON is byte-identical to a direct export of the same spans."""
+        from repro.analysis.export import chrome_metadata_events, pid_of
+
+        pairs = set()
+        for g in range(self.n_span_groups):
+            ranks = self.read(f"spans/{g}/rank")
+            tracks = self.read(f"spans/{g}/track")
+            pairs.update(zip(ranks.tolist(), tracks.tolist()))
+        strings = self.strings() if pairs else []
+        pid_track = {}
+        for r, t in pairs:
+            rank = None if r < 0 else int(r)
+            pid_track[(r, t)] = pid_of(rank, strings[t])
+        tids, meta_events = chrome_metadata_events(set(pid_track.values()))
+        yield from meta_events
+        for g in range(self.n_span_groups):
+            cols = self.span_group(g)
+            for i in range(len(cols["ts_us"])):
+                pid, tname = pid_track[(int(cols["rank"][i]),
+                                        int(cols["track"][i]))]
+                args = {"span_id": int(cols["span_id"][i])}
+                parent = int(cols["parent_id"][i])
+                if parent >= 0:
+                    args["parent_id"] = parent
+                meta_s = strings[int(cols["meta"][i])]
+                if meta_s:
+                    args.update(json.loads(meta_s))
+                category = strings[int(cols["category"][i])]
+                label = strings[int(cols["label"][i])]
+                yield {
+                    "name": label or category,
+                    "cat": category,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tids[(pid, tname)],
+                    "ts": float(cols["ts_us"][i]),
+                    "dur": float(cols["dur_us"][i]),
+                    "args": args,
+                }
+
+
+_SPAN_COLUMNS = ("ts_us", "dur_us", "span_id", "parent_id", "rank",
+                 "category", "label", "track", "meta")
+
+
+class _StringTable:
+    def __init__(self):
+        self._index: dict[str, int] = {}
+        self._items: list[bytes] = []
+
+    def add(self, s: str) -> int:
+        idx = self._index.get(s)
+        if idx is None:
+            idx = len(self._items)
+            self._index[s] = idx
+            self._items.append(s.encode("utf-8"))
+        return idx
+
+    def blocks(self):
+        offsets = np.zeros(len(self._items) + 1, dtype=np.uint64)
+        np.cumsum([len(b) for b in self._items], out=offsets[1:])
+        blob = np.frombuffer(b"".join(self._items), dtype=np.uint8)
+        return offsets, blob
+
+
+class _SpanColumnBuilder:
+    """Accumulates span rows and flushes them to a writer in
+    :data:`SPANS_PER_BLOCK` groups."""
+
+    def __init__(self, writer: RprtWriter,
+                 spans_per_block: int = SPANS_PER_BLOCK):
+        self._w = writer
+        self._strings = _StringTable()
+        self._strings.add("")  # index 0 is always the empty string
+        self._rows: list[tuple] = []
+        self._group = 0
+        self._count = 0
+        self._per_block = spans_per_block
+
+    def add(self, ts_us: float, dur_us: float, span_id: int,
+            parent_id: Optional[int], rank: Optional[int], category: str,
+            label: str, track: str, meta_json: str) -> None:
+        self._rows.append((
+            ts_us, dur_us, span_id,
+            -1 if parent_id is None else int(parent_id),
+            -1 if rank is None else int(rank),
+            self._strings.add(category), self._strings.add(label),
+            self._strings.add(track), self._strings.add(meta_json)))
+        self._count += 1
+        if len(self._rows) >= self._per_block:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._rows:
+            return
+        g = self._group
+        cols = list(zip(*self._rows))
+        dtypes = ("f8", "f8", "i8", "i8", "i4", "u4", "u4", "u4", "u4")
+        for name, values, dt in zip(_SPAN_COLUMNS, cols, dtypes):
+            self._w.add_block(f"spans/{g}/{name}",
+                              np.asarray(values, dtype=dt))
+        self._w.add_kv(f"spans/{g}/count", len(self._rows))
+        self._w.add_kv(f"spans/{g}/t_min_us", float(min(cols[0])))
+        self._w.add_kv(f"spans/{g}/t_max_us",
+                       float(max(t + d for t, d in zip(cols[0], cols[1]))))
+        self._rows.clear()
+        self._group += 1
+
+    def finish(self) -> None:
+        self._flush()
+        self._w.add_kv("spans/count", self._count)
+        self._w.add_kv("spans/groups", self._group)
+        offsets, blob = self._strings.blocks()
+        self._w.add_block("strings/offsets", offsets)
+        self._w.add_block("strings/blob", blob)
+
+
+def _trace_writer(builder_fill, otherdata: dict,
+                  block_codec: str = DEFAULT_BLOCK_CODEC,
+                  spans_per_block: int = SPANS_PER_BLOCK,
+                  registry=None) -> tuple[RprtWriter, dict]:
+    """Shared tail of the two trace-writing paths: fill span columns,
+    stamp telemetry metrics (into ``registry`` *and* the embedded
+    metrics dump when the registry is the live one), then add the
+    trailing metadata."""
+    w = RprtWriter(block_codec=block_codec)
+    b = _SpanColumnBuilder(w, spans_per_block)
+    builder_fill(b)
+    b.finish()
+    stats = w.stats()
+    if registry is not None:
+        registry.inc("telemetry.rprt_bytes_written", stats["stored_bytes"])
+        registry.set("telemetry.rprt_compress_ratio", stats["ratio"])
+        otherdata = dict(otherdata)
+        otherdata["metrics"] = registry.as_dict()
+    w.add_kv("trace/otherdata", otherdata)
+    w.add_kv("trace/display_time_unit", "ms")
+    w.add_kv("producer", "repro")
+    w.add_kv("block_codec", (block_codec or "none").lower())
+    return w, stats
+
+
+def write_trace_rprt(tracer, path, elapsed: Optional[float] = None,
+                     block_codec: str = DEFAULT_BLOCK_CODEC,
+                     spans_per_block: int = SPANS_PER_BLOCK) -> dict:
+    """Export a tracer's spans + metrics registry to an RPRT container.
+
+    The container's own write statistics are dogfooded into the
+    embedded metrics dump (``telemetry.rprt_bytes_written`` counter,
+    ``telemetry.rprt_compress_ratio`` gauge) *before* metadata
+    serialization, so the file self-describes its compression win.
+    Returns the writer statistics dict.
+    """
+    from repro.analysis.export import chrome_time, json_safe_meta
+
+    recs = sorted(tracer.records, key=lambda r: (r.t_start, r.t_end, r.span_id))
+
+    def fill(b: _SpanColumnBuilder) -> None:
+        for rec in recs:
+            meta = json_safe_meta(rec.meta)
+            # A label equal to its category is what the Chrome exporter
+            # collapses the empty label to; store the canonical empty
+            # form so RPRT and ingested-JSON records are identical.
+            label = rec.label if rec.label != rec.category else ""
+            b.add(chrome_time(rec.t_start), chrome_time(rec.duration),
+                  rec.span_id, rec.parent_id, rec.rank,
+                  rec.category, label, rec.track or "main",
+                  _canonical_json(meta) if meta else "")
+
+    other: dict = {"metrics": tracer.metrics.as_dict()}
+    if elapsed is not None:
+        other["elapsed_seconds"] = elapsed
+    w, stats = _trace_writer(fill, other, block_codec, spans_per_block,
+                             registry=tracer.metrics)
+    stats.update(w.write(path))
+    return stats
+
+
+# -- bench / hostperf snapshot embedding ------------------------------------
+
+def write_snapshot_rprt(doc: dict, path, kind: str,
+                        block_codec: str = DEFAULT_BLOCK_CODEC) -> dict:
+    """Store a bench/hostperf snapshot document in an RPRT container.
+
+    The canonical JSON document rides along (compressed) as the
+    authoritative ``snapshot/json`` block, and every numeric scalar
+    metric is *also* laid out columnar (``snapshot/section``,
+    ``snapshot/metric`` string indices + ``snapshot/value`` f8) so bulk
+    trajectory analysis can mmap the numbers without parsing JSON.
+    """
+    w = RprtWriter(block_codec=block_codec)
+    w.add_kv("snapshot/kind", kind)
+    w.add_kv("snapshot/schema_version", int(doc.get("schema_version", 0)))
+    strings = _StringTable()
+    strings.add("")
+    sections, metrics, values = [], [], []
+    groups = doc.get("scenarios") or doc.get("benchmarks") or {}
+    for name in sorted(groups):
+        entry = groups[name]
+        numeric = {}
+        for sub in ("metrics", "counters"):
+            numeric.update(entry.get(sub) or {})
+        for mname, mval in sorted(numeric.items()):
+            if isinstance(mval, (int, float)) and not isinstance(mval, bool):
+                sections.append(strings.add(name))
+                metrics.append(strings.add(mname))
+                values.append(float(mval))
+    w.add_block("snapshot/section", np.asarray(sections, dtype="u4"))
+    w.add_block("snapshot/metric", np.asarray(metrics, dtype="u4"))
+    w.add_block("snapshot/value", np.asarray(values, dtype="f8"))
+    offsets, blob = strings.blocks()
+    w.add_block("strings/offsets", offsets)
+    w.add_block("strings/blob", blob)
+    w.add_block("snapshot/json",
+                _canonical_json(doc).encode("utf-8"))
+    w.add_kv("producer", "repro")
+    return w.write(path)
+
+
+def read_snapshot_rprt(path) -> dict:
+    """Load the snapshot document back from an RPRT container."""
+    with RprtReader(path) as r:
+        if "snapshot/json" not in r._blocks:
+            raise RprtError(f"{path}: container holds no snapshot document")
+        return json.loads(r.read("snapshot/json").tobytes().decode("utf-8"))

@@ -7,9 +7,10 @@ and a self-test, prints text or JSON, and returns a process exit code:
     Determinism linter over ``src/repro`` (or explicit ``--path``\\ s).
 
 ``--trace [FILE ...]``
-    Trace sanitizer.  With files, each exported Chrome trace is checked
-    as-is; without, a pt2pt scenario is run in-process per codec and
-    its live tracer is checked.
+    Trace sanitizer.  With files, each exported trace (Chrome JSON or
+    binary RPRT, detected by magic) is checked as-is; without, a pt2pt
+    scenario is run in-process per codec and its live tracer is
+    checked.
 
 ``--asan``
     Buffer sanitizer: re-runs the in-process scenarios with shadow
@@ -101,7 +102,7 @@ def _pass_trace(trace_files) -> dict:
     if trace_files:
         for f in trace_files:
             checked.append(str(f))
-            for v in TraceSanitizer.from_chrome_trace(f).check_all():
+            for v in TraceSanitizer.from_trace_file(f).check_all():
                 findings.append(dict(v.as_dict(), trace=str(f)))
                 lines.append(f"{f}: {v.describe()}")
     else:

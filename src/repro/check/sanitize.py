@@ -5,9 +5,10 @@ analyzer, the latency breakdowns and the paper figures are all computed
 from it, so a malformed trace silently corrupts every downstream
 number.  This module re-validates the invariants the simulator is
 supposed to enforce, either over a live :class:`~repro.sim.trace.Tracer`
-(:meth:`TraceSanitizer.from_tracer`) or over an exported Chrome-trace
-JSON document (:meth:`TraceSanitizer.from_chrome_trace`), so CI can
-check golden traces without re-running the scenario.
+(:meth:`TraceSanitizer.from_tracer`) or over an exported trace file —
+Chrome-trace JSON or a binary RPRT container, streamed via
+:meth:`TraceSanitizer.from_trace_file` — so CI can check golden traces
+without re-running the scenario.
 
 Checks (each returns a list of :class:`TraceViolation`):
 
@@ -124,51 +125,38 @@ class TraceSanitizer:
         return cls(tracer.records)
 
     @classmethod
+    def from_trace_file(cls, path) -> "TraceSanitizer":
+        """Rebuild spans from an exported trace file — Chrome-trace JSON
+        or an RPRT container (detected by magic).  Events are streamed
+        through :mod:`repro.analysis.traceio`, so peak memory is the
+        compact record list, never the serialized document."""
+        from repro.analysis.traceio import load_trace_records
+
+        return cls(load_trace_records(path).records)
+
+    @classmethod
     def from_chrome_trace(cls, doc) -> "TraceSanitizer":
         """Rebuild spans from a Chrome-trace document produced by
         :func:`repro.analysis.export.to_chrome_trace` (a dict, a JSON
-        string, or a path to the file)."""
+        string, or a path to a file in either supported format — paths
+        stream via :meth:`from_trace_file`)."""
+        from repro.analysis.traceio import _ChromeEventParser
+
         if isinstance(doc, (str, Path)) and not (
                 isinstance(doc, str) and doc.lstrip().startswith("{")):
-            doc = json.loads(Path(doc).read_text(encoding="utf-8"))
-        elif isinstance(doc, str):
+            return cls.from_trace_file(doc)
+        if isinstance(doc, str):
             doc = json.loads(doc)
+
+        parser = _ChromeEventParser()
         events = doc["traceEvents"]
-
-        process_names: dict[int, str] = {}
-        thread_names: dict[tuple[int, int], str] = {}
+        # Metadata first (the exporter emits M events up front, but a
+        # hand-built doc may not), then records.
         for ev in events:
-            if ev.get("ph") != "M":
-                continue
-            if ev.get("name") == "process_name":
-                process_names[ev["pid"]] = ev["args"]["name"]
-            elif ev.get("name") == "thread_name":
-                thread_names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
-
-        records = []
-        for ev in events:
-            if ev.get("ph") != "X":
-                continue
-            pid = ev["pid"]
-            pname = process_names.get(pid, "")
-            tname = thread_names.get((pid, ev["tid"]), "main")
-            if pname == "network":
-                rank, track = None, f"link:{tname}"
-            elif pname.startswith("rank "):
-                rank, track = int(pname[5:]), tname
-            else:  # "sim" (unattributed)
-                rank, track = None, tname
-            args = dict(ev.get("args", {}))
-            span_id = int(args.pop("span_id", 0))
-            parent_id = args.pop("parent_id", None)
-            t0 = ev["ts"] / 1e6
-            t1 = (ev["ts"] + ev["dur"]) / 1e6
-            category = ev.get("cat", "")
-            label = ev["name"] if ev["name"] != category else ""
-            records.append(TraceRecord(
-                t_start=t0, t_end=t1, category=category, label=label,
-                meta=args, rank=rank, track=track, span_id=span_id,
-                parent_id=int(parent_id) if parent_id is not None else None))
+            if ev.get("ph") == "M":
+                parser.feed(ev)
+        records = [rec for ev in events
+                   if (rec := parser.feed(ev)) is not None]
         records.sort(key=lambda r: (r.t_start, r.t_end, r.span_id))
         return cls(records)
 

@@ -1,0 +1,26 @@
+"""Regenerate tests/data/golden_trace_mpc.rprt.
+
+The fixture is the committed golden Chrome trace converted into a v1
+RPRT container, so it exercises the on-disk format (not the current
+writer's code path at export time).  Regenerate only after an
+*intentional* format revision::
+
+    PYTHONPATH=src python tests/make_rprt_fixture.py
+"""
+
+from pathlib import Path
+
+from repro.analysis.traceio import convert
+
+GOLDEN_JSON = Path(__file__).parent / "data" / "golden_trace_mpc.json"
+GOLDEN_RPRT = Path(__file__).parent / "data" / "golden_trace_mpc.rprt"
+
+
+def main() -> None:
+    stats = convert(GOLDEN_JSON, GOLDEN_RPRT, to="rprt")
+    print(f"wrote {GOLDEN_RPRT}: {stats['stored_bytes']} bytes stored "
+          f"({stats['raw_bytes']} raw, {stats['ratio']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,7 @@
 """CLI entry-point tests."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.__main__ import main
@@ -183,3 +185,79 @@ def test_bench_asan_flag(tmp_path, capsys):
     assert main(["bench", "--quick", "--scenario", "pt2pt_mpc-opt",
                  "--asan", "--out", str(out)]) == 0
     assert out.exists()
+
+
+# -- RPRT telemetry container ------------------------------------------------
+
+GOLDEN_RPRT = Path(__file__).parent / "data" / "golden_trace_mpc.rprt"
+
+
+def test_trace_rprt_export(tmp_path, capsys):
+    from repro.analysis.rprt import RprtReader, is_rprt
+
+    out = tmp_path / "t.rprt"
+    assert main(["trace", "latency", "--codec", "mpc", "--size", "512K",
+                 "--out", str(out)]) == 0  # format inferred from extension
+    assert "[rprt]" in capsys.readouterr().out
+    assert is_rprt(out)
+    with RprtReader(out) as r:
+        assert r.n_spans > 0
+        assert "telemetry.rprt_bytes_written" in r.metrics()["counters"]
+
+
+def test_trace_format_flag_overrides_extension(tmp_path, capsys):
+    from repro.analysis.rprt import is_rprt
+
+    out = tmp_path / "t.trace"
+    assert main(["trace", "latency", "--codec", "none", "--size", "256K",
+                 "--format", "rprt", "--out", str(out)]) == 0
+    assert is_rprt(out)
+
+
+def test_trace_convert_cli(tmp_path, capsys):
+    golden = Path(__file__).parent / "data" / "golden_trace_mpc.json"
+    rprt = tmp_path / "t.rprt"
+    back = tmp_path / "back.json"
+    assert main(["trace", "convert", str(golden), str(rprt)]) == 0
+    assert main(["trace", "convert", str(rprt), str(back)]) == 0
+    assert "[json]" in capsys.readouterr().out
+    assert back.read_bytes() == golden.read_bytes()
+
+
+def test_trace_convert_usage_errors(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["trace", "convert", "only-one-arg"])
+    with pytest.raises(SystemExit):
+        main(["trace", "convert", str(tmp_path / "missing.json"),
+              str(tmp_path / "out.rprt")])
+    with pytest.raises(SystemExit):  # stray positionals on a workload
+        main(["trace", "latency", "stray.json"])
+
+
+def test_check_trace_accepts_rprt(capsys):
+    import json
+
+    assert main(["check", "--trace", str(GOLDEN_RPRT),
+                 "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True
+
+
+def test_explain_trace_file_parity(capsys):
+    golden = Path(__file__).parent / "data" / "golden_trace_mpc.json"
+    assert main(["explain", "--trace", str(GOLDEN_RPRT)]) == 0
+    from_rprt = capsys.readouterr().out
+    assert main(["explain", "--trace", str(golden)]) == 0
+    assert capsys.readouterr().out == from_rprt
+    assert "slowest" in from_rprt or from_rprt.strip()
+
+
+def test_profile_trace_file(capsys):
+    assert main(["profile", "--trace", str(GOLDEN_RPRT)]) == 0
+    out = capsys.readouterr().out
+    assert "link activity" in out and "telemetry container:" not in out
+
+
+def test_profile_trace_missing_file(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["profile", "--trace", str(tmp_path / "missing.rprt")])

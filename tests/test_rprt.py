@@ -1,0 +1,438 @@
+"""RPRT telemetry container: format, round trips, streaming analysis.
+
+Covers the acceptance criteria of the self-describing binary container:
+
+* trace -> RPRT -> JSON -> RPRT is bit-stable and JSON -> RPRT -> JSON
+  is byte-identical (``repro trace convert`` is lossless both ways);
+* the committed v1 fixture (``tests/data/golden_trace_mpc.rprt``) stays
+  readable — on-disk backward compatibility;
+* truncated and corrupt-block containers are rejected (CRC-32);
+* the mmap reader is deterministic and filters stream block-by-block;
+* analysis passes (sanitizer, critical path, CommProfile) produce
+  identical findings fed either format;
+* trace files are ingested with bounded memory (tracemalloc-measured);
+* the container dogfoods its own ``telemetry.*`` metrics.
+"""
+
+import json
+import struct
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import bench, hostperf
+from repro.analysis.critpath import CritPathAnalyzer
+from repro.analysis.export import write_chrome_json
+from repro.analysis.rprt import (RPRT_MAGIC, RprtError, RprtReader,
+                                 RprtWriter, is_rprt, read_snapshot_rprt,
+                                 write_snapshot_rprt, write_trace_rprt)
+from repro.analysis.traceio import (convert, iter_chrome_file_events,
+                                    iter_trace_records, load_trace_records,
+                                    read_otherdata, trace_format)
+from repro.check.sanitize import TraceSanitizer
+
+DATA = Path(__file__).parent / "data"
+GOLDEN_JSON = DATA / "golden_trace_mpc.json"
+GOLDEN_RPRT = DATA / "golden_trace_mpc.rprt"
+
+
+def _golden_result():
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from test_trace_export import run_golden_workload
+
+    return run_golden_workload()
+
+
+# -- container fundamentals --------------------------------------------------
+
+def test_magic_detection(tmp_path):
+    assert is_rprt(GOLDEN_RPRT)
+    assert not is_rprt(GOLDEN_JSON)
+    assert not is_rprt(tmp_path / "missing.rprt")
+    assert trace_format(GOLDEN_RPRT) == "rprt"
+    assert trace_format(GOLDEN_JSON) == "json"
+
+
+def test_writer_reader_kv_types(tmp_path):
+    w = RprtWriter(block_codec="none")
+    w.add_kv("an/int", 42)
+    w.add_kv("a/float", 2.5)
+    w.add_kv("a/bool", True)
+    w.add_kv("a/str", "héllo")
+    w.add_kv("a/json", {"k": [1, 2], "n": None})
+    w.add_block("col", np.arange(5, dtype="<i8"))
+    w.write(tmp_path / "t.rprt")
+    with RprtReader(tmp_path / "t.rprt") as r:
+        assert r.kv("an/int") == 42 and isinstance(r.kv("an/int"), int)
+        assert r.kv("a/float") == 2.5
+        assert r.kv("a/bool") is True
+        assert r.kv("a/str") == "héllo"
+        assert r.kv("a/json") == {"k": [1, 2], "n": None}
+        assert r.read("col").tolist() == [0, 1, 2, 3, 4]
+
+
+def test_blocks_are_aligned_and_crc_checked(tmp_path):
+    w = RprtWriter(block_codec="none")
+    w.add_block("odd", np.frombuffer(b"xyz", dtype=np.uint8))
+    w.add_block("ints", np.arange(7, dtype="<i4"))
+    w.write(tmp_path / "t.rprt")
+    with RprtReader(tmp_path / "t.rprt") as r:
+        for name in r.block_names:
+            assert r.block_info(name).offset % 8 == 0
+        assert bytes(r.read("odd")) == b"xyz"
+
+
+def test_block_compression_is_lossless(tmp_path):
+    data = np.cumsum(np.ones(4096)) / 3.0  # smooth => compressible
+    w = RprtWriter(block_codec="mpc")
+    w.add_block("smooth", data.astype("<f8"))
+    stats = w.write(tmp_path / "t.rprt")
+    assert stats["stored_bytes"] < stats["raw_bytes"]
+    with RprtReader(tmp_path / "t.rprt") as r:
+        assert r.block_info("smooth").codec == "mpc"
+        assert r.read("smooth").tobytes() == data.astype("<f8").tobytes()
+
+
+def test_incompressible_blocks_fall_back_to_raw(tmp_path):
+    rng = np.random.default_rng(7)
+    noise = rng.bytes(4096)
+    w = RprtWriter(block_codec="mpc")
+    w.add_block("noise", np.frombuffer(noise, dtype=np.uint8))
+    w.write(tmp_path / "t.rprt")
+    with RprtReader(tmp_path / "t.rprt") as r:
+        assert r.block_info("noise").codec == ""
+        assert bytes(r.read("noise")) == noise
+
+
+def test_lossy_block_codec_rejected():
+    with pytest.raises(RprtError):
+        RprtWriter(block_codec="zfp")
+
+
+def test_bad_magic_rejected(tmp_path):
+    p = tmp_path / "bogus.rprt"
+    p.write_bytes(b"NOPE" + b"\x00" * 60)
+    with pytest.raises(RprtError):
+        RprtReader(p)
+
+
+def test_unsupported_version_rejected(tmp_path):
+    p = tmp_path / "future.rprt"
+    p.write_bytes(RPRT_MAGIC + struct.pack("<IQQ", 99, 0, 0))
+    with pytest.raises(RprtError):
+        RprtReader(p)
+
+
+def test_truncated_container_rejected(tmp_path):
+    whole = GOLDEN_RPRT.read_bytes()
+    # Cut inside the header and inside the block region.
+    for cut in (10, len(whole) // 2):
+        p = tmp_path / f"cut{cut}.rprt"
+        p.write_bytes(whole[:cut])
+        with pytest.raises(RprtError):
+            with RprtReader(p) as r:
+                for name in r.block_names:
+                    r.read(name)
+
+
+def test_corrupt_block_fails_crc(tmp_path):
+    whole = bytearray(GOLDEN_RPRT.read_bytes())
+    with RprtReader(GOLDEN_RPRT) as r:
+        b = r.block_info("spans/0/ts_us")
+    whole[b.offset] ^= 0xFF
+    p = tmp_path / "corrupt.rprt"
+    p.write_bytes(bytes(whole))
+    with RprtReader(p) as r:
+        with pytest.raises(RprtError):
+            r.read("spans/0/ts_us")
+        # verify=False skips the integrity gate (for forensics).
+        r.read("spans/0/ts_us", verify=False)
+
+
+def test_empty_file_rejected(tmp_path):
+    p = tmp_path / "empty.rprt"
+    p.write_bytes(b"")
+    with pytest.raises(RprtError):
+        RprtReader(p)
+
+
+# -- determinism -------------------------------------------------------------
+
+def test_writer_and_reader_are_deterministic(tmp_path):
+    # Two fresh same-seed runs (telemetry counters are cumulative per
+    # registry, so back-to-back writes of one live tracer differ by
+    # design — same *state* must produce the same bytes).
+    for name in ("a.rprt", "b.rprt"):
+        res = _golden_result()
+        write_trace_rprt(res.tracer, tmp_path / name, elapsed=res.elapsed)
+    a = (tmp_path / "a.rprt").read_bytes()
+    assert a == (tmp_path / "b.rprt").read_bytes()
+    with RprtReader(tmp_path / "a.rprt") as r:
+        once = [r.read(n).tobytes() for n in r.block_names]
+        again = [r.read(n).tobytes() for n in r.block_names]
+    assert once == again
+
+
+# -- round trips -------------------------------------------------------------
+
+def test_json_to_rprt_to_json_byte_identical(tmp_path):
+    convert(GOLDEN_JSON, tmp_path / "t.rprt", to="rprt")
+    convert(tmp_path / "t.rprt", tmp_path / "back.json", to="json")
+    assert (tmp_path / "back.json").read_bytes() == GOLDEN_JSON.read_bytes()
+
+
+def test_rprt_to_json_to_rprt_bit_stable(tmp_path):
+    res = _golden_result()
+    write_trace_rprt(res.tracer, tmp_path / "t.rprt", elapsed=res.elapsed)
+    convert(tmp_path / "t.rprt", tmp_path / "t.json", to="json")
+    convert(tmp_path / "t.json", tmp_path / "back.rprt", to="rprt")
+    assert (tmp_path / "t.rprt").read_bytes() == \
+        (tmp_path / "back.rprt").read_bytes()
+
+
+def test_committed_v1_fixture_stays_readable():
+    """On-disk backward compatibility: the committed container decodes
+    to exactly the committed golden Chrome trace."""
+    with RprtReader(GOLDEN_RPRT) as r:
+        assert r.version == 1
+        assert r.n_spans > 0
+        assert r.kv("producer") == "repro"
+
+
+def test_committed_v1_fixture_converts_to_golden_json(tmp_path):
+    convert(GOLDEN_RPRT, tmp_path / "out.json", to="json")
+    assert (tmp_path / "out.json").read_bytes() == GOLDEN_JSON.read_bytes()
+
+
+def test_rprt_smaller_than_chrome_json(tmp_path):
+    assert GOLDEN_RPRT.stat().st_size < GOLDEN_JSON.stat().st_size
+    res = _golden_result()
+    stats = write_trace_rprt(res.tracer, tmp_path / "t.rprt",
+                             elapsed=res.elapsed)
+    assert stats["ratio"] > 1.0
+    assert (tmp_path / "t.rprt").stat().st_size < GOLDEN_JSON.stat().st_size
+
+
+def test_convert_infers_target_and_rejects_noop(tmp_path):
+    stats = convert(GOLDEN_JSON, tmp_path / "t.rprt")  # by extension
+    assert stats["format"] == "rprt"
+    stats = convert(tmp_path / "t.rprt", tmp_path / "t.out")  # opposite of src
+    assert stats["format"] == "json"
+    with pytest.raises(RprtError):
+        convert(GOLDEN_JSON, tmp_path / "x.json", to="json")
+    with pytest.raises(RprtError):
+        convert(tmp_path / "missing.json", tmp_path / "y.rprt")
+
+
+# -- streamed reader ---------------------------------------------------------
+
+def test_spans_match_chrome_records():
+    by_rprt = load_trace_records(GOLDEN_RPRT).records
+    by_json = load_trace_records(GOLDEN_JSON).records
+    assert len(by_rprt) == len(by_json)
+    assert by_rprt == by_json
+
+
+def test_spans_filters():
+    with RprtReader(GOLDEN_RPRT) as r:
+        everything = list(r.spans())
+        gpu = list(r.spans(track="gpu"))
+        assert gpu == [s for s in everything if s.track == "gpu"]
+        rank0 = list(r.spans(rank=0))
+        assert rank0 and rank0 == [s for s in everything if s.rank == 0]
+        t0 = everything[len(everything) // 2].t_start
+        window = list(r.spans(time_range=(t0, t0 + 20e-6)))
+        assert window == [s for s in everything  # inclusive overlap
+                          if s.t_start <= t0 + 20e-6 and s.t_end >= t0]
+        assert list(r.spans(track="no-such-track")) == []
+
+
+def test_time_range_skips_whole_groups(tmp_path):
+    from repro.sim.trace import Tracer
+
+    tracer = Tracer()
+    for i in range(300):
+        tracer.span(float(i), float(i) + 0.5, "tick", f"t{i}", rank=0)
+    write_trace_rprt(tracer, tmp_path / "t.rprt", spans_per_block=100)
+    with RprtReader(tmp_path / "t.rprt") as r:
+        assert r.n_span_groups == 3
+        got = list(r.spans(time_range=(250.25, 259.75)))
+        assert [g.label for g in got] == [f"t{i}" for i in range(250, 260)]
+
+
+def test_read_otherdata_without_loading_events():
+    other = read_otherdata(GOLDEN_RPRT)
+    assert other == read_otherdata(GOLDEN_JSON)
+    assert other["elapsed_seconds"] > 0
+    assert "metrics" in other
+
+
+def test_iter_chrome_file_events_streams_all_events():
+    events = list(iter_chrome_file_events(GOLDEN_JSON))
+    doc = json.loads(GOLDEN_JSON.read_text())
+    assert events == doc["traceEvents"]
+
+
+# -- bounded-memory ingestion ------------------------------------------------
+
+def _big_trace(path, n_events: int) -> None:
+    meta = [{"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+             "args": {"name": "rank 0"}},
+            {"ph": "M", "name": "thread_name", "pid": 0, "tid": 0,
+             "args": {"name": "main"}}]
+
+    def events():
+        yield from meta
+        for i in range(n_events):
+            yield {"name": "step", "cat": "pipeline", "ph": "X", "pid": 0,
+                   "tid": 0, "ts": float(i), "dur": 0.5,
+                   "args": {"span_id": i + 1, "note": "x" * 64}}
+
+    with open(path, "w") as fh:
+        write_chrome_json(fh, {"metrics": {}}, events())
+
+
+def test_streamed_ingestion_bounds_memory(tmp_path):
+    """Satellite: the sanitizer path must not json.loads the full text.
+    Peak allocation while *streaming* the events stays far below the
+    file size (the old full-text parse held text + DOM at once)."""
+    p = tmp_path / "big.json"
+    _big_trace(p, 20000)
+    size = p.stat().st_size
+    assert size > 3_000_000
+
+    tracemalloc.start()
+    n = 0
+    for _ in iter_trace_records(p):
+        n += 1
+    _, streamed_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert n == 20000
+    assert streamed_peak < size / 2
+
+    tracemalloc.start()
+    doc = json.loads(p.read_text())
+    _, full_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert len(doc["traceEvents"]) == 20002
+    assert streamed_peak < full_peak / 2
+
+
+# -- analysis parity ---------------------------------------------------------
+
+def test_sanitizer_findings_identical_across_formats():
+    a = TraceSanitizer.from_trace_file(GOLDEN_RPRT).check_all()
+    b = TraceSanitizer.from_trace_file(GOLDEN_JSON).check_all()
+    assert [v.as_dict() for v in a] == [v.as_dict() for v in b]
+
+
+def test_critpath_explain_identical_across_formats():
+    a = CritPathAnalyzer(load_trace_records(GOLDEN_RPRT)).explain(n=5)
+    b = CritPathAnalyzer(load_trace_records(GOLDEN_JSON)).explain(n=5)
+    assert a == b
+    assert "critical path" in a.lower() or a  # non-empty report
+
+
+def test_commprofile_identical_across_formats():
+    from repro.analysis import CommProfile
+
+    a = CommProfile.from_trace_file(GOLDEN_RPRT)
+    b = CommProfile.from_trace_file(GOLDEN_JSON)
+    assert a.as_dict() == b.as_dict()
+    assert a.n_messages > 0 and a.total_wire_bytes > 0
+
+
+# -- telemetry dogfooding ----------------------------------------------------
+
+def test_telemetry_metrics_stamped_into_container(tmp_path):
+    res = _golden_result()
+    stats = write_trace_rprt(res.tracer, tmp_path / "t.rprt",
+                             elapsed=res.elapsed)
+    # Live registry updated...
+    assert res.tracer.metrics.counter("telemetry.rprt_bytes_written") == \
+        stats["stored_bytes"]
+    assert res.tracer.metrics.gauge("telemetry.rprt_compress_ratio") == \
+        stats["ratio"]
+    # ...and the embedded dump self-describes the file.
+    with RprtReader(tmp_path / "t.rprt") as r:
+        metrics = r.metrics()
+    assert metrics["counters"]["telemetry.rprt_bytes_written"] == \
+        stats["stored_bytes"]
+    assert metrics["gauges"]["telemetry.rprt_compress_ratio"] == \
+        stats["ratio"]
+
+
+def test_commprofile_surfaces_telemetry(tmp_path):
+    from repro.analysis import CommProfile
+
+    res = _golden_result()
+    write_trace_rprt(res.tracer, tmp_path / "t.rprt", elapsed=res.elapsed)
+    prof = CommProfile.from_trace_file(tmp_path / "t.rprt")
+    assert prof.telemetry["rprt_bytes_written"] > 0
+    assert prof.telemetry["rprt_compress_ratio"] > 1.0
+    assert "telemetry container:" in prof.report()
+    assert prof.as_dict()["telemetry"]["rprt_compress_ratio"] > 1.0
+
+
+# -- bench / hostperf snapshots ----------------------------------------------
+
+def _fake_bench_doc():
+    return {"schema_version": bench.SCHEMA_VERSION, "label": "t",
+            "mode": "quick", "seed": 1,
+            "scenarios": {"pt2pt/x": {"kind": "pt2pt", "params": {},
+                                      "metrics": {"latency_us[1024]": 12.5},
+                                      "counters": {"mpi.sends": 4}}}}
+
+
+def _fake_hostperf_doc():
+    return {"schema_version": hostperf.SCHEMA_VERSION, "label": "t",
+            "mode": "quick", "reps": 1,
+            "benchmarks": {"codec/x": {"kind": "codec", "params": {},
+                                       "metrics": {"encode_s": 0.01,
+                                                   "ratio": 2.0}}}}
+
+
+def test_bench_snapshot_rprt_roundtrip(tmp_path):
+    doc = _fake_bench_doc()
+    bench.write(doc, tmp_path / "B.rprt")
+    assert is_rprt(tmp_path / "B.rprt")
+    assert bench.load(tmp_path / "B.rprt") == doc
+    # JSON path untouched.
+    bench.write(doc, tmp_path / "B.json")
+    assert bench.load(tmp_path / "B.json") == doc
+
+
+def test_hostperf_snapshot_rprt_roundtrip(tmp_path):
+    doc = _fake_hostperf_doc()
+    hostperf.write(doc, tmp_path / "H.rprt")
+    assert hostperf.load(tmp_path / "H.rprt") == doc
+
+
+def test_snapshot_columnar_blocks(tmp_path):
+    write_snapshot_rprt(_fake_bench_doc(), tmp_path / "B.rprt", kind="bench")
+    with RprtReader(tmp_path / "B.rprt") as r:
+        assert r.kv("snapshot/kind") == "bench"
+        # Raw blocks are zero-copy views into the mmap: copy before the
+        # reader closes.
+        values = r.read("snapshot/value").copy()
+        strings = r.strings()
+        metrics = [strings[i] for i in r.read("snapshot/metric").copy()]
+    # Numeric scalars only, in deterministic order.
+    assert metrics == ["latency_us[1024]", "mpi.sends"]
+    assert values.tolist() == [12.5, 4.0]
+
+
+def test_snapshot_reader_rejects_trace_container():
+    with pytest.raises(RprtError):
+        read_snapshot_rprt(GOLDEN_RPRT)
+
+
+def test_snapshot_schema_gate_still_applies(tmp_path):
+    doc = dict(_fake_bench_doc(), schema_version=0)
+    write_snapshot_rprt(doc, tmp_path / "old.rprt", kind="bench")
+    with pytest.raises(ValueError):
+        bench.load(tmp_path / "old.rprt")

@@ -102,6 +102,33 @@ def test_matches_golden_trace():
     assert _threads(doc) == _threads(golden)
 
 
+def test_streamed_writer_matches_committed_golden_bytes(tmp_path):
+    """write_chrome_trace streams event-by-event, yet its bytes equal
+    the committed golden file (which was produced by a full
+    ``json.dumps(doc, indent=1, sort_keys=True)``)."""
+    from repro.analysis import write_chrome_trace
+
+    res = run_golden_workload()
+    out = tmp_path / "stream.json"
+    write_chrome_trace(res.tracer, out, elapsed=res.elapsed)
+    assert out.read_bytes() == GOLDEN.read_bytes()
+
+
+def test_streamed_writer_matches_json_dump(tmp_path):
+    """The streaming serializer and the document serializer agree byte
+    for byte on the same tracer (including the empty-trace edge)."""
+    from repro.analysis import to_chrome_trace, write_chrome_trace
+    from repro.sim.trace import Tracer
+
+    res = run_golden_workload()
+    for tracer, elapsed in ((res.tracer, res.elapsed), (Tracer(), None)):
+        doc = to_chrome_trace(tracer, elapsed=elapsed)
+        out = tmp_path / "stream.json"
+        write_chrome_trace(tracer, out, elapsed=elapsed)
+        assert out.read_text() == \
+            json.dumps(doc, indent=1, sort_keys=True) + "\n"
+
+
 def test_golden_has_compression_under_sender_prepare():
     """The MPC kernel must nest (possibly transitively) under the
     sender_prepare pipeline step — the hierarchy the tentpole adds."""
