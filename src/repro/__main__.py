@@ -17,7 +17,7 @@ Commands
 ``trace``                 export a trace of one workload (Chrome JSON or
                           binary RPRT), or convert between the formats
 ``chaos``                 fault-injection sweep with bit-exactness checks
-``check``                 determinism linter + trace sanitizer + buffer asan
+``check``                 linter + trace sanitizer + buffer asan + happens-before
 
 Examples::
 
@@ -421,8 +421,9 @@ def cmd_chaos(args) -> None:
 def cmd_check(args) -> None:
     from repro.check import run_check
 
-    code = run_check(lint=args.lint, trace=args.trace is not None,
-                     asan=args.asan, selftest=args.selftest,
+    code = run_check(lint=args.lint,
+                     trace=args.trace is not None and not args.hb,
+                     asan=args.asan, selftest=args.selftest, hb=args.hb,
                      trace_files=args.trace or (), paths=args.path,
                      fmt=args.format)
     if code:
@@ -568,6 +569,10 @@ def main(argv=None) -> int:
                         "in-process runs")
     p.add_argument("--asan", action="store_true",
                    help="run only the buffer sanitizer smoke")
+    p.add_argument("--hb", action="store_true",
+                   help="run the happens-before analysis (races, message "
+                        "races, deadlock cycles, WireImage typestate) "
+                        "over --trace files or the in-process smokes")
     p.add_argument("--selftest", action="store_true",
                    help="prove each pass fails on the known-bad fixtures")
     p.add_argument("--path", nargs="*", default=(),

@@ -212,6 +212,26 @@ def _registry_extract(metrics) -> dict:
     return out
 
 
+def _histogram_extract(metrics) -> dict:
+    """Full per-label histogram dump (per-rank queue depths, kernel
+    timings) — bucket counts plus the streaming summary, rounded for
+    diffability.  Rides in the snapshot as a non-gated ``histograms``
+    section and is laid out columnar in RPRT snapshots."""
+    out = {}
+    for name, hist in sorted(metrics.as_dict()["histograms"].items()):
+        out[name] = {
+            "count": hist["count"],
+            "sum": _r(hist["sum"], 4),
+            "min": _r(hist["min"], 4),
+            "max": _r(hist["max"], 4),
+            "p50": _r(hist["p50"], 4),
+            "p95": _r(hist["p95"], 4),
+            "p99": _r(hist["p99"], 4),
+            "buckets": hist["buckets"],
+        }
+    return out
+
+
 def _run_pt2pt(params: dict) -> dict:
     from repro.analysis.critpath import CritPathAnalyzer
     from repro.mpi.cluster import Cluster
@@ -230,7 +250,8 @@ def _run_pt2pt(params: dict) -> dict:
         metrics[f"latency_us[{nbytes}]"] = _r(res.values[0] * 1e6)
         last = res
     result = {"kind": "pt2pt", "params": params, "metrics": metrics,
-              "counters": _registry_extract(last.tracer.metrics)}
+              "counters": _registry_extract(last.tracer.metrics),
+              "histograms": _histogram_extract(last.tracer.metrics)}
     attribution = CritPathAnalyzer(last.tracer).aggregate_attribution()
     result["attribution"] = {k: _r(v, 4) for k, v in attribution.items()}
     return result

@@ -684,6 +684,13 @@ def write_snapshot_rprt(doc: dict, path, kind: str,
     metric is *also* laid out columnar (``snapshot/section``,
     ``snapshot/metric`` string indices + ``snapshot/value`` f8) so bulk
     trajectory analysis can mmap the numbers without parsing JSON.
+
+    Histogram sections (per-rank power-of-two bucket counts collected
+    by :class:`~repro.analysis.metrics.HistogramStat`) get their own
+    columnar quartet — ``snapshot/hist_section`` / ``hist_metric``
+    string indices plus ``snapshot/hist_bucket`` / ``hist_count`` u4
+    rows, one row per occupied bucket — so depth/occupancy
+    distributions stream without JSON parsing either.
     """
     w = RprtWriter(block_codec=block_codec)
     w.add_kv("snapshot/kind", kind)
@@ -691,6 +698,7 @@ def write_snapshot_rprt(doc: dict, path, kind: str,
     strings = _StringTable()
     strings.add("")
     sections, metrics, values = [], [], []
+    hsections, hmetrics, hbuckets, hcounts = [], [], [], []
     groups = doc.get("scenarios") or doc.get("benchmarks") or {}
     for name in sorted(groups):
         entry = groups[name]
@@ -702,9 +710,21 @@ def write_snapshot_rprt(doc: dict, path, kind: str,
                 sections.append(strings.add(name))
                 metrics.append(strings.add(mname))
                 values.append(float(mval))
+        for hname, hist in sorted((entry.get("histograms") or {}).items()):
+            buckets = hist.get("buckets") or {}
+            for bucket in sorted(buckets, key=int):
+                hsections.append(strings.add(name))
+                hmetrics.append(strings.add(hname))
+                hbuckets.append(int(bucket))
+                hcounts.append(int(buckets[bucket]))
     w.add_block("snapshot/section", np.asarray(sections, dtype="u4"))
     w.add_block("snapshot/metric", np.asarray(metrics, dtype="u4"))
     w.add_block("snapshot/value", np.asarray(values, dtype="f8"))
+    if hsections:
+        w.add_block("snapshot/hist_section", np.asarray(hsections, dtype="u4"))
+        w.add_block("snapshot/hist_metric", np.asarray(hmetrics, dtype="u4"))
+        w.add_block("snapshot/hist_bucket", np.asarray(hbuckets, dtype="u4"))
+        w.add_block("snapshot/hist_count", np.asarray(hcounts, dtype="u4"))
     offsets, blob = strings.blocks()
     w.add_block("strings/offsets", offsets)
     w.add_block("strings/blob", blob)

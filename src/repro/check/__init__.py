@@ -1,6 +1,6 @@
 """Static and dynamic analysis passes guarding the reproduction.
 
-Three passes, unified under ``python -m repro check``:
+Four pass families, unified under ``python -m repro check``:
 
 :mod:`repro.check.lint`
     Determinism linter — an AST walker that flags nondeterminism
@@ -20,11 +20,19 @@ Three passes, unified under ``python -m repro check``:
     Simulated-memory sanitizer — shadow-state tracking of
     :class:`~repro.gpu.buffer.DeviceBuffer` / pool lifecycles that
     turns double-release, use-after-free and end-of-run leaks into
-    distinct, loud errors.
+    distinct, loud errors — plus an optional per-access log feeding the
+    happens-before race detector.
+
+:mod:`repro.check.hb`
+    Happens-before engine — vector clocks over the trace's
+    send/recv, rendezvous, collective-barrier, lane and fail-stop
+    edges, with buffer-race, message-race, deadlock-cycle and
+    WireImage-typestate detectors on top (``repro check --hb``).
 """
 
 from repro.check.asan import BufferSanitizer, asan_default, asan_scope
 from repro.check.cli import run_check
+from repro.check.hb import HappensBefore, HBChecker
 from repro.check.lint import Violation, lint_paths, lint_source
 from repro.check.sanitize import TraceSanitizer, TraceViolation
 
@@ -32,5 +40,6 @@ __all__ = [
     "BufferSanitizer", "asan_default", "asan_scope",
     "Violation", "lint_paths", "lint_source",
     "TraceSanitizer", "TraceViolation",
+    "HappensBefore", "HBChecker",
     "run_check",
 ]

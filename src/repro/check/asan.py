@@ -45,11 +45,12 @@ from __future__ import annotations
 import itertools
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro.errors import BufferLeakError, DoubleReleaseError, UseAfterFreeError
 
-__all__ = ["BufferSanitizer", "ShadowState", "asan_default", "asan_scope"]
+__all__ = ["AccessRecord", "BufferSanitizer", "ShadowState", "asan_default",
+           "asan_scope"]
 
 
 class ShadowState:
@@ -79,13 +80,58 @@ class _Shadow:
                 f"last transition t={self.t_last:.9f})")
 
 
-class BufferSanitizer:
-    """Shadow-state tracker for every device buffer of one run."""
+@dataclass(frozen=True)
+class AccessRecord:
+    """One content access observed by the sanitizer, in happens-before
+    vocabulary: who (rank/process), what (buffer checkout + byte range),
+    how (read or write), and where in the span tree it happened."""
 
-    def __init__(self):
+    t: float
+    rank: int        #: device_id of the accessed buffer
+    shadow_id: int   #: sanitizer shadow record of the buffer
+    epoch: int       #: checkout generation — bumped per pool acquire
+    lo: int          #: byte range start (whole-buffer granularity today)
+    hi: int          #: byte range end (exclusive)
+    kind: str        #: ``read`` or ``write``
+    span_id: Optional[int]  #: innermost open tracer span, if any
+    proc: int        #: ordinal of the accessing sim process (program order)
+
+    def describe(self) -> str:
+        return (f"{self.kind} of buffer #{self.shadow_id} epoch "
+                f"{self.epoch} bytes [{self.lo}, {self.hi}) on rank "
+                f"{self.rank} by process p{self.proc} at t={self.t:.9f}")
+
+
+class BufferSanitizer:
+    """Shadow-state tracker for every device buffer of one run.
+
+    With ``record_accesses=True`` every content access is additionally
+    appended to :attr:`access_log` as an :class:`AccessRecord` — the
+    input the happens-before race detector (:mod:`repro.check.hb`)
+    consumes.  Recording is off by default: the log is pure bookkeeping
+    (no tracer/metrics writes), but it holds a record per access and is
+    only worth paying for when a race analysis will read it.
+    """
+
+    def __init__(self, record_accesses: bool = False):
         self._ids = itertools.count(1)
         self._shadows: dict[int, _Shadow] = {}  # keyed by shadow_id
         self.checks = 0  #: lifecycle events observed
+        self.record_accesses = record_accesses
+        self.access_log: list[AccessRecord] = []
+        self._epochs: dict[int, int] = {}     # shadow_id -> checkout epoch
+        self._procs: dict[Any, int] = {}      # process object -> ordinal
+        self._proc_ids = itertools.count(1)
+
+    def _proc_of(self, buf) -> int:
+        proc = buf.device.sim.active_process
+        if proc is None:
+            return 0
+        ordinal = self._procs.get(proc)
+        if ordinal is None:
+            ordinal = next(self._proc_ids)
+            self._procs[proc] = ordinal
+        return ordinal
 
     # -- registration -------------------------------------------------------
     def _shadow_of(self, buf) -> Optional[_Shadow]:
@@ -134,6 +180,7 @@ class BufferSanitizer:
             raise DoubleReleaseError(
                 f"pool handed out {s.describe()} while it is still checked "
                 f"out — a prior double release corrupted the free list")
+        self._epochs[s.shadow_id] = self._epochs.get(s.shadow_id, 0) + 1
         s.state = ShadowState.LIVE
         s.pooled = True
         s.label = label or s.label
@@ -166,6 +213,21 @@ class BufferSanitizer:
                 f"pool — a later owner's data would be observed")
         if s.state == ShadowState.FREED:
             raise UseAfterFreeError(f"{kind} of freed {s.describe()}")
+        if self.record_accesses:
+            sim = buf.device.sim
+            tracer = getattr(sim, "tracer", None)
+            span = tracer.current_span() if tracer is not None else None
+            self.access_log.append(AccessRecord(
+                t=sim.now,
+                rank=s.device_id,
+                shadow_id=s.shadow_id,
+                epoch=self._epochs.get(s.shadow_id, 0),
+                lo=0,
+                hi=s.capacity,
+                kind=kind,
+                span_id=span.span_id if span is not None else None,
+                proc=self._proc_of(buf),
+            ))
 
     # -- end-of-run ---------------------------------------------------------
     def leaks(self) -> list[str]:

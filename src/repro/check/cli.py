@@ -1,6 +1,6 @@
 """Driver for ``python -m repro check``.
 
-Runs any subset of the three analysis passes (all of them by default)
+Runs any subset of the analysis passes (lint/trace/asan by default)
 and a self-test, prints text or JSON, and returns a process exit code:
 
 ``--lint``
@@ -16,9 +16,20 @@ and a self-test, prints text or JSON, and returns a process exit code:
     Buffer sanitizer: re-runs the in-process scenarios with shadow
     tracking enabled and asserts no lifecycle violations or leaks.
 
+``--hb``
+    Happens-before analysis (:mod:`repro.check.hb`): race,
+    message-nondeterminism, deadlock-cycle and WireImage-typestate
+    detectors over a vector-clock graph.  With ``--trace FILE...`` the
+    exported traces are analyzed; without, the in-process smokes run
+    with access recording so the buffer-race detector has real input.
+
 ``--selftest``
     Prove each pass still *fails* on the known-bad fixtures of
     :mod:`repro.check.fixtures`.
+
+Every finding in ``--format json`` output carries its ``pass`` name
+plus provenance (``trace`` file, ``fixture``, or source ``path``), so
+a CI log line is attributable without context.
 """
 
 from __future__ import annotations
@@ -90,7 +101,8 @@ def _pass_lint(paths) -> dict:
         "pass": "lint",
         "ok": not violations,
         "checked": [str(p) for p in paths],
-        "findings": [v.as_dict() for v in violations],
+        "findings": [dict(v.as_dict(), **{"pass": "lint"})
+                     for v in violations],
         "lines": [v.describe() for v in violations],
     }
 
@@ -103,22 +115,59 @@ def _pass_trace(trace_files) -> dict:
         for f in trace_files:
             checked.append(str(f))
             for v in TraceSanitizer.from_trace_file(f).check_all():
-                findings.append(dict(v.as_dict(), trace=str(f)))
+                findings.append(dict(v.as_dict(), **{"pass": "trace"},
+                                     trace=str(f)))
                 lines.append(f"{f}: {v.describe()}")
     else:
         for name in SMOKE_CONFIGS:
             checked.append(f"in-process pt2pt [{name}]")
             res = _smoke_run(name, asan=False)
             for v in TraceSanitizer.from_tracer(res.tracer).check_all():
-                findings.append(dict(v.as_dict(), trace=name))
+                findings.append(dict(v.as_dict(), **{"pass": "trace"},
+                                     trace=name))
                 lines.append(f"[{name}] {v.describe()}")
         for op in SMOKE_COLLECTIVES:
             checked.append(f"in-process {op} [mpc-opt]")
             res = _smoke_collective(op, asan=False)
             for v in TraceSanitizer.from_tracer(res.tracer).check_all():
-                findings.append(dict(v.as_dict(), trace=op))
+                findings.append(dict(v.as_dict(), **{"pass": "trace"},
+                                     trace=op))
                 lines.append(f"[{op}] {v.describe()}")
     return {"pass": "trace", "ok": not findings, "checked": checked,
+            "findings": findings, "lines": lines}
+
+
+def _pass_hb(trace_files) -> dict:
+    from repro.check.hb import HBChecker
+
+    findings, lines, checked = [], [], []
+    if trace_files:
+        for f in trace_files:
+            checked.append(str(f))
+            for v in HBChecker.from_trace_file(f).check_all():
+                findings.append(dict(v.as_dict(), **{"pass": "hb"},
+                                     trace=str(f)))
+                lines.append(f"{f}: {v.describe()}")
+    else:
+        # In-process smokes run with access recording so the
+        # buffer-race detector sees real input, not just span meta.
+        runs = [(f"in-process pt2pt [{name}]", name,
+                 lambda name=name: _smoke_run(name, asan="record"))
+                for name in SMOKE_CONFIGS]
+        runs += [(f"in-process {op} [mpc-opt]", op,
+                  lambda op=op: _smoke_collective(op, asan="record"))
+                 for op in SMOKE_COLLECTIVES]
+        for desc, name, fn in runs:
+            checked.append(desc)
+            res = fn()
+            checker = HBChecker.from_result(res)
+            for v in checker.check_all():
+                findings.append(dict(v.as_dict(), **{"pass": "hb"},
+                                     trace=name))
+                lines.append(f"[{name}] {v.describe()}")
+            lines.append(f"[{name}] hb: {len(checker.records)} spans, "
+                         f"{len(checker.access_log)} recorded accesses")
+    return {"pass": "hb", "ok": not findings, "checked": checked,
             "findings": findings, "lines": lines}
 
 
@@ -132,68 +181,100 @@ def _pass_asan() -> dict:
     runs += [(f"in-process {op} [mpc-opt]", op,
               lambda op=op: _smoke_collective(op, asan=True))
              for op in SMOKE_COLLECTIVES]
+    findings = []
     for desc, name, fn in runs:
         checked.append(desc)
         try:
             res = fn()
         except BufferSanitizerError as exc:
             ok = False
+            findings.append({"pass": "asan", "fixture": name,
+                             "message": str(exc)})
             lines.append(f"[{name}] {exc}")
             continue
         stats = res.asan.stats()
         lines.append(f"[{name}] clean: {stats['buffers']} buffers, "
                      f"{stats['events']} lifecycle events")
     return {"pass": "asan", "ok": ok, "checked": checked,
-            "findings": [] if ok else lines, "lines": lines}
+            "findings": findings, "lines": lines}
 
 
 def _pass_selftest() -> dict:
     from repro.check import fixtures
+    from repro.check.hb import HBChecker
     from repro.check.lint import RULES, lint_source
     from repro.check.sanitize import TraceSanitizer
-    from repro.errors import (BufferLeakError, DoubleReleaseError,
-                              UseAfterFreeError)
+    from repro.errors import (BufferLeakError, BufferRaceError,
+                              DoubleReleaseError, UseAfterFreeError)
 
-    failures = []
+    failures = []  # (fixture, message)
 
     codes = {v.code for v in lint_source(fixtures.BAD_LINT_SOURCE)}
     missing = sorted(set(RULES) - codes)
     if missing:
-        failures.append(f"linter missed {', '.join(missing)} on the "
-                        f"known-bad source")
+        failures.append(("BAD_LINT_SOURCE",
+                         f"linter missed {', '.join(missing)} on the "
+                         f"known-bad source"))
     if not TraceSanitizer(fixtures.overlap_records()).check_serial_lanes():
-        failures.append("race detector missed overlapping stream-lane spans")
+        failures.append(("overlap_records",
+                         "race detector missed overlapping stream-lane "
+                         "spans"))
     if not TraceSanitizer(fixtures.acausal_records()).check_causality():
-        failures.append("causality check missed a backwards handshake")
+        failures.append(("acausal_records",
+                         "causality check missed a backwards handshake"))
     coll = TraceSanitizer(fixtures.bad_collective_records()).check_collectives()
     if len(coll) < 3:
-        failures.append("collective check missed a defect on the known-bad "
-                        f"relayed hops (found {len(coll)}/3)")
+        failures.append(("bad_collective_records",
+                         "collective check missed a defect on the known-bad "
+                         f"relayed hops (found {len(coll)}/3)"))
     live = TraceSanitizer(fixtures.bad_liveness_records()).check_liveness()
     if len(live) != 1:
-        failures.append("liveness check missed work attributed to a "
-                        f"fail-stopped rank (found {len(live)}/1)")
+        failures.append(("bad_liveness_records",
+                         "liveness check missed work attributed to a "
+                         f"fail-stopped rank (found {len(live)}/1)"))
 
     for fn, exc_type in ((fixtures.run_double_release, DoubleReleaseError),
                          (fixtures.run_use_after_free, UseAfterFreeError),
-                         (fixtures.run_leak, BufferLeakError)):
+                         (fixtures.run_leak, BufferLeakError),
+                         (fixtures.run_buffer_race, BufferRaceError)):
         try:
             fn()
-            failures.append(f"{fn.__name__} did not raise {exc_type.__name__}")
+            failures.append((fn.__name__,
+                             f"did not raise {exc_type.__name__}"))
         except exc_type:
             pass
 
+    # the three trace-level HB detectors on their known-bad fixtures
+    if not HBChecker(fixtures.message_race_records()).check_message_races():
+        failures.append(("message_race_records",
+                         "message-race detector missed a wildcard match "
+                         "with a concurrent rival send"))
+    dead = HBChecker(fixtures.deadlock_records()).check_deadlock()
+    if len(dead) != 1:
+        failures.append(("deadlock_records",
+                         "deadlock analyzer missed the 3-rank wait-for "
+                         f"cycle (found {len(dead)}/1)"))
+    wire = HBChecker(fixtures.bad_wire_records()).check_typestate()
+    wire_checks = {v.check for v in wire}
+    if len(wire) < 3 or not {"wire-typestate", "revoked-comm"} <= wire_checks:
+        failures.append(("bad_wire_records",
+                         "typestate check missed a WireImage lifecycle or "
+                         f"revoked-comm defect (found {len(wire)}/3)"))
+
     return {"pass": "selftest", "ok": not failures,
-            "checked": ["known-bad fixtures"], "findings": failures,
-            "lines": failures or ["all known-bad fixtures detected"]}
+            "checked": ["known-bad fixtures"],
+            "findings": [{"pass": "selftest", "fixture": fx, "message": msg}
+                         for fx, msg in failures],
+            "lines": [f"{fx}: {msg}" for fx, msg in failures]
+            or ["all known-bad fixtures detected"]}
 
 
 def run_check(lint: bool = False, trace: bool = False, asan: bool = False,
-              selftest: bool = False, trace_files=(), paths=(),
-              fmt: str = "text") -> int:
-    """Run the selected passes (all three when none selected); returns
-    the process exit code (0 clean, 1 findings)."""
-    if not (lint or trace or asan or selftest):
+              selftest: bool = False, hb: bool = False, trace_files=(),
+              paths=(), fmt: str = "text") -> int:
+    """Run the selected passes (lint/trace/asan when none selected);
+    returns the process exit code (0 clean, 1 findings)."""
+    if not (lint or trace or asan or selftest or hb):
         lint = trace = asan = True
 
     if not paths:
@@ -208,6 +289,8 @@ def run_check(lint: bool = False, trace: bool = False, asan: bool = False,
         results.append(_pass_trace(list(trace_files)))
     if asan:
         results.append(_pass_asan())
+    if hb:
+        results.append(_pass_hb(list(trace_files)))
     if selftest:
         results.append(_pass_selftest())
 

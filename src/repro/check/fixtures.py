@@ -6,7 +6,7 @@ pass against a fixture carrying exactly the defect the pass exists to
 catch and asserts it is reported:
 
 * :data:`BAD_LINT_SOURCE` — seeds findings for every linter rule
-  (RPR001..RPR006);
+  (RPR001..RPR008);
 * :func:`overlap_records` — two spans overlapping on one ``stream0``
   lane (a serial-resource race);
 * :func:`acausal_records` — a rendezvous message whose ``cts`` precedes
@@ -21,7 +21,17 @@ catch and asserts it is reported:
 * :func:`run_double_release` / :func:`run_use_after_free` /
   :func:`run_leak` — minimal simulations committing each buffer
   lifecycle crime under an enabled :class:`BufferSanitizer`; callers
-  assert the distinct exception type.
+  assert the distinct exception type;
+* :func:`run_buffer_race` — two processes writing one buffer checkout
+  with no happens-before edge; the HB race detector must raise
+  :class:`~repro.errors.BufferRaceError`;
+* :func:`message_race_records` — a wildcard receive matched one of two
+  concurrent tag-compatible sends from different ranks;
+* :func:`deadlock_records` — three ranks blocked in an rts cycle, the
+  wait-for graph the HB deadlock analyzer must explain;
+* :func:`bad_wire_records` — WireImage typestate crimes (double
+  unpack, unpack of an unminted image) plus a collective issued on a
+  revoked communicator.
 """
 
 from __future__ import annotations
@@ -37,13 +47,17 @@ from repro.sim.trace import TraceRecord
 
 __all__ = ["BAD_LINT_SOURCE", "overlap_records", "acausal_records",
            "bad_collective_records", "bad_liveness_records",
-           "run_double_release", "run_use_after_free", "run_leak"]
+           "run_double_release", "run_use_after_free", "run_leak",
+           "run_buffer_race", "message_race_records", "deadlock_records",
+           "bad_wire_records"]
 
-#: one violation per linter rule; lint_source() must flag all six codes
+#: one violation per linter rule; lint_source() must flag every code
 BAD_LINT_SOURCE = '''\
 import os
 import random
 import time
+
+from numpy.random import shuffle
 
 
 def snapshot_key(obj):
@@ -55,6 +69,8 @@ def snapshot_key(obj):
     if os.environ.get("FAST"):             # RPR005
         for item in {1, 2, 3}:             # RPR006
             table[item] = item
+    assert table                           # RPR007
+    shuffle(table)                         # RPR008
     return table
 '''
 
@@ -177,3 +193,85 @@ def run_leak() -> None:
 
     sim.run_process(proc())
     sim.asan.assert_clean()
+
+
+def run_buffer_race() -> None:
+    """Two spawned processes write the same buffer checkout with no
+    happens-before edge between them; the HB race detector must raise
+    :class:`~repro.errors.BufferRaceError`."""
+    from repro.check.hb import HBChecker
+    from repro.sim.trace import Tracer
+
+    sim, pool = _pool_sim()
+    sim.asan.record_accesses = True
+    tracer = Tracer(sim)
+
+    def writer(buf, label, delay):
+        with tracer.open_span("compute", label, rank=0, track="main"):
+            yield sim.timeout(delay)
+            buf.write(np.arange(8, dtype=np.float32))
+
+    def proc():
+        buf = yield from pool.acquire(1024, label="shared")
+        sim.process(writer(buf, "writer_a", 1e-6))
+        sim.process(writer(buf, "writer_b", 2e-6))
+        yield sim.timeout(1e-5)
+        yield from pool.release(buf)
+
+    sim.run_process(proc())
+    checker = HBChecker.from_tracer(tracer, access_log=sim.asan.access_log)
+    checker.assert_race_free()
+
+
+def message_race_records() -> list[TraceRecord]:
+    """A wildcard receive on rank 1 matched rank 0's send while a
+    concurrent tag-compatible send from rank 2 also qualified — the
+    match is timing-dependent."""
+    return [
+        _rec(0.0, 1e-6, "pipeline", "rts",
+             {"seq": 11, "dst": 1, "tag": 5}, rank=0, span_id=1),
+        _rec(0.0, 1e-6, "pipeline", "rts",
+             {"seq": 12, "dst": 1, "tag": 5}, rank=2, span_id=2),
+        _rec(2e-6, 2e-6, "matching", "wildcard_match",
+             {"seq": 11, "src": 0, "tag": 5, "posted_tag": -1},
+             rank=1, span_id=3),
+    ]
+
+
+def deadlock_records() -> list[TraceRecord]:
+    """Three ranks each sent an rts and block on the next rank's cts:
+    a 0 -> 1 -> 2 -> 0 wait-for cycle."""
+    return [
+        _rec(0.0, 1e-6, "pipeline", "rts",
+             {"seq": 1, "dst": 1, "tag": 0}, rank=0, span_id=1),
+        _rec(0.0, 1e-6, "pipeline", "rts",
+             {"seq": 2, "dst": 2, "tag": 0}, rank=1, span_id=2),
+        _rec(0.0, 1e-6, "pipeline", "rts",
+             {"seq": 3, "dst": 0, "tag": 0}, rank=2, span_id=3),
+    ]
+
+
+def bad_wire_records() -> list[TraceRecord]:
+    """WireImage typestate crimes: rank 1 unpacks one image twice, an
+    unpack names an origin nobody minted, and a collective starts on a
+    communicator after its revocation."""
+    return [
+        _rec(0.0, 2e-6, "collective", "allreduce",
+             {"comm": 7, "coll_seq": 0, "size": 2}, span_id=1),
+        _rec(0.5e-6, 1e-6, "pipeline", "pack_wire",
+             {"origin_seq": 40, "nbytes": 64}, span_id=2),
+        # the double unpack
+        _rec(1.2e-6, 1.4e-6, "pipeline", "unpack_wire",
+             {"origin_seq": 40, "nbytes": 64}, rank=1, span_id=3),
+        _rec(1.5e-6, 1.7e-6, "pipeline", "unpack_wire",
+             {"origin_seq": 40, "nbytes": 64}, rank=1, span_id=4),
+        # an origin nobody packed
+        _rec(1.8e-6, 1.9e-6, "pipeline", "unpack_wire",
+             {"origin_seq": 99, "nbytes": 64}, span_id=5),
+        # the communicator is revoked ... and used again anyway
+        _rec(3e-6, 3e-6, "faults", "comm_revoke",
+             {"comm_id": 7, "failed": [1]}, rank=None, track="faults",
+             span_id=6),
+        _rec(4e-6, 5e-6, "collective", "allreduce",
+             {"comm": 7, "coll_seq": 1, "size": 2}, span_id=7),
+    ]

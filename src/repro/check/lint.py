@@ -24,6 +24,14 @@ RPR005    ``os.environ`` / ``os.getenv`` reads outside the documented
 RPR006    iterating a set expression (set literal/comprehension,
           ``set()``/``frozenset()`` call) without ``sorted()`` — the
           iteration order feeds trace/snapshot output nondeterminism
+RPR007    ``assert`` used for runtime validation — ``python -O`` strips
+          it, so the check silently vanishes in optimized runs; raise a
+          :mod:`repro.errors` exception instead (test code is exempt:
+          the default lint roots cover ``src/repro`` only)
+RPR008    unseeded ``numpy.random`` reached through an import binding
+          RPR002's dotted-chain rule cannot see: ``from numpy.random
+          import shuffle``, ``from numpy import random [as alias]``,
+          ``import numpy.random as alias``
 ========  ==============================================================
 
 A finding on line *n* is suppressed by a ``# repro: allow-RPRnnn``
@@ -55,6 +63,8 @@ RULES = {
     "RPR004": "id() used in keys/ordering is unstable across runs",
     "RPR005": "os.environ read outside a documented config entry point",
     "RPR006": "unordered set iteration (wrap in sorted())",
+    "RPR007": "assert for runtime validation is stripped under -O (raise instead)",
+    "RPR008": "unseeded numpy.random call through an import alias",
 }
 
 _PRAGMA_RE = re.compile(r"#\s*repro:\s*allow-([A-Z0-9,\-]+)")
@@ -122,6 +132,10 @@ class _Walker(ast.NodeVisitor):
         self.path = path
         self.violations: list[Violation] = []
         self._stack: list[ast.AST] = []
+        #: names bound to unseeded numpy.random *functions* (RPR008)
+        self._np_random_funcs: set[str] = set()
+        #: names bound to the numpy.random *module* itself (RPR008)
+        self._np_random_mods: set[str] = set()
 
     # generic_visit with ancestry tracking
     def visit(self, node: ast.AST):
@@ -148,6 +162,9 @@ class _Walker(ast.NodeVisitor):
                 self._flag(node, "RPR003", RULES["RPR003"])
             if node.func.id == "id" and node.args and self._in_ordering_context():
                 self._flag(node, "RPR004", RULES["RPR004"])
+            if node.func.id in self._np_random_funcs:
+                self._flag(node, "RPR008",
+                           f"{RULES['RPR008']}: {node.func.id}()")
         self.generic_visit(node)
 
     def _check_wall_clock(self, node: ast.Call, chain: tuple[str, ...]) -> None:
@@ -156,7 +173,13 @@ class _Walker(ast.NodeVisitor):
                        f"{RULES['RPR001']}: {'.'.join(chain)}()")
 
     def _check_rng(self, node: ast.Call, chain: tuple[str, ...]) -> None:
-        if (len(chain) == 2 and chain[0] == "random"
+        if len(chain) == 2 and chain[0] in self._np_random_mods:
+            # an aliased numpy.random module: RPR008 owns this form
+            # (seeded constructions like default_rng() stay clean)
+            if chain[1] not in _SEEDED_NP_RANDOM:
+                self._flag(node, "RPR008",
+                           f"{RULES['RPR008']}: {'.'.join(chain)}()")
+        elif (len(chain) == 2 and chain[0] == "random"
                 and chain[1] not in _SEEDED_RANDOM):
             self._flag(node, "RPR002",
                        f"{RULES['RPR002']}: {'.'.join(chain)}()")
@@ -169,6 +192,29 @@ class _Walker(ast.NodeVisitor):
     def _check_environ(self, node: ast.Call, chain: tuple[str, ...]) -> None:
         if chain[:2] == ("os", "getenv"):
             self._flag(node, "RPR005", f"{RULES['RPR005']}: os.getenv()")
+
+    # -- RPR007: assert as runtime validation --------------------------------
+    def visit_Assert(self, node: ast.Assert):
+        self._flag(node, "RPR007", RULES["RPR007"])
+        self.generic_visit(node)
+
+    # -- RPR008: numpy.random via import bindings ----------------------------
+    def visit_Import(self, node: ast.Import):
+        for alias in node.names:
+            if alias.name == "numpy.random" and alias.asname:
+                self._np_random_mods.add(alias.asname)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom):
+        if node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _SEEDED_NP_RANDOM:
+                    self._np_random_funcs.add(alias.asname or alias.name)
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._np_random_mods.add(alias.asname or alias.name)
+        self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute):
         chain = _dotted(node)

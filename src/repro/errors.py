@@ -60,6 +60,12 @@ class BufferLeakError(BufferSanitizerError):
     """Raised at end of run when buffers are still checked out."""
 
 
+class BufferRaceError(BufferSanitizerError):
+    """Raised when two conflicting accesses (at least one write) to the
+    same buffer checkout are concurrent — no happens-before edge orders
+    them (:mod:`repro.check.hb`)."""
+
+
 class NetworkError(ReproError):
     """Raised for topology/routing problems (e.g. no path between GPUs)."""
 

@@ -424,7 +424,7 @@ class Cluster:
         max_time: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
         resilience: Optional[ResilienceConfig] = None,
-        asan: Optional[bool] = None,
+        asan: bool | str | None = None,
         checkpoint_every: int = 0,
     ) -> ClusterResult:
         """Run ``rank_fn(comm, *args)`` as an SPMD job.
@@ -451,7 +451,9 @@ class Cluster:
             Enable the buffer sanitizer (:mod:`repro.check.asan`) for
             this run; the run is leak-checked at successful completion.
             ``None`` defers to the process default
-            (:func:`repro.check.asan.asan_default`).
+            (:func:`repro.check.asan.asan_default`).  The string
+            ``"record"`` additionally logs every buffer access for the
+            happens-before race detector (:mod:`repro.check.hb`).
         checkpoint_every:
             Checkpoint cadence hint exposed to ranks via
             ``comm.should_checkpoint(step)`` (0 = never); the
@@ -467,7 +469,8 @@ class Cluster:
         tracer = Tracer(sim)
         if asan is None:
             asan = asan_default()
-        sanitizer = BufferSanitizer() if asan else None
+        sanitizer = (BufferSanitizer(record_accesses=(asan == "record"))
+                     if asan else None)
         sim.asan = sanitizer
         injector = FaultInjector(sim, faults) if faults is not None else None
         resilience = resilience or ResilienceConfig.for_plan(faults)

@@ -86,9 +86,11 @@ def _traced(fn):
     @functools.wraps(fn)
     def wrapper(comm, *args, **kwargs):
         fs = comm.failstop
+        coll_seq = comm.next_coll_seq()
         if fs is None:
             with trace_scope(comm.sim, "collective", fn.__name__,
-                             rank=comm.grank, size=comm.size):
+                             rank=comm.grank, size=comm.size,
+                             comm=comm.comm_id, coll_seq=coll_seq):
                 result = yield from fn(comm, *args, **kwargs)
             return result
         comm.check_revoked()
@@ -96,7 +98,8 @@ def _traced(fn):
                             comm.sim.active_process)
         try:
             with trace_scope(comm.sim, "collective", fn.__name__,
-                             rank=comm.grank, size=comm.size):
+                             rank=comm.grank, size=comm.size,
+                             comm=comm.comm_id, coll_seq=coll_seq):
                 result = yield from fn(comm, *args, **kwargs)
             return result
         except RankFailedError as exc:

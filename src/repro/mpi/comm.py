@@ -138,6 +138,17 @@ class Communicator:
         self._comm_id = comm_id
         self._tag_shift = comm_id * TAG_STRIDE
         self._grank = self._group[rank]
+        # SPMD collective counter: every member issues collectives in
+        # the same order, so (comm_id, coll_seq) names one collective
+        # instance across ranks — the happens-before engine groups
+        # participation barriers by it.
+        self._coll_seq = 0
+
+    def next_coll_seq(self) -> int:
+        """Per-communicator collective instance number (SPMD-aligned)."""
+        seq = self._coll_seq
+        self._coll_seq += 1
+        return seq
 
     # -- introspection ------------------------------------------------------
     @property
@@ -310,7 +321,7 @@ class Communicator:
                          header=plan.header, wire_nbytes=plan.wire_nbytes,
                          crc=crc)
             with trace_scope(self.sim, "pipeline", "rts", rank=self._grank,
-                             seq=seq, dst=dest):
+                             seq=seq, dst=dest, tag=tag):
                 yield from rt.control_delay(self._grank, dest, rts.control_bytes())
                 cts_ev = rt.matching_of(self._grank).expect_cts(seq)
                 rt.matching_of(dest).deliver_envelope(rts)
@@ -438,7 +449,7 @@ class Communicator:
         rts = Packet(PacketKind.RTS, self._grank, dest, tag, seq,
                      header=pplan.header, wire_nbytes=total, crc=crc)
         with trace_scope(self.sim, "pipeline", "rts", rank=self._grank,
-                         seq=seq, dst=dest):
+                         seq=seq, dst=dest, tag=tag):
             yield from rt.control_delay(self._grank, dest, rts.control_bytes())
             cts_ev = rt.matching_of(self._grank).expect_cts(seq)
             rt.matching_of(dest).deliver_envelope(rts)
@@ -897,7 +908,8 @@ class Communicator:
                          crc=wire.crc, wire_crc=wire.wire_crc,
                          origin_seq=wire.origin_seq)
             with trace_scope(self.sim, "pipeline", "rts", rank=self._grank,
-                             seq=seq, dst=dest, origin_seq=wire.origin_seq):
+                             seq=seq, dst=dest, tag=tag,
+                             origin_seq=wire.origin_seq):
                 yield from rt.control_delay(self._grank, dest, rts.control_bytes())
                 cts_ev = rt.matching_of(self._grank).expect_cts(seq)
                 rt.matching_of(dest).deliver_envelope(rts)

@@ -53,6 +53,22 @@ class MatchingEngine:
         tracer = self.sim.tracer
         return tracer.metrics if tracer is not None else None
 
+    def _note_wildcard_match(self, post_src: int, post_tag: int,
+                             pkt: Packet) -> None:
+        """Record an instantaneous ``wildcard_match`` span when a
+        wildcard-source post matched — the anchor the happens-before
+        message-race detector keys on.  Exact-source matches are fully
+        determined by MPI ordering and are not recorded."""
+        if post_src != ANY:
+            return
+        tracer = self.sim.tracer
+        if tracer is None:
+            return
+        now = self.sim.now
+        tracer.span(now, now, "matching", "wildcard_match", rank=self.rank,
+                    track="main", seq=pkt.seq, src=pkt.src, tag=pkt.tag,
+                    posted_tag=post_tag)
+
     # -- envelope path ------------------------------------------------------
     def post_recv(self, source: int, tag: int) -> Event:
         """Post a receive; the returned event fires with the matching
@@ -60,6 +76,7 @@ class MatchingEngine:
         for i, pkt in enumerate(self._unexpected):
             if _matches(source, tag, pkt):
                 del self._unexpected[i]
+                self._note_wildcard_match(source, tag, pkt)
                 ev = self.sim.event()
                 ev.succeed(pkt)
                 return ev
@@ -77,6 +94,7 @@ class MatchingEngine:
         for i, post in enumerate(self._posted):
             if _matches(post.source, post.tag, pkt):
                 del self._posted[i]
+                self._note_wildcard_match(post.source, post.tag, pkt)
                 post.event.succeed(pkt)
                 return
         self._unexpected.append(pkt)

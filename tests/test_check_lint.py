@@ -75,6 +75,44 @@ def test_rpr006_set_iteration():
     assert codes("ok = x in {1, 2, 3}\n") == []
 
 
+def test_rpr007_assert_statement():
+    assert codes("assert x > 0\n") == ["RPR007"]
+    assert codes("assert table, 'empty table'\n") == ["RPR007"]
+    # raising is the durable spelling — clean
+    assert codes("if not x:\n    raise ValueError('x')\n") == []
+    # pragma works on asserts too
+    assert codes("assert x  # repro: allow-RPR007\n") == []
+
+
+@pytest.mark.parametrize("snippet", [
+    "from numpy.random import shuffle\nshuffle(xs)\n",
+    "from numpy.random import rand as r\nx = r(3)\n",
+    "from numpy import random\nx = random.normal()\n",
+    "from numpy import random as npr\nx = npr.rand(3)\n",
+    "import numpy.random as npr\nx = npr.permutation(9)\n",
+])
+def test_rpr008_numpy_random_import_bindings(snippet):
+    assert codes(snippet) == ["RPR008"]
+
+
+@pytest.mark.parametrize("snippet", [
+    # seeded constructors through any aliased binding stay clean
+    "from numpy.random import default_rng\nrng = default_rng(7)\n",
+    "from numpy import random\nrng = random.default_rng(7)\n",
+    "import numpy.random as npr\nrng = npr.RandomState(7)\n",
+    # an unrelated name called shuffle is not numpy's
+    "def shuffle(xs):\n    return xs\nshuffle([1])\n",
+])
+def test_rpr008_seeded_or_unrelated_allowed(snippet):
+    assert codes(snippet) == []
+
+
+def test_rpr008_does_not_double_report_as_rpr002():
+    # the aliased-module form is RPR008's, not RPR002's
+    assert codes("from numpy import random\nx = random.rand(2)\n") \
+        == ["RPR008"]
+
+
 # -- pragmas ----------------------------------------------------------------
 
 def test_pragma_suppresses_named_code():

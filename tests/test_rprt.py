@@ -324,6 +324,61 @@ def test_streamed_ingestion_bounds_memory(tmp_path):
 
 # -- analysis parity ---------------------------------------------------------
 
+def _write_tracer_both(tracer, tmp_path, stem):
+    """Export one tracer as Chrome JSON and RPRT; return the paths."""
+    from repro.analysis.export import write_chrome_trace
+
+    pj, pr = tmp_path / f"{stem}.json", tmp_path / f"{stem}.rprt"
+    write_chrome_trace(tracer, pj, elapsed=0.0)
+    write_trace_rprt(tracer, pr, elapsed=0.0)
+    return pj, pr
+
+
+def test_empty_trace_round_trips(tmp_path):
+    from repro.sim.trace import Tracer
+
+    pj, pr = _write_tracer_both(Tracer(), tmp_path, "empty")
+    assert trace_format(pj) == "json" and trace_format(pr) == "rprt"
+    for p in (pj, pr):
+        assert load_trace_records(p).records == []
+        assert read_otherdata(p).get("elapsed_seconds") == 0.0
+    # Conversion of a zero-span trace still produces a valid container
+    # of the opposite format, also empty.
+    convert(pj, tmp_path / "e1.rprt", to="rprt")
+    convert(pr, tmp_path / "e1.json", to="json")
+    assert load_trace_records(tmp_path / "e1.rprt").records == []
+    assert load_trace_records(tmp_path / "e1.json").records == []
+
+
+def test_single_span_trace_identical_across_formats(tmp_path):
+    from repro.sim.trace import Tracer
+
+    tracer = Tracer()
+    tracer.span(1e-6, 3e-6, "compute", "lonely", rank=0, track="main",
+                seq=7)
+    pj, pr = _write_tracer_both(tracer, tmp_path, "one")
+    by_json = load_trace_records(pj).records
+    by_rprt = load_trace_records(pr).records
+    assert len(by_json) == len(by_rprt) == 1
+    assert by_json == by_rprt
+    rec = by_json[0]
+    assert (rec.category, rec.label, rec.rank) == ("compute", "lonely", 0)
+    assert rec.meta["seq"] == 7
+    assert TraceSanitizer(by_json).check_all() == []
+
+
+def test_convert_idempotent_on_zero_block_rprt(tmp_path):
+    """RPRT -> JSON -> RPRT is bit-stable even when the container holds
+    zero span blocks (nothing to re-chunk, strings table is just "")."""
+    from repro.sim.trace import Tracer
+
+    first = tmp_path / "z.rprt"
+    write_trace_rprt(Tracer(), first, elapsed=0.0)
+    convert(first, tmp_path / "z.json", to="json")
+    convert(tmp_path / "z.json", tmp_path / "z2.rprt", to="rprt")
+    assert (tmp_path / "z2.rprt").read_bytes() == first.read_bytes()
+
+
 def test_sanitizer_findings_identical_across_formats():
     a = TraceSanitizer.from_trace_file(GOLDEN_RPRT).check_all()
     b = TraceSanitizer.from_trace_file(GOLDEN_JSON).check_all()
@@ -424,6 +479,44 @@ def test_snapshot_columnar_blocks(tmp_path):
     # Numeric scalars only, in deterministic order.
     assert metrics == ["latency_us[1024]", "mpi.sends"]
     assert values.tolist() == [12.5, 4.0]
+
+
+def test_snapshot_histogram_columnar_blocks(tmp_path):
+    doc = _fake_bench_doc()
+    doc["scenarios"]["pt2pt/x"]["histograms"] = {
+        "matching.posted_depth{rank=0}": {
+            "count": 3, "sum": 5.0, "min": 1.0, "max": 2.0,
+            "p50": 2.0, "p95": 2.0, "p99": 2.0,
+            "buckets": {"0": 1, "1": 2}},
+        "matching.posted_depth{rank=1}": {
+            "count": 1, "sum": 4.0, "min": 4.0, "max": 4.0,
+            "p50": 4.0, "p95": 4.0, "p99": 4.0,
+            "buckets": {"2": 1}},
+    }
+    path = tmp_path / "H.rprt"
+    write_snapshot_rprt(doc, path, kind="bench")
+    # snapshot/json stays authoritative: full round-trip equality,
+    # histogram section included.
+    assert read_snapshot_rprt(path) == doc
+    with RprtReader(path) as r:
+        strings = r.strings()
+        hsec = [strings[i] for i in r.read("snapshot/hist_section").copy()]
+        hmet = [strings[i] for i in r.read("snapshot/hist_metric").copy()]
+        hbuck = r.read("snapshot/hist_bucket").copy().tolist()
+        hcnt = r.read("snapshot/hist_count").copy().tolist()
+    # One columnar row per occupied bucket, per-rank series kept apart.
+    assert hsec == ["pt2pt/x"] * 3
+    assert hmet == ["matching.posted_depth{rank=0}"] * 2 + \
+                   ["matching.posted_depth{rank=1}"]
+    assert hbuck == [0, 1, 2]
+    assert hcnt == [1, 2, 1]
+
+
+def test_snapshot_without_histograms_omits_hist_blocks(tmp_path):
+    write_snapshot_rprt(_fake_bench_doc(), tmp_path / "B.rprt", kind="bench")
+    with RprtReader(tmp_path / "B.rprt") as r:
+        with pytest.raises(RprtError):
+            r.read("snapshot/hist_bucket")
 
 
 def test_snapshot_reader_rejects_trace_container():
