@@ -309,7 +309,7 @@ def cmd_bench(args) -> None:
         current = bench.collect(quick=args.quick, label=args.label,
                                 only=args.scenario,
                                 record_wall=args.record_wall,
-                                asan=args.asan,
+                                asan=args.asan, scale=args.scale,
                                 progress=lambda name: print(f"  running {name} ..."))
         out = args.out or f"BENCH_{args.label}.json"
         try:
@@ -519,6 +519,9 @@ def main(argv=None) -> int:
     p.add_argument("--asan", action="store_true",
                    help="run scenarios under the buffer sanitizer "
                         "(pure bookkeeping; snapshots unchanged)")
+    p.add_argument("--scale", action="store_true",
+                   help="run the 1k+-rank scale matrix instead "
+                        "(gate against tests/data/BENCH_scale_baseline.json)")
 
     p = sub.add_parser("perf")
     p.add_argument("--quick", action="store_true",

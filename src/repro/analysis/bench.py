@@ -33,7 +33,7 @@ Snapshot schema (``schema_version`` 1)::
     {
       "schema_version": 1,
       "label": "<free-form>",
-      "mode": "quick" | "full",
+      "mode": "quick" | "full" | "scale",
       "scenarios": {
         "<name>": {
           "kind": "pt2pt" | "collective" | "awp" | "chaos",
@@ -58,7 +58,8 @@ from repro.core.envconfig import env_flag
 from repro.utils.units import KiB, MiB
 
 __all__ = [
-    "SCHEMA_VERSION", "Scenario", "scenario_matrix", "sweep_sizes",
+    "SCHEMA_VERSION", "Scenario", "scenario_matrix", "scale_matrix",
+    "sweep_sizes",
     "full_sweep_enabled", "named_config", "CONFIG_NAMES",
     "collect", "dumps", "write", "compare", "load",
     "Drift", "Comparison",
@@ -183,6 +184,38 @@ def scenario_matrix(quick: bool = True) -> list[Scenario]:
     return out
 
 
+def scale_matrix() -> list[Scenario]:
+    """The large-rank matrix behind ``repro bench --scale`` and CI's
+    scale-smoke job: hierarchical-topology runs sized so the whole
+    matrix finishes inside a CI wall-clock budget, yet big enough that
+    an engine or routing regression shows up as either a simulated-
+    metric drift (gated, zero tolerance) or a budget blowout.
+
+    Scale scenarios run untraced with zero warm-up — at 1024 ranks a
+    ring allgather is ~1M rendezvous messages, and span recording plus
+    a second warm-up invocation are what separate minutes from hours
+    of host time.  The small 64-rank point exists so the tier-1 tests
+    can exercise the same code path in milliseconds.
+    """
+    return [
+        Scenario(
+            "scale/allgather-64/fat-tree", "collective",
+            {"machine": "fat-tree", "op": "allgather", "nodes": 16,
+             "ppn": 4, "nbytes": 4096, "payload": "omb",
+             "config": "baseline", "warmup": 0, "trace": False}),
+        Scenario(
+            "scale/allgather-1024/fat-tree", "collective",
+            {"machine": "fat-tree", "op": "allgather", "nodes": 256,
+             "ppn": 4, "nbytes": 4096, "payload": "omb",
+             "config": "baseline", "warmup": 0, "trace": False}),
+        Scenario(
+            "scale/awp-4096/dragonfly", "awp",
+            {"machine": "dragonfly", "gpus": 4096, "ppn": 4, "steps": 2,
+             "local_shape": [16, 16, 64], "config": "baseline",
+             "surrogate": True, "trace": False}),
+    ]
+
+
 # -- scenario runners -------------------------------------------------------
 
 def _r(x: float, places: int = 6) -> float:
@@ -270,6 +303,10 @@ def _run_collective(params: dict) -> dict:
     kwargs = {}
     if params["op"] == "allreduce" and params.get("algorithm"):
         kwargs["algorithm"] = params["algorithm"]
+    if "warmup" in params:
+        kwargs["warmup"] = params["warmup"]
+    if "trace" in params:
+        kwargs["trace"] = params["trace"]
     row = fn(machine=params["machine"], nodes=params["nodes"],
              ppn=params["ppn"], nbytes=params["nbytes"],
              payload=params["payload"], config=config, **kwargs)
@@ -283,7 +320,9 @@ def _run_awp(params: dict) -> dict:
     r = run_awp(machine=params["machine"], gpus=params["gpus"],
                 gpus_per_node=params["ppn"],
                 local_shape=tuple(params["local_shape"]),
-                steps=params["steps"], config=named_config(params["config"]))
+                steps=params["steps"], config=named_config(params["config"]),
+                surrogate=params.get("surrogate", False),
+                trace=params.get("trace", True))
     return {"kind": "awp", "params": params, "metrics": {
         "time_per_step_us": _r(r.time_per_step * 1e6),
         "comm_fraction_pct": _r(100.0 * r.comm_fraction, 4),
@@ -317,21 +356,26 @@ _RUNNERS = {"pt2pt": _run_pt2pt, "collective": _run_collective,
 def collect(quick: bool = True, label: str = "local",
             only: Optional[str] = None, record_wall: bool = False,
             progress: Optional[Callable[[str], None]] = None,
-            asan: bool = False) -> dict:
+            asan: bool = False, scale: bool = False) -> dict:
     """Run the scenario matrix and build the snapshot document.
 
     ``only`` filters scenarios by substring.  ``record_wall`` adds an
     advisory per-scenario host wall-clock section (breaks byte-identity
     between runs — leave off for gating snapshots).  ``asan`` runs
     every scenario under the buffer sanitizer; it is pure bookkeeping,
-    so the snapshot stays byte-identical either way.
+    so the snapshot stays byte-identical either way.  ``scale`` swaps
+    in :func:`scale_matrix` (the 1k+-rank hierarchical-topology runs;
+    gated against ``tests/data/BENCH_scale_baseline.json``) and stamps
+    ``mode: "scale"`` so scale snapshots never compare against the
+    quick/full baselines by accident.
     """
     from repro.check.asan import asan_scope
 
     doc = {"schema_version": SCHEMA_VERSION, "label": label,
-           "mode": "quick" if quick else "full", "scenarios": {}}
+           "mode": "scale" if scale else ("quick" if quick else "full"),
+           "scenarios": {}}
     with asan_scope(asan):
-        for sc in scenario_matrix(quick):
+        for sc in (scale_matrix() if scale else scenario_matrix(quick)):
             if only and only not in sc.name:
                 continue
             if progress:

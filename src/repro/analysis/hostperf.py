@@ -18,8 +18,19 @@ Every benchmark here exercises real code on deterministic data:
   processes, no tracer);
 * ``engine/spans`` — the same loop with hierarchical span bookkeeping,
   isolating tracer overhead;
+* ``engine/scale/*`` — collective-shaped event loops at 256 and 1024
+  ranks (lockstep rounds with same-instant wakeups, spawn churn,
+  fan-in gates and interrupt storms), the workload the calendar
+  scheduler and micro-event freelist exist for.  Events/sec is
+  calibrated by one instrumented run and timed on the bare loop; a
+  separate pass records tracemalloc peak heap;
 * ``e2e/bench-quick`` — wall seconds of the full quick benchmark
   matrix, the number a developer actually waits on.
+
+Engine benchmarks also report ``peak_heap_bytes`` (tracemalloc peak,
+measured in its own untimed pass so instrumentation overhead never
+contaminates the timing) — ``*_bytes`` metrics gate like times: bigger
+is worse.
 
 Snapshot schema (``schema_version`` 1)::
 
@@ -111,6 +122,10 @@ def benchmark_matrix(quick: bool = True) -> list[Microbench]:
                           {"procs": 100 * scale, "steps": 60, "traced": False}))
     out.append(Microbench("engine/spans", "engine",
                           {"procs": 100 * scale, "steps": 60, "traced": True}))
+    out.append(Microbench("engine/scale/256", "engine-scale",
+                          {"ranks": 256, "rounds": 16}))
+    out.append(Microbench("engine/scale/1024", "engine-scale",
+                          {"ranks": 1024, "rounds": 8}))
     out.append(Microbench("e2e/bench-quick", "e2e", {"only": None}))
     return out
 
@@ -174,6 +189,23 @@ def _run_codec(params: dict, reps: int) -> dict:
     }
 
 
+def _peak_heap(fn: Callable[[], None]) -> int:
+    """tracemalloc peak of one ``fn()`` run.
+
+    Runs in its own pass, never inside the timed reps: tracing
+    allocations roughly doubles host time, which would corrupt the
+    ``run_s``/``events_per_s`` numbers."""
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
 def _run_engine(params: dict, reps: int) -> dict:
     from repro.sim import Simulator, Tracer
 
@@ -198,7 +230,73 @@ def _run_engine(params: dict, reps: int) -> dict:
 
     t = _time_median(one_run, reps)
     n_events = procs * (steps + 1)  # one init event + one per timeout
-    return {"run_s": _r(t), "events_per_s": _r(n_events / t, 0)}
+    return {"run_s": _r(t), "events_per_s": _r(n_events / t, 0),
+            "peak_heap_bytes": _peak_heap(one_run)}
+
+
+def _scale_workload(sim, ranks: int, rounds: int) -> None:
+    """Spawn the collective-shaped storm the ``engine/scale`` points
+    time: every rank runs ``rounds`` lockstep iterations of spawn a
+    worker, join it with a same-instant timeout (AllOf), periodically
+    interrupt a straggler, then block on a shared per-round gate a
+    coordinator fires — i.e. same-timestamp batches, micro-event churn,
+    tombstoned waiter lists and wide fan-in dispatch."""
+    from repro.sim import Interrupt
+
+    def worker(sim):
+        yield sim.timeout(1e-6)
+
+    def straggler(sim):
+        yield sim.timeout(1.0)
+
+    def rank_proc(sim, gates, r):
+        for i, gate in enumerate(gates):
+            w = sim.process(worker(sim))
+            yield sim.all_of([w, sim.timeout(1e-6)])
+            if (i + r) % 8 == 0:
+                v = sim.process(straggler(sim))
+                yield sim.timeout(1e-6)
+                v.interrupt("scale")
+                try:
+                    yield v
+                except Interrupt:
+                    pass
+            yield gate
+
+    def coordinator(sim, gates):
+        for gate in gates:
+            yield sim.timeout(3e-6)
+            gate.succeed()
+
+    gates = [sim.event() for _ in range(rounds)]
+    for r in range(ranks):
+        sim.process(rank_proc(sim, gates, r))
+    sim.process(coordinator(sim, gates))
+
+
+def _run_engine_scale(params: dict, reps: int) -> dict:
+    from repro.sim import Simulator, Tracer
+
+    ranks, rounds = params["ranks"], params["rounds"]
+
+    # Calibrate the exact event count with one instrumented run — the
+    # bare loop deliberately counts nothing.  (The two loop variants
+    # dispatch identically; tests assert that equivalence.)
+    sim = Simulator()
+    tracer = Tracer(sim)
+    _scale_workload(sim, ranks, rounds)
+    sim.run()
+    n_events = tracer.event_count
+
+    def one_run() -> None:
+        sim = Simulator()
+        _scale_workload(sim, ranks, rounds)
+        sim.run()
+
+    t = _time_median(one_run, reps)
+    return {"run_s": _r(t), "events_per_s": _r(n_events / t, 0),
+            "n_events": float(n_events),
+            "peak_heap_bytes": _peak_heap(one_run)}
 
 
 def _run_e2e(params: dict, reps: int) -> dict:
@@ -215,7 +313,8 @@ def _run_e2e(params: dict, reps: int) -> dict:
     return {"run_s": _r(t)}
 
 
-_RUNNERS = {"codec": _run_codec, "engine": _run_engine, "e2e": _run_e2e}
+_RUNNERS = {"codec": _run_codec, "engine": _run_engine,
+            "engine-scale": _run_engine_scale, "e2e": _run_e2e}
 
 
 def collect(quick: bool = True, label: str = "local", reps: int = 5,
@@ -281,11 +380,11 @@ def load(path) -> dict:
 #: metrics compared by :func:`compare`; others (ratio, raw seconds of
 #: the codec benches — redundant with the rates) are informational.
 def _direction(metric: str) -> Optional[int]:
-    """+1: bigger is worse (times); -1: smaller is worse (rates);
-    None: not compared."""
+    """+1: bigger is worse (times, memory); -1: smaller is worse
+    (rates); None: not compared."""
     if metric.endswith("_per_s"):
         return -1
-    if metric.endswith("_s"):
+    if metric.endswith("_s") or metric.endswith("_bytes"):
         return +1
     return None
 
@@ -375,7 +474,8 @@ def _synthetic_snapshot() -> dict:
                                                 "encode_mb_per_s": 100.0}},
             "engine/events": {"kind": "engine", "params": {},
                               "metrics": {"run_s": 0.050,
-                                          "events_per_s": 200000.0}},
+                                          "events_per_s": 200000.0,
+                                          "peak_heap_bytes": 1 << 20}},
         },
     }
 
@@ -409,6 +509,13 @@ def selftest(threshold: float = 0.30) -> list[str]:
     c = compare(drop, base, threshold)
     if c.ok:
         failures.append("injected throughput regression was not flagged")
+
+    bloat = _synthetic_snapshot()
+    bloat["benchmarks"]["engine/events"]["metrics"]["peak_heap_bytes"] *= (
+        1.0 + 2 * threshold)
+    c = compare(bloat, base, threshold)
+    if c.ok:
+        failures.append("injected memory regression was not flagged")
 
     fast = _synthetic_snapshot()
     fast["benchmarks"]["codec/x/smooth/256K"]["metrics"]["encode_s"] /= 4.0

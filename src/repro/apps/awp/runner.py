@@ -118,13 +118,15 @@ def run_awp(
     config: Optional[CompressionConfig] = None,
     seed_fields: bool = True,
     surrogate: bool = False,
+    trace: bool = True,
 ) -> AwpResult:
     """Run the mini-app once and aggregate the paper's metrics.
 
     Weak scaling: ``local_shape`` is per-GPU, so the global mesh grows
     with ``gpus``.  ``surrogate=True`` swaps the full-field solver for
     the faces-only :class:`~repro.apps.awp.surrogate.SurrogateSolver`
-    (needed for the 128-512 GPU Lassen sweeps).
+    (needed for the 128+ GPU sweeps); ``trace=False`` skips span
+    recording so 1k+ rank weak-scaling points stay affordable.
     """
     if gpus % gpus_per_node:
         raise ConfigError(f"{gpus} GPUs not divisible by {gpus_per_node}/node")
@@ -135,6 +137,7 @@ def run_awp(
     res = cluster.run(
         _awp_rank, config=config,
         args=(grid, local_shape, steps, seed_fields, surrogate),
+        trace=trace,
     )
     elapsed = max(v["elapsed"] for v in res.values)
     total_flops = sum(v["flops"] for v in res.values)

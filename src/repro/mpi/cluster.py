@@ -426,6 +426,7 @@ class Cluster:
         resilience: Optional[ResilienceConfig] = None,
         asan: bool | str | None = None,
         checkpoint_every: int = 0,
+        trace: bool = True,
     ) -> ClusterResult:
         """Run ``rank_fn(comm, *args)`` as an SPMD job.
 
@@ -458,6 +459,13 @@ class Cluster:
             Checkpoint cadence hint exposed to ranks via
             ``comm.should_checkpoint(step)`` (0 = never); the
             checkpoint store itself lives on the :class:`Runtime`.
+        trace:
+            Record spans/metrics (default).  ``trace=False`` leaves the
+            simulator uninstrumented so the engine takes its bare run
+            loop — the mode that makes 1k+ rank runs affordable (a
+            traced 1024-rank allgather would allocate millions of span
+            records).  The returned :attr:`ClusterResult.tracer` is
+            then a detached, empty tracer.
         """
         from repro.check.asan import BufferSanitizer, asan_default
 
@@ -466,7 +474,7 @@ class Cluster:
         if nprocs > self.n_gpus:
             raise MpiError(f"{nprocs} ranks > {self.n_gpus} GPUs (one rank per GPU)")
         sim = Simulator()
-        tracer = Tracer(sim)
+        tracer = Tracer(sim) if trace else Tracer()
         if asan is None:
             asan = asan_default()
         sanitizer = (BufferSanitizer(record_accesses=(asan == "record"))

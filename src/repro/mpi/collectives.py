@@ -68,6 +68,23 @@ def _default_op(op: Optional[Callable]) -> Callable:
     return np.add if op is None else op
 
 
+#: communicator size above which ring schedules are precomputed with
+#: numpy instead of a per-step Python modulo
+_RING_VECTOR_MIN = 64
+
+
+def _ring_schedule(size: int, start: int) -> list[int]:
+    """Block indices ``[start, start-1, ..., start-size+1] (mod size)``.
+
+    Every ring phase walks blocks in this descending order; at 1k+
+    ranks the per-step modulo in the loop body is measurable, so large
+    communicators get the whole walk as one vectorized op.  Both paths
+    return identical lists."""
+    if size < _RING_VECTOR_MIN:
+        return [(start - s) % size for s in range(size)]
+    return ((start - np.arange(size)) % size).tolist()
+
+
 def _traced(fn):
     """Wrap a collective in a per-rank ``collective`` span; the
     point-to-point hops it issues nest underneath it in the trace.
@@ -257,28 +274,25 @@ def allgather(comm, data: Any):
         return out
     right = (rank + 1) % size
     left = (rank - 1) % size
+    walk = _ring_schedule(size, rank)
     if comm.keep_compressed_active():
         wires: list = [None] * size
         wires[rank] = yield from comm.pack_wire(data)
-        send_block = rank
-        for _ in range(size - 1):
-            recv_block = (send_block - 1) % size
+        for s in range(size - 1):
+            recv_block = walk[s + 1]
             wires[recv_block] = yield from comm.sendrecv_wire(
-                wires[send_block], right, left, _T_ALLGATHER, _T_ALLGATHER
+                wires[walk[s]], right, left, _T_ALLGATHER, _T_ALLGATHER
             )
-            send_block = recv_block
         for i in range(size):
             if i != rank:
                 out[i] = yield from comm.unpack_wire(wires[i])
         return out
-    send_block = rank
-    for _ in range(size - 1):
-        recv_block = (send_block - 1) % size
+    for s in range(size - 1):
+        recv_block = walk[s + 1]
         received = yield from comm.sendrecv(
-            out[send_block], right, left, _T_ALLGATHER, _T_ALLGATHER
+            out[walk[s]], right, left, _T_ALLGATHER, _T_ALLGATHER
         )
         out[recv_block] = received
-        send_block = recv_block
     return out
 
 
@@ -394,28 +408,29 @@ def _allreduce_ring(comm, data: Any, op: Callable):
     right = (rank + 1) % size
     left = (rank - 1) % size
 
+    # Precomputed descending walks for both phases: the reduce-scatter
+    # starts at ``rank``, the allgather at ``rank + 1`` (rank r owns
+    # the fully-reduced chunk (r + 1) % size after the first phase).
+    rs_walk = _ring_schedule(size, rank)
+    ag_walk = _ring_schedule(size, (rank + 1) % size)
+
     if comm.keep_compressed_active(data) and comm.wire_reduce_capable(op):
         state: list = []
         for c in chunks:
             wire = yield from comm.pack_wire(c)
             state.append(wire)
-        send_idx = rank
-        for _ in range(size - 1):
-            recv_idx = (send_idx - 1) % size
+        for s in range(size - 1):
+            recv_idx = rs_walk[s + 1]
             received = yield from comm.sendrecv_wire(
-                state[send_idx], right, left, _T_RING_RS, _T_RING_RS
+                state[rs_walk[s]], right, left, _T_RING_RS, _T_RING_RS
             )
             state[recv_idx] = yield from comm.reduce_wires(
                 state[recv_idx], received, op
             )
-            send_idx = recv_idx
-        # Rank r now owns the fully-reduced chunk (r + 1) % size; walk
-        # it around the ring keep-compressed.
+        # Walk the reduced chunks around the ring keep-compressed.
         for s in range(size - 1):
-            send_idx = (rank + 1 - s) % size
-            recv_idx = (rank - s) % size
-            state[recv_idx] = yield from comm.sendrecv_wire(
-                state[send_idx], right, left, _T_RING_AG, _T_RING_AG
+            state[ag_walk[s + 1]] = yield from comm.sendrecv_wire(
+                state[ag_walk[s]], right, left, _T_RING_AG, _T_RING_AG
             )
         parts = []
         for wire in state:
@@ -424,19 +439,15 @@ def _allreduce_ring(comm, data: Any, op: Callable):
         return np.concatenate(parts).reshape(arr.shape)
 
     acc = [np.array(c) for c in chunks]
-    send_idx = rank
-    for _ in range(size - 1):
-        recv_idx = (send_idx - 1) % size
+    for s in range(size - 1):
+        recv_idx = rs_walk[s + 1]
         received = yield from comm.sendrecv(
-            acc[send_idx], right, left, _T_RING_RS, _T_RING_RS
+            acc[rs_walk[s]], right, left, _T_RING_RS, _T_RING_RS
         )
         acc[recv_idx] = op(acc[recv_idx], received)
-        send_idx = recv_idx
     for s in range(size - 1):
-        send_idx = (rank + 1 - s) % size
-        recv_idx = (rank - s) % size
-        acc[recv_idx] = yield from comm.sendrecv(
-            acc[send_idx], right, left, _T_RING_AG, _T_RING_AG
+        acc[ag_walk[s + 1]] = yield from comm.sendrecv(
+            acc[ag_walk[s]], right, left, _T_RING_AG, _T_RING_AG
         )
     return np.concatenate(acc).reshape(arr.shape)
 

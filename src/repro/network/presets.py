@@ -20,6 +20,7 @@ PCIe3 x16       16.0 GB/s   paper Fig. 1 (8-lane Gen4 = 16 GB/s);
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigError
 from repro.gpu.spec import RTX5000, V100, DeviceSpec
@@ -27,7 +28,8 @@ from repro.network.links import LinkSpec
 from repro.utils.units import GBps, us
 
 __all__ = [
-    "IB_EDR", "IB_FDR", "IB_HDR", "NVLINK2", "NVLINK3", "PCIE3_X16", "PCIE4_X8",
+    "IB_EDR", "IB_FDR", "IB_HDR", "IB_HDR_TRUNK", "DF_GLOBAL", "NVLINK2",
+    "NVLINK3", "PCIE3_X16", "PCIE4_X8",
     "XBUS", "MachinePreset", "machine_preset", "MACHINES",
 ]
 
@@ -39,6 +41,14 @@ NVLINK3 = LinkSpec(name="NVLink-3lane", latency=us(2.0), bandwidth=GBps(75.0))
 PCIE3_X16 = LinkSpec(name="PCIe3-x16", latency=us(4.0), bandwidth=GBps(12.0))
 PCIE4_X8 = LinkSpec(name="PCIe4-x8", latency=us(3.0), bandwidth=GBps(16.0))
 XBUS = LinkSpec(name="X-Bus", latency=us(1.0), bandwidth=GBps(64.0))
+
+#: Fat-tree leaf->spine trunk: a 4x IB-HDR LAG per group switch, so 16
+#: nodes share 100 GB/s of uplink (2:1 taper vs 16x25 GB/s of HCAs).
+IB_HDR_TRUNK = LinkSpec(name="IB-HDR-trunk", latency=us(1.1), bandwidth=GBps(100.0))
+
+#: Dragonfly optical global link between two groups (2x HDR per ordered
+#: pair; longer flight time than an electrical in-group hop).
+DF_GLOBAL = LinkSpec(name="DF-global", latency=us(2.6), bandwidth=GBps(50.0))
 
 
 @dataclass(frozen=True)
@@ -58,6 +68,16 @@ class MachinePreset:
         Per-node InfiniBand uplink (the inter-node bottleneck).
     max_gpus_per_node:
         Physical GPU count per node.
+    topology_kind:
+        ``"flat"`` (single ideal switch — all the paper's testbeds),
+        ``"fat-tree"`` (2-level: per-group leaf switches under a
+        spine), or ``"dragonfly"`` (per-group routers, a dedicated
+        global link per ordered group pair).
+    nodes_per_group:
+        Nodes behind one leaf switch / group router; 0 on flat presets.
+    group_link:
+        Trunk (fat-tree) or global (dragonfly) link spec; None on flat
+        presets.
     """
 
     name: str
@@ -66,13 +86,22 @@ class MachinePreset:
     intra_shared: bool
     inter_link: LinkSpec
     max_gpus_per_node: int
+    topology_kind: str = "flat"
+    nodes_per_group: int = 0
+    group_link: Optional[LinkSpec] = None
 
     def description(self) -> str:
-        return (
+        base = (
             f"{self.name}: {self.max_gpus_per_node}x {self.device.name}/node, "
             f"intra {self.intra_link.name} ({self.intra_link.bandwidth / 1e9:.1f} GB/s), "
             f"inter {self.inter_link.name} ({self.inter_link.bandwidth / 1e9:.1f} GB/s)"
         )
+        if self.topology_kind != "flat":
+            base += (
+                f", {self.topology_kind} ({self.nodes_per_group} nodes/group, "
+                f"{self.group_link.name} {self.group_link.bandwidth / 1e9:.1f} GB/s)"
+            )
+        return base
 
 
 #: TACC Longhorn: 4x V100 per POWER9 node, NVLink, IB EDR.
@@ -105,12 +134,32 @@ SIERRA = MachinePreset(
     inter_link=IB_EDR, max_gpus_per_node=4,
 )
 
+#: Hypothetical 2-level fat-tree at Lassen-class node specs: 16 nodes
+#: per leaf switch, 4x HDR trunk per leaf to the spine.  The preset
+#: that makes 1024-rank collectives realistic (256 nodes = 16 groups).
+FAT_TREE = MachinePreset(
+    name="fat-tree", device=V100, intra_link=NVLINK3, intra_shared=False,
+    inter_link=IB_HDR, max_gpus_per_node=4,
+    topology_kind="fat-tree", nodes_per_group=16, group_link=IB_HDR_TRUNK,
+)
+
+#: Hypothetical dragonfly at the same node specs: 8-node groups, one
+#: optical global link per ordered group pair (1024 nodes = 128
+#: groups for the 4096-rank weak-scaling point).
+DRAGONFLY = MachinePreset(
+    name="dragonfly", device=V100, intra_link=NVLINK3, intra_shared=False,
+    inter_link=IB_HDR, max_gpus_per_node=4,
+    topology_kind="dragonfly", nodes_per_group=8, group_link=DF_GLOBAL,
+)
+
 MACHINES = {
     "longhorn": LONGHORN,
     "frontera-liquid": FRONTERA_LIQUID,
     "lassen": LASSEN,
     "ri2": RI2,
     "sierra": SIERRA,
+    "fat-tree": FAT_TREE,
+    "dragonfly": DRAGONFLY,
 }
 
 

@@ -1,23 +1,35 @@
-"""Cluster topology: GPUs, nodes, and the links between them.
+"""Cluster topology: GPUs, nodes, groups and the links between them.
 
 A :class:`Topology` instantiates live :class:`~repro.network.links.Link`
 objects from a :class:`~repro.network.presets.MachinePreset`:
 
 * intra-node — either dedicated per-direction GPU pair links (NVLink)
   or a shared per-node, per-direction bus (PCIe host bridge);
-* inter-node — one uplink and one downlink per node to an ideal
-  (full-bisection) switch, so the node's HCA is the contention point,
-  matching the single-HCA testbeds of the paper.
+* inter-node — one uplink and one downlink per node to its switch, so
+  the node's HCA is the contention point, matching the single-HCA
+  testbeds of the paper;
+* inter-group (hierarchical presets only) — a 2-level **fat-tree**
+  routes cross-group traffic through per-group trunk links to a spine
+  switch, while a **dragonfly** connects every ordered group pair with
+  a dedicated global link.  Flat presets keep the single ideal
+  (full-bisection) switch.
 
 ``transfer(src, dst, nbytes)`` resolves the route and moves the bytes,
 charging end-to-end latency plus serialization at the bottleneck while
 holding every traversed link.  A networkx graph of the topology is
 available for inspection and for tooling built on top.
+
+Route resolution is cached: ``node_of`` is a precomputed array lookup
+and ``route()``/``path_*()`` memoize per ``(src, dst)`` pair, so the
+per-message cost at 1k+ ranks is two dict probes instead of repeated
+division and list building.  Caches are bounded and cleared wholesale
+on overflow, which keeps behaviour deterministic.
 """
 
 from __future__ import annotations
 
 import networkx as nx
+import numpy as np
 
 from repro.errors import NetworkError
 from repro.faults.injector import DROPPED
@@ -26,6 +38,10 @@ from repro.network.presets import MachinePreset
 from repro.sim import Simulator
 
 __all__ = ["Topology"]
+
+# Bound on the memoization caches; on overflow the cache is cleared
+# wholesale (deterministic, O(1) amortized) rather than LRU-evicted.
+_CACHE_MAX = 1 << 17
 
 
 class Topology:
@@ -44,9 +60,40 @@ class Topology:
         self.nodes = nodes
         self.gpus_per_node = gpus_per_node
 
-        # Inter-node: per-node uplink/downlink to an ideal switch.
+        # Precomputed GPU -> node map: a vectorized numpy array for
+        # bulk consumers plus its plain-list view, which is faster for
+        # the scalar lookups the hot path makes.
+        self.node_of_array = np.arange(nodes * gpus_per_node) // gpus_per_node
+        self._node_of = self.node_of_array.tolist()
+
+        # Hierarchy (empty for flat presets).
+        self.kind = preset.topology_kind
+        if self.kind not in ("flat", "fat-tree", "dragonfly"):
+            raise NetworkError(f"unknown topology kind {self.kind!r}")
+        if self.kind != "flat":
+            if preset.nodes_per_group < 1 or preset.group_link is None:
+                raise NetworkError(
+                    f"{preset.name}: hierarchical preset needs nodes_per_group >= 1 "
+                    "and a group_link"
+                )
+            self.nodes_per_group = preset.nodes_per_group
+            self.n_groups = -(-nodes // preset.nodes_per_group)
+        else:
+            self.nodes_per_group = nodes
+            self.n_groups = 1
+
+        # Inter-node: per-node uplink/downlink to its (leaf) switch.
         self._uplink = [Link(sim, preset.inter_link, f"node{n}-up") for n in range(nodes)]
         self._downlink = [Link(sim, preset.inter_link, f"node{n}-down") for n in range(nodes)]
+
+        # Inter-group fabric.
+        if self.kind == "fat-tree":
+            # Per-group trunk to the spine, one link per direction.
+            self._group_up = [Link(sim, preset.group_link, f"group{g}-up")
+                              for g in range(self.n_groups)]
+            self._group_down = [Link(sim, preset.group_link, f"group{g}-down")
+                                for g in range(self.n_groups)]
+        self._global: dict = {}  # dragonfly ordered group pair -> Link, lazy
 
         # Intra-node fabric.
         self._intra: dict = {}
@@ -58,6 +105,9 @@ class Topology:
             # Dedicated ordered-pair links, created lazily.
             pass
 
+        self._route_cache: dict = {}
+        self._path_cache: dict = {}
+
     # -- structure ---------------------------------------------------------
     @property
     def n_gpus(self) -> int:
@@ -66,10 +116,14 @@ class Topology:
     def node_of(self, gpu: int) -> int:
         if not (0 <= gpu < self.n_gpus):
             raise NetworkError(f"gpu {gpu} out of range (have {self.n_gpus})")
-        return gpu // self.gpus_per_node
+        return self._node_of[gpu]
 
     def same_node(self, a: int, b: int) -> bool:
         return self.node_of(a) == self.node_of(b)
+
+    def group_of(self, node: int) -> int:
+        """The group a node belongs to (always 0 on flat presets)."""
+        return node // self.nodes_per_group
 
     def _intra_link(self, src: int, dst: int) -> Link:
         preset = self.preset
@@ -82,22 +136,71 @@ class Topology:
             )
         return self._intra[key]
 
-    def route(self, src: int, dst: int) -> list[Link]:
-        """The ordered links a message from ``src`` to ``dst`` crosses."""
+    def _global_link(self, src_group: int, dst_group: int) -> Link:
+        """Dragonfly per-ordered-group-pair global link, created lazily
+        (a 128-group machine has 16k ordered pairs; a run touches few)."""
+        key = (src_group, dst_group)
+        link = self._global.get(key)
+        if link is None:
+            link = self._global[key] = Link(
+                self.sim, self.preset.group_link, f"g{src_group}->g{dst_group}"
+            )
+        return link
+
+    def _compute_route(self, src: int, dst: int) -> list[Link]:
+        """Uncached route resolution; ``route()`` memoizes this."""
         if src == dst:
             return []
         if self.same_node(src, dst):
             return [self._intra_link(src, dst)]
-        return [self._uplink[self.node_of(src)], self._downlink[self.node_of(dst)]]
+        src_node = self.node_of(src)
+        dst_node = self.node_of(dst)
+        if self.kind != "flat":
+            src_group = src_node // self.nodes_per_group
+            dst_group = dst_node // self.nodes_per_group
+            if src_group != dst_group:
+                if self.kind == "fat-tree":
+                    return [self._uplink[src_node],
+                            self._group_up[src_group], self._group_down[dst_group],
+                            self._downlink[dst_node]]
+                return [self._uplink[src_node],
+                        self._global_link(src_group, dst_group),
+                        self._downlink[dst_node]]
+        return [self._uplink[src_node], self._downlink[dst_node]]
+
+    def route(self, src: int, dst: int) -> list[Link]:
+        """The ordered links a message from ``src`` to ``dst`` crosses.
+
+        Memoized per (src, dst); callers must treat the list as
+        read-only."""
+        key = (src, dst)
+        links = self._route_cache.get(key)
+        if links is None:
+            if len(self._route_cache) >= _CACHE_MAX:
+                self._route_cache.clear()
+            links = self._route_cache[key] = self._compute_route(src, dst)
+        return links
+
+    def _path(self, src: int, dst: int) -> tuple[float, float]:
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            links = self.route(src, dst)
+            if links:
+                bw = min(l.spec.bandwidth for l in links)
+                lat = sum(l.spec.latency for l in links)
+            else:
+                bw, lat = float("inf"), 0.0
+            if len(self._path_cache) >= _CACHE_MAX:
+                self._path_cache.clear()
+            cached = self._path_cache[key] = (bw, lat)
+        return cached
 
     def path_bandwidth(self, src: int, dst: int) -> float:
-        links = self.route(src, dst)
-        if not links:
-            return float("inf")
-        return min(l.spec.bandwidth for l in links)
+        return self._path(src, dst)[0]
 
     def path_latency(self, src: int, dst: int) -> float:
-        return sum(l.spec.latency for l in self.route(src, dst))
+        return self._path(src, dst)[1]
 
     # -- data movement ------------------------------------------------------
     def transfer(self, src: int, dst: int, nbytes: int, label: str = "",
@@ -106,9 +209,10 @@ class Topology:
         subroutine).
 
         Same-GPU transfers are free; same-node transfers cross the
-        intra link; inter-node transfers hold both HCA links for the
-        bottleneck serialization time (cut-through, not
-        store-and-forward).
+        intra link; inter-node transfers hold every link on the route
+        for the bottleneck serialization time (cut-through, not
+        store-and-forward) — two HCA links within a group, plus the
+        trunk/global hops across groups on hierarchical presets.
 
         When ``payload`` is given, the wire may fault it: the return
         value is the delivered payload — the original object, a
@@ -126,10 +230,9 @@ class Topology:
         return self._deliver(src, dst, nbytes, payload)
 
     def _cut_through(self, links, src: int, dst: int, nbytes: int, label: str):
-        # Cut-through across both HCAs: hold them together for
-        # total-latency + bottleneck-serialization.
-        bw = min(l.spec.bandwidth for l in links)
-        lat = sum(l.spec.latency for l in links)
+        # Cut-through across the whole route: hold every link together
+        # for total-latency + bottleneck-serialization.
+        bw, lat = self._path(src, dst)
         reqs = [l._res.request() for l in links]
         t0 = self.sim.now
         try:
@@ -179,16 +282,41 @@ class Topology:
 
     # -- inspection -----------------------------------------------------------
     def graph(self) -> "nx.DiGraph":
-        """A networkx digraph of GPUs, node switches and the core
-        switch, annotated with link specs (Figure 1 style)."""
+        """A networkx digraph of GPUs, node switches and the switching
+        fabric, annotated with link specs (Figure 1 style).
+
+        Flat presets keep the single core ``switch``; fat-tree adds
+        per-group leaf switches under a ``spine``; dragonfly adds
+        per-group routers with direct group-to-group edges.
+        """
         g = nx.DiGraph()
-        g.add_node("switch", kind="switch")
+        if self.kind == "flat":
+            switch_of = {n: "switch" for n in range(self.nodes)}
+            g.add_node("switch", kind="switch")
+        else:
+            gl = self.preset.group_link
+            switch_of = {}
+            for grp in range(self.n_groups):
+                g.add_node(f"group{grp}", kind="switch", group=grp)
+            for n in range(self.nodes):
+                switch_of[n] = f"group{self.group_of(n)}"
+            if self.kind == "fat-tree":
+                g.add_node("spine", kind="switch")
+                for grp in range(self.n_groups):
+                    g.add_edge(f"group{grp}", "spine", spec=gl, bandwidth=gl.bandwidth)
+                    g.add_edge("spine", f"group{grp}", spec=gl, bandwidth=gl.bandwidth)
+            else:
+                for a in range(self.n_groups):
+                    for b in range(self.n_groups):
+                        if a != b:
+                            g.add_edge(f"group{a}", f"group{b}",
+                                       spec=gl, bandwidth=gl.bandwidth)
         for n in range(self.nodes):
             hub = f"node{n}"
             g.add_node(hub, kind="node")
             up, down = self.preset.inter_link, self.preset.inter_link
-            g.add_edge(hub, "switch", spec=up, bandwidth=up.bandwidth)
-            g.add_edge("switch", hub, spec=down, bandwidth=down.bandwidth)
+            g.add_edge(hub, switch_of[n], spec=up, bandwidth=up.bandwidth)
+            g.add_edge(switch_of[n], hub, spec=down, bandwidth=down.bandwidth)
             for k in range(self.gpus_per_node):
                 gpu = n * self.gpus_per_node + k
                 g.add_node(f"gpu{gpu}", kind="gpu", device=self.preset.device.name)

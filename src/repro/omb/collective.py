@@ -75,12 +75,13 @@ def _run_collective(
     config: Optional[CompressionConfig],
     warmup: int = 1,
     algorithm: Optional[str] = None,
+    trace: bool = True,
 ) -> CollectiveRow:
     config = config or CompressionConfig.disabled()
     cluster = Cluster(machine_preset(machine), nodes=nodes, gpus_per_node=ppn)
     data = make_payload(payload, nbytes)
     res = cluster.run(_collective_rank, config=config,
-                      args=(op, data, warmup, algorithm))
+                      args=(op, data, warmup, algorithm), trace=trace)
     return CollectiveRow(
         op=op, nbytes=nbytes, payload=payload,
         latency=max(res.values), breakdown=res.breakdown(),
@@ -97,9 +98,16 @@ def osu_bcast(machine: str = "frontera-liquid", nodes: int = 8, ppn: int = 2,
 
 def osu_allgather(machine: str = "frontera-liquid", nodes: int = 8, ppn: int = 2,
                   nbytes: int = 1 << 20, payload: str = "omb",
-                  config: Optional[CompressionConfig] = None) -> CollectiveRow:
-    """MPI_Allgather latency (Figure 11b)."""
-    return _run_collective("allgather", machine, nodes, ppn, nbytes, payload, config)
+                  config: Optional[CompressionConfig] = None,
+                  warmup: int = 1, trace: bool = True) -> CollectiveRow:
+    """MPI_Allgather latency (Figure 11b).
+
+    ``warmup=0, trace=False`` is the scale-run mode: a 1024-rank ring
+    allgather is ~1M rendezvous messages, so the extra warm-up
+    invocation and span recording are what separate minutes from
+    hours of host time."""
+    return _run_collective("allgather", machine, nodes, ppn, nbytes, payload,
+                           config, warmup=warmup, trace=trace)
 
 
 def osu_alltoall(machine: str = "frontera-liquid", nodes: int = 8, ppn: int = 2,

@@ -8,12 +8,25 @@ The generator protocol: a process function is a generator that yields
 resumes; the event's value is sent into the generator (or its exception
 is thrown in).  A process is itself an :class:`Event` that triggers when
 the generator returns, carrying the return value.
+
+Scheduling is a **calendar of per-instant buckets**: every distinct
+timestamp owns a plain list of events in insertion order, and a small
+heap orders only the distinct timestamps.  Popping therefore costs one
+heap operation per *instant* instead of one per *event* — a collective
+round where 1k ranks all wake at the same time is a single heap pop
+followed by a flat list sweep.  The documented tie-break (insertion
+order within one timestamp) is exactly the append order of the bucket,
+so traces are byte-identical to the classic single-heap scheduler.
+
+``run()`` selects one of two loop variants at entry: a *bare* loop when
+``tracer``/``faults``/``asan``/``failstop`` are all ``None``, and the
+*instrumented* loop otherwise.  Instrumentation must be attached before
+``run()`` is entered; both variants dispatch events identically.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import DeadlockError, SimulationError
@@ -53,7 +66,7 @@ class Event:
         # first callback lives in ``_cb1`` and the list is only
         # allocated when a second one arrives.
         self._cb1: Optional[Callable[["Event"], None]] = None
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = None
+        self.callbacks: Optional[list[Optional[Callable[["Event"], None]]]] = None
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._defused = False
@@ -86,11 +99,21 @@ class Event:
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self)
+        # Inlined _schedule(self): succeed() fires once per process
+        # completion and once per condition/gate, so the extra call
+        # frame shows up at rank counts in the thousands.
+        sim = self.sim
+        t = sim._now
+        bucket = sim._buckets.get(t)
+        if bucket is None:
+            sim._buckets[t] = [self]
+            heapq.heappush(sim._times, t)
+        else:
+            bucket.append(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -103,7 +126,7 @@ class Event:
         """
         if not isinstance(exc, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exc!r}")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exc
@@ -153,6 +176,20 @@ class Event:
         return f"<{type(self).__name__} {state} at t={self.sim.now:.9f}>"
 
 
+class _MicroEvent(Event):
+    """A pooled event for the init/poke one-shot wakeups that every
+    process spawn and interrupt allocates.
+
+    Micro events are never exposed to user code: exactly one callback is
+    attached before scheduling, nothing else ever holds a reference, and
+    the run loop returns each one to the simulator's freelist right
+    after dispatch.  The next spawn/interrupt reuses the object instead
+    of paying allocation plus slot initialisation.
+    """
+
+    __slots__ = ()
+
+
 class Timeout(Event):
     """An event that triggers ``delay`` seconds after creation."""
 
@@ -161,11 +198,25 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = float(delay)
+        # Flattened Event.__init__ + _schedule: a timeout is the most
+        # frequently created event of a large run, so the two extra
+        # call frames are measurable at 1k+ ranks.
+        self.sim = sim
+        self._cb1 = None
+        self.callbacks = None
         self._ok = True
         self._value = value
-        sim._schedule(self, delay=self.delay)
+        self._defused = False
+        self._cancelled = False
+        self._processed = False
+        d = self.delay = float(delay)
+        t = sim._now + d
+        bucket = sim._buckets.get(t)
+        if bucket is None:
+            sim._buckets[t] = [self]
+            heapq.heappush(sim._times, t)
+        else:
+            bucket.append(self)
 
 
 class Process(Event):
@@ -184,19 +235,43 @@ class Process(Event):
                 f"Process needs a generator, got {type(gen).__name__}; "
                 "did you call a plain function instead of a generator function?"
             )
-        super().__init__(sim)
+        # Flattened Event.__init__ plus the init-event acquire and
+        # schedule: spawn storms create thousands of processes per
+        # simulated collective round, so every call frame counts here.
+        self.sim = sim
+        self._cb1 = None
+        self.callbacks = None
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
+        self._cancelled = False
+        self._processed = False
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._target: Optional[Event] = None
         # One bound method for the process's lifetime instead of a
         # fresh allocation at every yield.
-        self._resume_cb = self._resume
-        # Kick off on the next scheduling round at the current time.
-        init = Event(sim)
+        self._resume_cb = rc = self._resume
+        # Kick off on the next scheduling round at the current time,
+        # reusing a pooled micro event when one is available.
+        free = sim._micro_free
+        if free:
+            init = free.pop()
+            init._processed = False
+            init._defused = False
+            init._cancelled = False
+        else:
+            init = _MicroEvent(sim)
         init._ok = True
         init._value = None
-        init._cb1 = self._resume_cb
-        sim._schedule(init)
+        init._cb1 = rc
+        t = sim._now
+        bucket = sim._buckets.get(t)
+        if bucket is None:
+            sim._buckets[t] = [init]
+            heapq.heappush(sim._times, t)
+        else:
+            bucket.append(init)
 
     @property
     def is_alive(self) -> bool:
@@ -207,19 +282,26 @@ class Process(Event):
         if self.triggered:
             raise SimulationError(f"cannot interrupt finished process {self.name!r}")
         if self._target is not None and not self._processed:
-            # Detach from whatever it was waiting on.
+            # Detach from whatever it was waiting on.  The multi-waiter
+            # path tombstones the slot (dispatch skips None) instead of
+            # list.remove(), which would shift every later waiter and go
+            # quadratic under interrupt storms on popular events.
             tgt = self._target
+            cbs = tgt.callbacks
             if tgt._cb1 is self._resume_cb:
                 tgt._cb1 = None
-            elif tgt.callbacks is not None and self._resume_cb in tgt.callbacks:
-                tgt.callbacks.remove(self._resume_cb)
-            if tgt._cb1 is None and not tgt.callbacks:
+            elif cbs is not None:
+                try:
+                    cbs[cbs.index(self._resume_cb)] = None
+                except ValueError:
+                    pass
+            if tgt._cb1 is None and (cbs is None or not any(cbs)):
                 # Nobody is left to observe the target; if it later
                 # fails (e.g. a peer process crashing) the failure must
                 # not be re-raised at end of run on behalf of a waiter
                 # that was deliberately interrupted away from it.
                 tgt._defused = True
-        poke = Event(self.sim)
+        poke = self.sim._micro_event()
         poke._ok = False
         poke._value = Interrupt(cause)
         poke._defused = True
@@ -228,7 +310,18 @@ class Process(Event):
 
     # -- internal ------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.sim._active_process = self
+        if self._value is not _PENDING:
+            # Stale wakeup: the process already finished.  This happens
+            # when it was interrupted to death before its first resume —
+            # the detach in interrupt() ran while no target was attached
+            # yet, so the target it picked up afterwards still points
+            # here.  The dead generator has nothing to resume, and a
+            # failed waker has no other observer, so defuse it.
+            if not event._ok:
+                event._defused = True
+            return
+        sim = self.sim
+        sim._active_process = self
         try:
             if event._ok:
                 target = self.gen.send(event._value)
@@ -236,19 +329,19 @@ class Process(Event):
                 event._defused = True
                 target = self.gen.throw(event._value)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.sim._active_process = None
+            sim._active_process = None
             self.fail(exc)
             return
-        self.sim._active_process = None
+        sim._active_process = None
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
             )
-        if target.sim is not self.sim:
+        if target.sim is not sim:
             raise SimulationError("yielded event belongs to a different Simulator")
         self._target = target
         target.add_callback(self._resume_cb)
@@ -260,14 +353,24 @@ class _Condition(Event):
     __slots__ = ("events", "_n_done")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
-        super().__init__(sim)
-        self.events = list(events)
+        # Flattened Event.__init__; conditions gate every collective
+        # round, one per rank.
+        self.sim = sim
+        self._cb1 = None
+        self.callbacks = None
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
+        self._cancelled = False
+        self._processed = False
+        evs = self.events = list(events)
         self._n_done = 0
-        if not self.events:
+        if not evs:
             self.succeed({})
             return
-        for ev in self.events:
-            ev.add_callback(self._check)
+        check = self._check
+        for ev in evs:
+            ev.add_callback(check)
 
     def _collect(self) -> dict:
         return {i: ev._value for i, ev in enumerate(self.events) if ev.triggered and ev._ok}
@@ -322,6 +425,12 @@ class AnyOf(_Condition):
         self.succeed(self._collect())
 
 
+# Cap on the micro-event freelist: enough to absorb any realistic spawn
+# burst, small enough that a pathological one-off storm cannot pin
+# memory for the rest of the run.
+_MICRO_POOL_MAX = 4096
+
+
 class Simulator:
     """Event loop and clock.
 
@@ -336,12 +445,27 @@ class Simulator:
         proc = sim.process(hello(sim))
         sim.run()
         assert sim.now == 1.5 and proc.value == "done"
+
+    The schedule is a calendar: ``_buckets`` maps each pending timestamp
+    to the list of events scheduled for that instant (in insertion
+    order), and ``_times`` is a min-heap over the distinct timestamps.
+    A timestamp is pushed onto the heap exactly once per bucket
+    creation; the bucket being swept is popped out of the dict first, so
+    a same-instant schedule during the sweep opens a fresh bucket (and
+    re-pushes the timestamp), which the loop then drains before moving
+    on — identical ordering to the classic (time, counter) heap.
     """
 
     def __init__(self):
         self._now = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
-        self._counter = itertools.count()
+        self._buckets: dict[float, list[Event]] = {}
+        self._times: list[float] = []
+        # The bucket currently being swept (or staged by peek()), plus
+        # the cursor position and its timestamp.
+        self._active_batch: Optional[list[Event]] = None
+        self._active_pos = 0
+        self._active_t = 0.0
+        self._micro_free: list[_MicroEvent] = []
         self._active_process: Optional[Process] = None
         self._failed_events: list[Event] = []
         self.tracer = None  # attached by repro.sim.trace.Tracer
@@ -384,29 +508,71 @@ class Simulator:
 
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._heap, (self._now + delay, next(self._counter), event))
+        t = self._now + delay
+        bucket = self._buckets.get(t)
+        if bucket is None:
+            self._buckets[t] = [event]
+            heapq.heappush(self._times, t)
+        else:
+            bucket.append(event)
 
-    def _drain_cancelled(self) -> None:
-        """Drop cancelled events from the head of the schedule without
-        touching the clock."""
-        while self._heap and self._heap[0][2]._cancelled:
-            heapq.heappop(self._heap)
+    def _micro_event(self) -> _MicroEvent:
+        """Pop a recycled micro event off the freelist (or allocate).
+
+        The caller owns setting ``_ok``/``_value``/``_cb1``; the pool
+        only resets the lifecycle flags the previous dispatch left
+        behind."""
+        free = self._micro_free
+        if free:
+            ev = free.pop()
+            ev._value = _PENDING
+            ev._ok = None
+            ev._processed = False
+            ev._defused = False
+            ev._cancelled = False
+            return ev
+        return _MicroEvent(self)
+
+    def _refill(self) -> bool:
+        """Stage the next bucket holding at least one live event as the
+        active batch.  Returns False when the schedule is exhausted.
+        Does not advance the clock (cancelled-only instants are dropped
+        without the timeline ever observing them)."""
+        batch = self._active_batch
+        pos = self._active_pos
+        buckets = self._buckets
+        times = self._times
+        while True:
+            if batch is not None:
+                for i in range(pos, len(batch)):
+                    if not batch[i]._cancelled:
+                        self._active_batch = batch
+                        self._active_pos = i
+                        return True
+                batch = None
+                self._active_batch = None
+            if not times:
+                return False
+            t = heapq.heappop(times)
+            batch = buckets.pop(t)
+            pos = 0
+            self._active_t = t
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
-        self._drain_cancelled()
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._active_t if self._refill() else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
-        self._drain_cancelled()
-        if not self._heap:
+        if not self._refill():
             raise SimulationError("step() on an empty schedule")
-        t, _, event = heapq.heappop(self._heap)
-        self._now = t
+        batch = self._active_batch
+        event = batch[self._active_pos]
+        self._active_pos += 1
+        self._now = self._active_t
         event._processed = True
         if self.tracer is not None:
-            self.tracer._on_event(t, event)
+            self.tracer._on_event(self._now, event)
         cb = event._cb1
         if cb is not None:
             event._cb1 = None
@@ -414,45 +580,150 @@ class Simulator:
         elif event.callbacks is not None:
             callbacks, event.callbacks = event.callbacks, None
             for cb in callbacks:
-                cb(event)
+                if cb is not None:
+                    cb(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the schedule empties, or until time ``until``.
 
         Raises any un-defused failure once the loop exits, so a crashed
         process cannot be silently dropped.
+
+        The loop body is selected here, once per call: the bare variant
+        carries no instrumentation checks at all, so a run with no
+        tracer/faults/asan/failstop attached pays zero per-event cost
+        for the ability to attach them.
         """
         if until is not None and until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
-        # Inlined step(): this loop processes every event of a run, so
-        # the per-event function-call and re-drain overhead is paid
-        # millions of times in a long simulation.
-        heap = self._heap
-        pop = heapq.heappop
-        while heap:
-            if heap[0][2]._cancelled:
-                pop(heap)
-                continue
-            if until is not None and heap[0][0] > until:
-                self._now = until
-                break
-            t, _, event = pop(heap)
-            self._now = t
-            event._processed = True
-            if self.tracer is not None:
-                self.tracer._on_event(t, event)
-            cb = event._cb1
-            if cb is not None:
-                event._cb1 = None
-                cb(event)
-            elif event.callbacks is not None:
-                callbacks, event.callbacks = event.callbacks, None
-                for cb in callbacks:
-                    cb(event)
+        if (self.tracer is None and self.faults is None
+                and self.asan is None and self.failstop is None):
+            self._run_bare(until)
+        else:
+            self._run_instrumented(until)
         for ev in self._failed_events:
             if not ev._defused:
                 raise ev._value
         self._failed_events.clear()
+
+    def _run_bare(self, until: Optional[float]) -> None:
+        # Inlined hot loop: this processes every event of a run, so the
+        # per-event attribute and function-call overhead is paid
+        # millions of times in a long simulation.  The batch cursor
+        # lives in locals; the finally block re-publishes it so an
+        # exception escaping a callback leaves the schedule resumable.
+        buckets = self._buckets
+        times = self._times
+        pop_time = heapq.heappop
+        micro_free = self._micro_free
+        batch = self._active_batch
+        pos = self._active_pos
+        self._active_batch = None
+        try:
+            while True:
+                while batch is None:
+                    if not times:
+                        return
+                    t = pop_time(times)
+                    cand = buckets.pop(t)
+                    for i in range(len(cand)):
+                        if not cand[i]._cancelled:
+                            batch = cand
+                            pos = i
+                            self._active_t = t
+                            break
+                    # else: every event at t was cancelled — drop the
+                    # bucket without advancing the clock.
+                if until is not None and self._active_t > until:
+                    self._now = until
+                    return
+                self._now = self._active_t
+                n = len(batch)
+                while pos < n:
+                    event = batch[pos]
+                    pos += 1
+                    if event._cancelled:
+                        continue
+                    event._processed = True
+                    cb = event._cb1
+                    if cb is not None:
+                        event._cb1 = None
+                        cb(event)
+                    elif event.callbacks is not None:
+                        callbacks, event.callbacks = event.callbacks, None
+                        for cb in callbacks:
+                            if cb is not None:
+                                cb(event)
+                    if event.__class__ is _MicroEvent:
+                        if len(micro_free) < _MICRO_POOL_MAX:
+                            micro_free.append(event)
+                    # Callbacks may have scheduled at the current
+                    # instant, growing the live batch.
+                    n = len(batch)
+                batch = None
+        finally:
+            if batch is not None:
+                self._active_batch = batch
+                self._active_pos = pos
+
+    def _run_instrumented(self, until: Optional[float]) -> None:
+        # Identical dispatch to _run_bare plus the tracer hook.  The
+        # tracer is re-read per event because fault machinery may swap
+        # it mid-run; the other planes (faults/asan/failstop) hook the
+        # MPI/buffer layers, not the loop, so their mere presence only
+        # selects this variant.
+        buckets = self._buckets
+        times = self._times
+        pop_time = heapq.heappop
+        micro_free = self._micro_free
+        batch = self._active_batch
+        pos = self._active_pos
+        self._active_batch = None
+        try:
+            while True:
+                while batch is None:
+                    if not times:
+                        return
+                    t = pop_time(times)
+                    cand = buckets.pop(t)
+                    for i in range(len(cand)):
+                        if not cand[i]._cancelled:
+                            batch = cand
+                            pos = i
+                            self._active_t = t
+                            break
+                if until is not None and self._active_t > until:
+                    self._now = until
+                    return
+                self._now = self._active_t
+                n = len(batch)
+                while pos < n:
+                    event = batch[pos]
+                    pos += 1
+                    if event._cancelled:
+                        continue
+                    event._processed = True
+                    tracer = self.tracer
+                    if tracer is not None:
+                        tracer._on_event(self._now, event)
+                    cb = event._cb1
+                    if cb is not None:
+                        event._cb1 = None
+                        cb(event)
+                    elif event.callbacks is not None:
+                        callbacks, event.callbacks = event.callbacks, None
+                        for cb in callbacks:
+                            if cb is not None:
+                                cb(event)
+                    if event.__class__ is _MicroEvent:
+                        if len(micro_free) < _MICRO_POOL_MAX:
+                            micro_free.append(event)
+                    n = len(batch)
+                batch = None
+        finally:
+            if batch is not None:
+                self._active_batch = batch
+                self._active_pos = pos
 
     def run_process(self, gen: Generator, name: str = "") -> Any:
         """Convenience: spawn a process, run to completion, return its value.

@@ -193,3 +193,57 @@ def test_committed_baseline_matches(capsys):
     cmp = bench.compare(current, baseline)
     assert cmp.ok, cmp.report()
     assert bench.dumps(current) == open(path).read()
+
+
+# -- scale matrix (1k+-rank hierarchical runs) -------------------------------
+
+def test_scale_matrix_shape():
+    scs = bench.scale_matrix()
+    names = [s.name for s in scs]
+    assert names == ["scale/allgather-64/fat-tree",
+                     "scale/allgather-1024/fat-tree",
+                     "scale/awp-4096/dragonfly"]
+    for s in scs:
+        # Scale points run untraced; the collectives also skip warm-up.
+        assert s.params.get("trace") is False
+        if s.kind == "collective":
+            assert s.params["warmup"] == 0
+    big = scs[1].params
+    assert big["nodes"] * big["ppn"] == 1024
+    awp = scs[2].params
+    assert awp["gpus"] == 4096 and awp["surrogate"] is True
+
+
+def test_scale_collect_deterministic_and_marked():
+    a = bench.collect(scale=True, label="t", only="allgather-64")
+    b = bench.collect(scale=True, label="t", only="allgather-64")
+    assert a["mode"] == "scale"
+    assert list(a["scenarios"]) == ["scale/allgather-64/fat-tree"]
+    assert bench.dumps(a) == bench.dumps(b)
+
+
+def test_scale_mode_mismatch_gates(tmp_path):
+    quick = {"schema_version": bench.SCHEMA_VERSION, "label": "x",
+             "mode": "quick", "scenarios": {}}
+    scale = {"schema_version": bench.SCHEMA_VERSION, "label": "x",
+             "mode": "scale", "scenarios": {}}
+    assert not bench.compare(quick, scale).ok
+
+
+def test_committed_scale_baseline_64_point_matches():
+    """The small scale point must match the committed scale baseline
+    bit-for-bit (regenerate tests/data/BENCH_scale_baseline.json with
+    python -m repro bench --scale --label scale_baseline --out ... when
+    the performance model changes on purpose).  The 1024/4096-rank
+    points are exercised by CI's scale-smoke job, not here."""
+    path = os.path.join(os.path.dirname(__file__), "data",
+                        "BENCH_scale_baseline.json")
+    baseline = bench.load(path)
+    assert baseline["mode"] == "scale"
+    assert set(baseline["scenarios"]) == {
+        "scale/allgather-64/fat-tree", "scale/allgather-1024/fat-tree",
+        "scale/awp-4096/dragonfly"}
+    current = bench.collect(scale=True, label="scale_baseline",
+                            only="allgather-64")
+    name = "scale/allgather-64/fat-tree"
+    assert current["scenarios"][name] == baseline["scenarios"][name]

@@ -44,7 +44,8 @@ def test_collect_progress_and_engine_bench():
     seen = []
     doc = hostperf.collect(quick=True, reps=1, only="engine/",
                            progress=seen.append)
-    assert seen == ["engine/events", "engine/spans"]
+    assert "engine/events" in seen and "engine/spans" in seen
+    assert any(n.startswith("engine/scale/") for n in seen)
     for name in seen:
         m = doc["benchmarks"][name]["metrics"]
         assert m["run_s"] > 0 and m["events_per_s"] > 0
@@ -178,3 +179,38 @@ def test_cli_perf_compare_gates_on_injected_regression(tmp_path, capsys):
     # No regression -> clean pass.
     _main(["perf", "--against", str(base), "--compare", str(base)])
     assert "OK" in capsys.readouterr().out
+
+
+# -- engine/scale + memory metrics -------------------------------------------
+
+def test_matrix_includes_scale_points():
+    for quick in (True, False):
+        names = [mb.name for mb in hostperf.benchmark_matrix(quick=quick)]
+        assert "engine/scale/256" in names
+        assert "engine/scale/1024" in names
+
+
+def test_engine_bench_reports_peak_heap():
+    doc = hostperf.collect(quick=True, reps=1, only="engine/events")
+    m = doc["benchmarks"]["engine/events"]["metrics"]
+    assert m["peak_heap_bytes"] > 0
+
+
+def test_scale_bench_collects():
+    doc = hostperf.collect(quick=True, reps=1, only="engine/scale/256")
+    m = doc["benchmarks"]["engine/scale/256"]["metrics"]
+    assert m["events_per_s"] > 0
+    assert m["peak_heap_bytes"] > 0
+    assert m["n_events"] > 256  # every rank contributes events
+
+
+def test_compare_heap_growth_is_a_regression():
+    cmp = hostperf.compare(_snap(peak_heap_bytes=4 << 20),
+                           _snap(peak_heap_bytes=1 << 20), threshold=0.30)
+    assert not cmp.ok
+    (d,) = cmp.regressions
+    assert d.metric == "peak_heap_bytes"
+    # Shrinking heap is an improvement, never gates.
+    cmp = hostperf.compare(_snap(peak_heap_bytes=1 << 20),
+                           _snap(peak_heap_bytes=4 << 20), threshold=0.30)
+    assert cmp.ok

@@ -14,7 +14,7 @@ from repro.network import (
     Topology,
     machine_preset,
 )
-from repro.network.presets import MACHINES
+from repro.network.presets import MACHINES, MachinePreset
 from repro.sim import Simulator, Tracer
 from repro.utils.units import GBps, MiB, us
 
@@ -231,3 +231,118 @@ def test_graph_structure():
     bw_gpu = g.edges["gpu0", "node0"]["bandwidth"]
     bw_ib = g.edges["node0", "switch"]["bandwidth"]
     assert bw_gpu / bw_ib == pytest.approx(6.0)
+
+
+# -- hierarchical topologies -------------------------------------------------
+
+def test_hierarchical_presets_exist():
+    ft = machine_preset("fat-tree")
+    df = machine_preset("dragonfly")
+    assert ft.topology_kind == "fat-tree" and ft.nodes_per_group == 16
+    assert df.topology_kind == "dragonfly" and df.nodes_per_group == 8
+    assert "nodes/group" in ft.description()
+
+
+def test_node_of_array_matches_scalar():
+    sim, topo = _topo(nodes=5, gpn=3)
+    assert topo.node_of_array.tolist() == [topo.node_of(g) for g in range(topo.n_gpus)]
+
+
+def test_route_matches_uncached_on_all_presets():
+    """route() memoization must be invisible: every preset, every pair."""
+    for name, preset in MACHINES.items():
+        nodes = preset.nodes_per_group + 1 if preset.topology_kind != "flat" else 3
+        gpn = min(2, preset.max_gpus_per_node)
+        sim = Simulator()
+        topo = Topology(sim, preset, nodes, gpn)
+        for a in range(topo.n_gpus):
+            for b in range(topo.n_gpus):
+                assert topo.route(a, b) == topo._compute_route(a, b), (name, a, b)
+                assert topo.route(a, b) is topo.route(a, b)  # cached object
+
+
+def test_fat_tree_route_shapes():
+    sim = Simulator()
+    topo = Topology(sim, machine_preset("fat-tree"), nodes=18, gpus_per_node=2)
+    assert topo.n_groups == 2
+    # same node: one NVLink hop
+    assert len(topo.route(0, 1)) == 1
+    # same group, different node: HCA up + down
+    in_group = topo.route(0, 2)
+    assert [l.label for l in in_group] == ["node0-up", "node1-down"]
+    # cross group: up, trunk up, trunk down, down
+    cross = topo.route(0, 35)  # gpu on node 17 (group 1)
+    assert [l.label for l in cross] == [
+        "node0-up", "group0-up", "group1-down", "node17-down"]
+
+
+def test_dragonfly_route_shapes():
+    sim = Simulator()
+    topo = Topology(sim, machine_preset("dragonfly"), nodes=10, gpus_per_node=2)
+    assert topo.n_groups == 2
+    cross = topo.route(0, 19)  # gpu on node 9 (group 1)
+    assert [l.label for l in cross] == ["node0-up", "g0->g1", "node9-down"]
+    back = topo.route(19, 0)
+    assert [l.label for l in back] == ["node9-up", "g1->g0", "node0-down"]
+    # the two directions use distinct global links (ordered pairs)
+    assert cross[1] is not back[1]
+
+
+def test_group_of_flat_is_zero():
+    sim, topo = _topo(nodes=3, gpn=2)
+    assert topo.kind == "flat"
+    assert [topo.group_of(n) for n in range(3)] == [0, 0, 0]
+
+
+def test_hierarchical_preset_validation():
+    bad = MachinePreset(
+        name="bad-ft", device=machine_preset("fat-tree").device,
+        intra_link=NVLINK3, intra_shared=False, inter_link=IB_HDR,
+        max_gpus_per_node=4, topology_kind="fat-tree")  # no group fields
+    with pytest.raises(NetworkError, match="nodes_per_group"):
+        Topology(Simulator(), bad, nodes=4, gpus_per_node=1)
+    worse = MachinePreset(
+        name="bad-kind", device=machine_preset("fat-tree").device,
+        intra_link=NVLINK3, intra_shared=False, inter_link=IB_HDR,
+        max_gpus_per_node=4, topology_kind="torus")
+    with pytest.raises(NetworkError, match="unknown topology kind"):
+        Topology(Simulator(), worse, nodes=4, gpus_per_node=1)
+
+
+def test_fat_tree_graph_structure():
+    sim = Simulator()
+    topo = Topology(sim, machine_preset("fat-tree"), nodes=18, gpus_per_node=1)
+    g = topo.graph()
+    names = set(g.nodes)
+    assert {"spine", "group0", "group1"} <= names
+    assert "switch" not in names
+    assert g.has_edge("group0", "spine") and g.has_edge("spine", "group1")
+    assert g.has_edge("node0", "group0") and g.has_edge("node17", "group1")
+
+
+def test_dragonfly_graph_structure():
+    sim = Simulator()
+    topo = Topology(sim, machine_preset("dragonfly"), nodes=17, gpus_per_node=1)
+    g = topo.graph()
+    assert topo.n_groups == 3
+    for a in range(3):
+        for b in range(3):
+            assert g.has_edge(f"group{a}", f"group{b}") == (a != b)
+    assert "spine" not in set(g.nodes)
+
+
+def test_cross_group_transfer_slower_than_in_group():
+    def timed(topo_nodes, a, b):
+        sim = Simulator()
+        topo = Topology(sim, machine_preset("fat-tree"), nodes=topo_nodes,
+                        gpus_per_node=1)
+
+        def proc(sim, topo):
+            yield from topo.transfer(a, b, 1 * MiB)
+
+        sim.run_process(proc(sim, topo))
+        return sim.now
+
+    in_group = timed(18, 0, 1)
+    cross_group = timed(18, 0, 17)
+    assert cross_group > in_group  # two extra trunk hops of latency

@@ -322,3 +322,224 @@ def test_many_processes_deterministic():
         s.run()
         logs.append(log)
     assert logs[0] == logs[1]
+
+
+# -- calendar-scheduler edge cases ------------------------------------------
+
+
+def test_cancelled_events_skipped_within_batch(sim):
+    order = []
+
+    def proc(sim, label):
+        yield sim.timeout(1.0)
+        order.append(label)
+
+    timers = []
+
+    def canceller(sim):
+        # Cancel b and d before their shared t=1.0 bucket drains.
+        yield sim.timeout(0.5)
+        timers[1].cancel()
+        timers[3].cancel()
+
+    def worker(sim, label, timer):
+        try:
+            yield timer
+            order.append(label)
+        except Interrupt:  # pragma: no cover - not used
+            pass
+
+    for label in "abcd":
+        t = sim.timeout(1.0)
+        timers.append(t)
+        sim.process(worker(sim, label, t))
+    sim.process(canceller(sim))
+    sim.run()
+    assert order == ["a", "c"]
+
+
+def test_cancelled_only_bucket_does_not_advance_clock(sim):
+    def proc(sim):
+        yield sim.timeout(3.0)
+        return sim.now
+
+    guard = sim.timeout(5.0)
+    p = sim.process(proc(sim))
+    guard.cancel()
+    sim.run()
+    assert p.value == 3.0
+    assert sim.now == 3.0  # the cancelled t=5 bucket never ticks the clock
+
+
+def test_cancel_interleaved_with_same_timestamp_spawns(sim):
+    """Events scheduled *into* the batch currently draining still run at
+    the same timestamp, after the batch, even when cancellations punch
+    holes in the batch mid-sweep."""
+    order = []
+
+    def late(sim, label):
+        order.append((sim.now, label))
+        return
+        yield  # pragma: no cover
+
+    t_first = sim.timeout(1.0)   # position 0 of the t=1.0 bucket
+    victim = sim.timeout(1.0)    # position 1: cancelled mid-sweep
+
+    def spawner(sim, victim):
+        yield t_first
+        victim.cancel()
+        sim.process(late(sim, "spawned"))
+        order.append((sim.now, "spawner"))
+
+    def waiter(sim, victim):
+        try:
+            yield victim
+            order.append((sim.now, "victim"))  # pragma: no cover
+        except Interrupt:  # pragma: no cover
+            pass
+
+    sim.process(spawner(sim, victim))
+    sim.process(waiter(sim, victim))
+    sim.run()
+    assert order == [(1.0, "spawner"), (1.0, "spawned")]
+
+
+def test_anyof_defuses_same_batch_late_failure(sim):
+    e1, e2 = sim.event(), sim.event()
+
+    def main(sim):
+        res = yield sim.any_of([e1, e2])
+        return list(res.values())
+
+    def trigger(sim):
+        yield sim.timeout(1.0)
+        e1.succeed("winner")
+        e2.fail(RuntimeError("late loser"))
+
+    p = sim.process(main(sim))
+    sim.process(trigger(sim))
+    sim.run()  # the losing failure lands in the same bucket; no re-raise
+    assert p.value == ["winner"]
+
+
+def test_allof_defuses_same_batch_second_failure(sim):
+    e1, e2 = sim.event(), sim.event()
+
+    def main(sim):
+        try:
+            yield sim.all_of([e1, e2])
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    def trigger(sim):
+        yield sim.timeout(1.0)
+        e1.fail(RuntimeError("first"))
+        e2.fail(RuntimeError("second"))
+
+    p = sim.process(main(sim))
+    sim.process(trigger(sim))
+    sim.run()  # second failure must be defused by the already-failed cond
+    assert p.value == "caught first"
+
+
+def test_interrupt_before_first_resume_defuses_stale_wakeup(sim):
+    """Regression: a process interrupted to death before its pending
+    target fires must not crash when that target later dispatches."""
+    def victim(sim):
+        try:
+            yield sim.timeout(5.0)
+            return "slept"  # pragma: no cover
+        except Interrupt:
+            return "died"
+
+    p = sim.process(victim(sim))
+    p.interrupt("early")
+    sim.run()  # the t=5 timeout still fires on the dead generator
+    assert p.value == "died"
+
+
+def test_micro_event_freelist_reuse():
+    sim = Simulator()
+
+    def noop(sim):
+        return
+        yield  # pragma: no cover
+
+    sim.process(noop(sim))
+    sim.run()
+    assert len(sim._micro_free) == 1
+    recycled = sim._micro_free[-1]
+    sim.process(noop(sim))
+    assert not sim._micro_free  # spawn took the pooled event back out
+    sim.run()
+    assert sim._micro_free[-1] is recycled
+
+
+def test_step_peek_through_same_time_batch(sim):
+    hits = []
+
+    def proc(sim, label):
+        yield sim.timeout(1.0)
+        hits.append(label)
+
+    sim.process(proc(sim, "a"))
+    sim.process(proc(sim, "b"))
+
+    def late(sim):
+        yield sim.timeout(2.0)
+        hits.append("late")
+
+    sim.process(late(sim))
+    assert sim.peek() == 0.0  # init events
+    while sim.peek() == 0.0:
+        sim.step()
+    assert sim.peek() == 1.0
+    sim.step()
+    assert sim.peek() == 1.0  # second event of the t=1 batch still due
+    while sim.peek() == 1.0:
+        sim.step()
+    assert hits == ["a", "b"]
+    assert sim.peek() == 2.0
+    sim.run()
+    assert hits == ["a", "b", "late"]
+    assert sim.now == 2.0
+
+
+def _storm(sim, n_procs=1024):
+    """Spawn/interrupt storm: every rank spawns a sleeper, half get
+    interrupted, an AnyOf race decides each rank's value."""
+    values = {}
+
+    def sleeper(sim, i):
+        try:
+            yield sim.timeout(10.0 + i * 1e-6)
+            return "slept"
+        except Interrupt as itr:
+            return f"hit:{itr.cause}"
+
+    def rank(sim, i):
+        s = sim.process(sleeper(sim, i))
+        yield sim.timeout((i % 13) * 1e-3)
+        if i % 2:
+            s.interrupt(i)
+        res = yield sim.any_of([s, sim.timeout(20.0)])
+        values[i] = next(iter(res.values()))
+
+    for i in range(n_procs):
+        sim.process(rank(sim, i))
+    sim.run()
+    return values, sim.now
+
+
+def test_storm_bare_matches_instrumented_and_repeats():
+    from repro.sim.trace import Tracer
+
+    bare1, now1 = _storm(Simulator())
+    bare2, now2 = _storm(Simulator())
+    s3 = Simulator()
+    tracer = Tracer(s3)
+    inst, now3 = _storm(s3)
+    assert bare1 == bare2 == inst
+    assert now1 == now2 == now3
+    assert len(bare1) == 1024
+    assert tracer.event_count > 0
